@@ -1,0 +1,387 @@
+// Benchmarks regenerating the paper's evaluation (Section 6): one
+// benchmark per table and figure, plus ablations of the design choices
+// and micro-benchmarks of the scheduling substrate.
+//
+// The table/figure benchmarks report the paper's metrics (overhead and
+// deviation percentages, schedule lengths) via b.ReportMetric; the shape
+// to compare against the paper is recorded in EXPERIMENTS.md. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/ccapp"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/ttp"
+)
+
+// benchConfig is the per-run search budget of the table benchmarks:
+// large enough to show the paper's shapes, small enough for a default
+// benchmark run. ftexp -paper runs the full protocol.
+func benchConfig() bench.Config {
+	return bench.Config{Seeds: 1, MaxIterations: 40, TimeLimit: 60 * time.Second}
+}
+
+// BenchmarkTable1a regenerates Table 1a: fault-tolerance overhead of
+// MXR vs NFT as the application grows from 20 to 100 processes.
+func BenchmarkTable1a(b *testing.B) {
+	cfg := benchConfig()
+	for _, d := range bench.Table1aDims() {
+		d := d
+		b.Run(bench.Table1aLabel(d), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nft := float64(costs[core.NFT].Makespan)
+				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
+			}
+			b.ReportMetric(overhead, "overhead%")
+		})
+	}
+}
+
+// BenchmarkTable1b regenerates Table 1b: overhead as the number of
+// faults k grows (60 processes, 4 nodes, µ=5ms).
+func BenchmarkTable1b(b *testing.B) {
+	cfg := benchConfig()
+	for _, d := range bench.Table1bDims() {
+		d := d
+		b.Run(bench.Table1bLabel(d), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nft := float64(costs[core.NFT].Makespan)
+				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
+			}
+			b.ReportMetric(overhead, "overhead%")
+		})
+	}
+}
+
+// BenchmarkTable1c regenerates Table 1c: overhead as the fault duration
+// µ grows (20 processes, 2 nodes, k=3).
+func BenchmarkTable1c(b *testing.B) {
+	cfg := benchConfig()
+	for _, d := range bench.Table1cDims() {
+		d := d
+		b.Run(bench.Table1cLabel(d), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nft := float64(costs[core.NFT].Makespan)
+				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
+			}
+			b.ReportMetric(overhead, "overhead%")
+		})
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10: the average % deviation of
+// the single-policy approaches MX and MR and the straightforward SFX
+// from the combined MXR.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	strategies := []core.Strategy{core.MXR, core.MX, core.MR, core.SFX}
+	for _, d := range bench.Table1aDims() {
+		d := d
+		b.Run(bench.Table1aLabel(d), func(b *testing.B) {
+			var devMX, devMR, devSFX float64
+			for i := 0; i < b.N; i++ {
+				costs, err := cfg.RunPoint(d, 0, strategies)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mxr := float64(costs[core.MXR].Makespan)
+				devMX = 100 * (float64(costs[core.MX].Makespan) - mxr) / mxr
+				devMR = 100 * (float64(costs[core.MR].Makespan) - mxr) / mxr
+				devSFX = 100 * (float64(costs[core.SFX].Makespan) - mxr) / mxr
+			}
+			b.ReportMetric(devMX, "devMX%")
+			b.ReportMetric(devMR, "devMR%")
+			b.ReportMetric(devSFX, "devSFX%")
+		})
+	}
+}
+
+// BenchmarkCruiseController regenerates the real-life example: the CC
+// must be schedulable with MXR within the 250 ms deadline while MX and
+// MR miss it (paper: 229 vs 253 and 301 ms).
+func BenchmarkCruiseController(b *testing.B) {
+	cfg := bench.Config{Seeds: 1, MaxIterations: 1500, TimeLimit: 2 * time.Minute}
+	var rows []bench.CCRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.CruiseController()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Makespan.Milliseconds(), "δ_"+r.Strategy.String()+"_ms")
+	}
+}
+
+// BenchmarkAblationSlackSharing quantifies the shared re-execution slack
+// of [11] (Figure 3b2): scheduling the same re-execution design with
+// private per-process slack instead.
+func BenchmarkAblationSlackSharing(b *testing.B) {
+	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 2, Seed: 7}, fault.Model{K: 3, Mu: model.Ms(5)})
+	run := func(b *testing.B, sharing bool) model.Time {
+		opts := core.DefaultOptions(core.MX)
+		opts.MaxIterations = 60
+		opts.SlackSharing = sharing
+		var m model.Time
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Cost.Makespan
+		}
+		return m
+	}
+	b.Run("shared", func(b *testing.B) {
+		b.ReportMetric(run(b, true).Milliseconds(), "δ_ms")
+	})
+	b.Run("private", func(b *testing.B) {
+		b.ReportMetric(run(b, false).Milliseconds(), "δ_ms")
+	})
+}
+
+// BenchmarkAblationTabu quantifies step 3 of the strategy: greedy-only
+// (tabu search capped at one iteration) against the full tabu search.
+func BenchmarkAblationTabu(b *testing.B) {
+	prob := gen.Problem(gen.Spec{Procs: 40, Nodes: 3, Seed: 3}, fault.Model{K: 4, Mu: model.Ms(5)})
+	run := func(b *testing.B, iters int) model.Time {
+		opts := core.DefaultOptions(core.MXR)
+		opts.MaxIterations = iters
+		var m model.Time
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Cost.Makespan
+		}
+		return m
+	}
+	b.Run("greedy-only", func(b *testing.B) {
+		b.ReportMetric(run(b, 1).Milliseconds(), "δ_ms")
+	})
+	b.Run("greedy+tabu", func(b *testing.B) {
+		b.ReportMetric(run(b, 200).Milliseconds(), "δ_ms")
+	})
+}
+
+// BenchmarkAblationBusOpt quantifies the final bus-access optimization
+// step (slot-order hill climbing).
+func BenchmarkAblationBusOpt(b *testing.B) {
+	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 4, Seed: 11}, fault.Model{K: 2, Mu: model.Ms(5)})
+	run := func(b *testing.B, busOpt bool) model.Time {
+		opts := core.DefaultOptions(core.MXR)
+		opts.MaxIterations = 60
+		opts.OptimizeBusAccess = busOpt
+		var m model.Time
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Cost.Makespan
+		}
+		return m
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportMetric(run(b, false).Milliseconds(), "δ_ms")
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportMetric(run(b, true).Milliseconds(), "δ_ms")
+	})
+}
+
+// schedulerInput builds one representative scheduling input per size for
+// the micro-benchmarks: a deterministic mixed policy assignment (every
+// third process replicated over min(k+1, nodes) nodes, the rest
+// re-executed) on a generated application.
+func schedulerInput(b *testing.B, procs, nodes, k int) sched.Input {
+	b.Helper()
+	prob := gen.Problem(gen.Spec{Procs: procs, Nodes: nodes, Seed: 5},
+		fault.Model{K: k, Mu: model.Ms(5)})
+	merged, err := prob.App.Merge()
+	if err != nil {
+		b.Fatal(err)
+	}
+	asgn := policy.Assignment{}
+	for i, p := range prob.App.Processes() {
+		if i%3 == 0 {
+			r := k + 1
+			if nodes < r {
+				r = nodes
+			}
+			replicaNodes := make([]arch.NodeID, r)
+			for j := range replicaNodes {
+				replicaNodes[j] = arch.NodeID((i + j) % nodes)
+			}
+			asgn[p.ID] = policy.Distribute(replicaNodes, k)
+		} else {
+			asgn[p.ID] = policy.Reexecution(arch.NodeID(i%nodes), k)
+		}
+	}
+	in := sched.Input{
+		Graph:      merged,
+		Arch:       prob.Arch,
+		WCET:       prob.WCET,
+		Faults:     prob.Faults,
+		Assignment: asgn,
+		Bus:        ttp.InitialConfig(prob.Arch, merged.MaxMessageBytes(), ttp.DefaultPerByte),
+		Options:    sched.DefaultOptions(),
+	}
+	st, err := sched.NewStatic(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in.Static = st
+	return in
+}
+
+// BenchmarkScheduler measures the throughput of one fault-tolerant list
+// scheduling + worst-case analysis pass, the inner loop of the
+// optimization.
+func BenchmarkScheduler(b *testing.B) {
+	for _, dim := range []struct{ procs, nodes, k int }{
+		{20, 2, 3}, {60, 4, 5}, {100, 6, 7},
+	} {
+		in := schedulerInput(b, dim.procs, dim.nodes, dim.k)
+		b.Run(bench.Table1aLabel(bench.Dimension{Procs: dim.procs}), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Build(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures one simulated operation cycle of the
+// synthesized cruise controller under a random fault scenario.
+func BenchmarkSimulator(b *testing.B) {
+	prob := ccapp.New()
+	opts := core.DefaultOptions(core.MXR)
+	opts.MaxIterations = 50
+	res, err := core.Optimize(prob, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	sc := sim.RandomScenario(rng, res.Schedule)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := sim.Run(res.Schedule, sc)
+		if len(r.Finish) == 0 {
+			b.Fatal("empty simulation")
+		}
+	}
+}
+
+// BenchmarkExtensionCheckpointing quantifies the checkpointing extension
+// (DESIGN.md §7): re-execution with cheap checkpoints (χ=1ms) against
+// plain re-execution under k=3 faults.
+func BenchmarkExtensionCheckpointing(b *testing.B) {
+	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 2, Seed: 13},
+		fault.Model{K: 3, Mu: model.Ms(5), Chi: model.Ms(1)})
+	run := func(b *testing.B, enable bool) model.Time {
+		opts := core.DefaultOptions(core.MX)
+		opts.MaxIterations = 60
+		opts.EnableCheckpointing = enable
+		var m model.Time
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(prob, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m = res.Cost.Makespan
+		}
+		return m
+	}
+	b.Run("re-execution", func(b *testing.B) {
+		b.ReportMetric(run(b, false).Milliseconds(), "δ_ms")
+	})
+	b.Run("checkpointed", func(b *testing.B) {
+		b.ReportMetric(run(b, true).Milliseconds(), "δ_ms")
+	})
+}
+
+// BenchmarkOptimalityGap measures the tabu search against the exact
+// brute-force optimum on instances small enough to enumerate — an
+// evaluation the paper could not run. The reported metric is the average
+// percentage gap of MXR's schedule length over the optimum.
+func BenchmarkOptimalityGap(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		gap = 0
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			p := randomTinyProblem(rng)
+			ex, err := exact.Search(p, exact.Options{SlackSharing: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.DefaultOptions(core.MXR)
+			opts.MaxIterations = 200
+			heur, err := core.Optimize(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += 100 * (float64(heur.Cost.Makespan) - float64(ex.Cost.Makespan)) /
+				float64(ex.Cost.Makespan) / seeds
+		}
+	}
+	b.ReportMetric(gap, "gap%")
+}
+
+func randomTinyProblem(rng *rand.Rand) core.Problem {
+	app := model.NewApplication("tiny")
+	g := app.AddGraph("G", model.Ms(1000000), model.Ms(1000000))
+	procs := make([]*model.Process, 5)
+	for i := range procs {
+		procs[i] = app.AddProcess(g, "P")
+	}
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			if rng.Intn(3) == 0 {
+				g.AddEdge(procs[i], procs[j], 1+rng.Intn(4))
+			}
+		}
+	}
+	a := arch.New(2)
+	w := arch.NewWCET()
+	for _, p := range procs {
+		for n := 0; n < 2; n++ {
+			w.Set(p.ID, arch.NodeID(n), model.Ms(int64(10+rng.Intn(91))))
+		}
+	}
+	return core.Problem{App: app, Arch: a, WCET: w, Faults: fault.Model{K: 1, Mu: model.Ms(5)}}
+}

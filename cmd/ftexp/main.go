@@ -1,0 +1,130 @@
+// Command ftexp regenerates the paper's evaluation tables and figures:
+// Table 1a/1b/1c (fault-tolerance overheads of MXR vs NFT), Figure 10
+// (deviation of MX/MR/SFX from MXR) and the cruise-controller example.
+//
+// Usage:
+//
+//	ftexp -exp all                  # default smoke-scale run
+//	ftexp -exp table1b -seeds 15    # paper-scale instance count
+//	ftexp -exp cc -iters 1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1a, table1b, table1c, figure10, cc, all")
+		seeds   = flag.Int("seeds", 0, "random applications per dimension (0 = default)")
+		iters   = flag.Int("iters", 0, "tabu iterations per run (0 = default)")
+		timeLim = flag.Duration("time", 0, "time limit per optimization run (0 = default)")
+		paper   = flag.Bool("paper", false, "use the paper-protocol configuration (15 seeds, long runs)")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress on stderr")
+		format  = flag.String("format", "text", "output format: text, csv")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "ftexp: unknown format %q (text, csv)\n", *format)
+		os.Exit(1)
+	}
+	asCSV := *format == "csv"
+
+	cfg := bench.DefaultConfig()
+	if *paper {
+		cfg = bench.PaperConfig()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *iters > 0 {
+		cfg.MaxIterations = *iters
+	}
+	if *timeLim > 0 {
+		cfg.TimeLimit = *timeLim
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	run := func(name string) {
+		switch name {
+		case "table1a":
+			rows, err := cfg.Table1a()
+			check(err)
+			if asCSV {
+				check(bench.WriteOverheadsCSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println(bench.FormatOverheads(
+				"Table 1a: % overhead of MXR vs NFT over application size",
+				"dimension", bench.Table1aLabel, rows))
+		case "table1b":
+			rows, err := cfg.Table1b()
+			check(err)
+			if asCSV {
+				check(bench.WriteOverheadsCSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println(bench.FormatOverheads(
+				"Table 1b: % overhead over number of faults (60 procs, 4 nodes, µ=5ms)",
+				"faults", bench.Table1bLabel, rows))
+		case "table1c":
+			rows, err := cfg.Table1c()
+			check(err)
+			if asCSV {
+				check(bench.WriteOverheadsCSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println(bench.FormatOverheads(
+				"Table 1c: % overhead over fault duration (20 procs, 2 nodes, k=3)",
+				"duration", bench.Table1cLabel, rows))
+		case "figure10":
+			rows, err := cfg.Figure10()
+			check(err)
+			if asCSV {
+				check(bench.WriteDeviationsCSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println(bench.FormatDeviations(rows))
+		case "cc":
+			ccCfg := cfg
+			if *iters <= 0 && !*paper {
+				// The CC needs a real search budget to reproduce the
+				// paper's outcome (MXR schedulable, MX/MR not).
+				ccCfg.MaxIterations = 1500
+			}
+			rows, err := ccCfg.CruiseController()
+			check(err)
+			if asCSV {
+				check(bench.WriteCCCSV(os.Stdout, rows))
+				return
+			}
+			fmt.Println(bench.FormatCC(rows))
+		default:
+			fmt.Fprintf(os.Stderr, "ftexp: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1a", "table1b", "table1c", "figure10", "cc"} {
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+	fmt.Fprintf(os.Stderr, "ftexp: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftexp: %v\n", err)
+		os.Exit(1)
+	}
+}

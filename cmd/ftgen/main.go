@@ -1,0 +1,78 @@
+// Command ftgen generates synthetic fault-tolerant design problems in
+// the JSON format consumed by ftsched, following the paper's evaluation
+// setup (random/tree/chain graphs, 10–100 ms WCETs, 1–4 byte messages).
+//
+// Usage:
+//
+//	ftgen -procs 40 -nodes 3 -k 4 -mu 5 -shape random -seed 1 -o app.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sysio"
+)
+
+func main() {
+	var (
+		procs    = flag.Int("procs", 20, "number of processes")
+		nodes    = flag.Int("nodes", 2, "number of computation nodes")
+		k        = flag.Int("k", 2, "number of transient faults to tolerate per cycle")
+		muMs     = flag.Float64("mu", 5, "fault recovery overhead µ in milliseconds")
+		shape    = flag.String("shape", "random", "graph structure: random, tree, chains")
+		dist     = flag.String("dist", "uniform", "WCET distribution: uniform, exponential")
+		seed     = flag.Int64("seed", 1, "random seed")
+		deadline = flag.Float64("deadline", 0, "graph deadline in milliseconds (0 = none)")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	spec := gen.Spec{
+		Procs:    *procs,
+		Nodes:    *nodes,
+		Seed:     *seed,
+		Deadline: model.Time(*deadline * float64(model.Millisecond)),
+	}
+	switch *shape {
+	case "random":
+		spec.Shape = gen.Random
+	case "tree":
+		spec.Shape = gen.Tree
+	case "chains":
+		spec.Shape = gen.Chains
+	default:
+		fatalf("unknown shape %q (random, tree, chains)", *shape)
+	}
+	switch *dist {
+	case "uniform":
+		spec.WCETDist = gen.Uniform
+	case "exponential":
+		spec.WCETDist = gen.Exponential
+	default:
+		fatalf("unknown distribution %q (uniform, exponential)", *dist)
+	}
+
+	prob := gen.Problem(spec, fault.Model{K: *k, Mu: model.Time(*muMs * float64(model.Millisecond))})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sysio.WriteProblem(w, prob); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftgen: "+format+"\n", args...)
+	os.Exit(1)
+}

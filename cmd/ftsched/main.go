@@ -1,0 +1,127 @@
+// Command ftsched synthesizes a fault-tolerant implementation of a
+// design problem: it decides the mapping and fault-tolerance policy of
+// every process (re-execution, replication, or combinations), builds the
+// static schedule tables and the bus MEDL, and reports the worst-case
+// timing under the fault hypothesis.
+//
+// Usage:
+//
+//	ftsched -in app.json [-strategy mxr] [-iters 500] [-time 30s]
+//	        [-stop-schedulable] [-gantt] [-width 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/gantt"
+	"repro/internal/sched"
+	"repro/internal/sysio"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "problem JSON file (required)")
+		strategy = flag.String("strategy", "mxr", "optimization strategy: mxr, mx, mr, sfx, nft")
+		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
+		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
+		stopSch  = flag.Bool("stop-schedulable", false, "stop at the first schedulable design")
+		busOpt   = flag.Bool("busopt", false, "run the final bus-access optimization")
+		ckpt     = flag.Bool("checkpointing", false, "enable checkpoint moves (extension)")
+		showG    = flag.Bool("gantt", true, "print an ASCII Gantt chart")
+		width    = flag.Int("width", 100, "Gantt chart width")
+		export   = flag.String("export", "", "write the schedule tables + MEDL as JSON to this file")
+		dotOut   = flag.String("dot", "", "write the synthesized design as Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prob, err := sysio.ReadProblem(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var strat core.Strategy
+	switch *strategy {
+	case "mxr":
+		strat = core.MXR
+	case "mx":
+		strat = core.MX
+	case "mr":
+		strat = core.MR
+	case "sfx":
+		strat = core.SFX
+	case "nft":
+		strat = core.NFT
+	default:
+		fatalf("unknown strategy %q (mxr, mx, mr, sfx, nft)", *strategy)
+	}
+
+	opts := core.DefaultOptions(strat)
+	opts.MaxIterations = *iters
+	opts.TimeLimit = *timeLim
+	opts.StopWhenSchedulable = *stopSch
+	opts.OptimizeBusAccess = *busOpt
+	opts.EnableCheckpointing = *ckpt
+
+	res, err := core.Optimize(prob, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := sched.ValidateSchedule(res.Schedule); err != nil {
+		fatalf("internal: synthesized schedule failed validation: %v", err)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := sysio.WriteSchedule(f, res.Schedule); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := dot.WriteDesign(f, res.Schedule); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+	}
+
+	fmt.Printf("strategy %v: %v after %d iterations (%v)\n\n",
+		res.Strategy, res.Cost, res.Iterations, res.Elapsed.Round(time.Millisecond))
+	fmt.Println("fault-tolerance policy assignment:")
+	for _, p := range prob.App.Processes() {
+		fmt.Printf("  %-18s %v\n", p.Name, res.Assignment[p.ID])
+	}
+	fmt.Println()
+	fmt.Println(gantt.Table(res.Schedule))
+	if *showG {
+		fmt.Println(gantt.Render(res.Schedule, *width))
+	}
+	fmt.Println(gantt.Summary(res.Schedule))
+	tables := sched.CompileTables(res.Schedule)
+	fmt.Printf("schedule-table memory: %d dispatch/MEDL rows\n", tables.TotalRows())
+	if !res.Cost.Schedulable() {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftsched: "+format+"\n", args...)
+	os.Exit(1)
+}

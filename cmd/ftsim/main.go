@@ -1,0 +1,87 @@
+// Command ftsim synthesizes a fault-tolerant implementation of a design
+// problem and then runs a fault-injection campaign on it: the schedule
+// tables are executed under every fault scenario of the hypothesis (or a
+// large adversarial+random sample when enumeration is infeasible), and
+// the observed completions are compared against the worst-case analysis.
+//
+// Usage:
+//
+//	ftsim -in app.json [-strategy mxr] [-iters 500] [-samples 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/sysio"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "problem JSON file (required)")
+		strategy = flag.String("strategy", "mxr", "optimization strategy: mxr, mx, mr, sfx, nft")
+		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
+		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
+		samples  = flag.Int("samples", 10000, "random scenarios when enumeration is infeasible")
+		seed     = flag.Int64("seed", 1, "sampling seed")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	prob, err := sysio.ReadProblem(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var strat core.Strategy
+	switch *strategy {
+	case "mxr":
+		strat = core.MXR
+	case "mx":
+		strat = core.MX
+	case "mr":
+		strat = core.MR
+	case "sfx":
+		strat = core.SFX
+	case "nft":
+		strat = core.NFT
+	default:
+		fatalf("unknown strategy %q", *strategy)
+	}
+	opts := core.DefaultOptions(strat)
+	opts.MaxIterations = *iters
+	opts.TimeLimit = *timeLim
+	res, err := core.Optimize(prob, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := sched.ValidateSchedule(res.Schedule); err != nil {
+		fatalf("internal: synthesized schedule failed validation: %v", err)
+	}
+	fmt.Printf("synthesized with %v: %v (%d processes, %v)\n\n",
+		res.Strategy, res.Cost, prob.App.NumProcesses(), prob.Faults)
+
+	campaign := sim.Campaign{Samples: *samples, Seed: *seed}
+	cr := campaign.Run(res.Schedule)
+	fmt.Print(cr.Format(res.Schedule))
+	if cr.Violations > 0 && res.Cost.Schedulable() {
+		fmt.Fprintln(os.Stderr, "ftsim: violations despite schedulable analysis — this is a bug")
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftsim: "+format+"\n", args...)
+	os.Exit(1)
+}

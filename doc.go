@@ -1,0 +1,16 @@
+// Package repro is a Go reproduction of Izosimov, Pop, Eles, Peng:
+// "Design Optimization of Time- and Cost-Constrained Fault-Tolerant
+// Distributed Embedded Systems" (DATE 2005).
+//
+// The library synthesizes fault-tolerant implementations of hard
+// real-time applications on TTP-based distributed architectures: it
+// decides the mapping of processes to nodes and the assignment of
+// fault-tolerance policies (re-execution, active replication, and
+// combinations of the two), and builds static schedule tables plus the
+// bus MEDL such that k transient faults per operation cycle are
+// tolerated and all deadlines hold in the worst case.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation. The root-level
+// bench_test.go regenerates every table and figure of the paper.
+package repro

@@ -1,0 +1,176 @@
+// Package arch models the distributed hardware architecture of the
+// paper's Section 2.1: a set of nodes, each with a CPU and a TTP
+// communication controller, sharing a broadcast bus. The package also
+// holds the worst-case execution time (WCET) table C_Pi^Nk, which is the
+// only architecture-dependent parameter of processes.
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// NodeID identifies a computation node. IDs are dense, starting at 0.
+type NodeID int
+
+// NoNode is the zero-value sentinel for "no node".
+const NoNode NodeID = -1
+
+// Node is one computation node of the architecture.
+type Node struct {
+	ID   NodeID
+	Name string
+}
+
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil node>"
+	}
+	return fmt.Sprintf("%s(N%d)", n.Name, n.ID)
+}
+
+// Architecture is the set of nodes sharing the broadcast TTP bus. The
+// bus-access configuration itself lives in package ttp.
+type Architecture struct {
+	nodes []*Node
+}
+
+// New returns an architecture with n anonymous nodes named N1..Nn.
+func New(n int) *Architecture {
+	a := &Architecture{}
+	for i := 0; i < n; i++ {
+		a.AddNode(fmt.Sprintf("N%d", i+1))
+	}
+	return a
+}
+
+// NewNamed returns an architecture with one node per name.
+func NewNamed(names ...string) *Architecture {
+	a := &Architecture{}
+	for _, name := range names {
+		a.AddNode(name)
+	}
+	return a
+}
+
+// AddNode appends a node with the given name and returns it.
+func (a *Architecture) AddNode(name string) *Node {
+	n := &Node{ID: NodeID(len(a.nodes)), Name: name}
+	a.nodes = append(a.nodes, n)
+	return n
+}
+
+// Nodes returns the nodes ordered by ID. The slice must not be modified.
+func (a *Architecture) Nodes() []*Node { return a.nodes }
+
+// NumNodes returns the number of nodes.
+func (a *Architecture) NumNodes() int { return len(a.nodes) }
+
+// Node returns the node with the given ID or nil.
+func (a *Architecture) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(a.nodes) {
+		return nil
+	}
+	return a.nodes[id]
+}
+
+// Validate checks structural invariants.
+func (a *Architecture) Validate() error {
+	if len(a.nodes) == 0 {
+		return fmt.Errorf("arch: architecture has no nodes")
+	}
+	for i, n := range a.nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("arch: node %q has id %d at index %d", n.Name, n.ID, i)
+		}
+	}
+	return nil
+}
+
+// WCET is the worst-case execution time table C_Pi^Nk. A missing entry
+// means the process cannot be mapped on that node (the "X" entries of
+// Figure 5 in the paper). The table is keyed by the origin ProcID, so it
+// applies to all hyper-period instances of a process.
+type WCET struct {
+	c map[model.ProcID]map[NodeID]model.Time
+}
+
+// NewWCET returns an empty table.
+func NewWCET() *WCET {
+	return &WCET{c: make(map[model.ProcID]map[NodeID]model.Time)}
+}
+
+// Set records the WCET of process p on node n.
+func (w *WCET) Set(p model.ProcID, n NodeID, c model.Time) {
+	if c <= 0 {
+		panic(fmt.Sprintf("arch: non-positive WCET %v for process %d on node %d", c, p, n))
+	}
+	row := w.c[p]
+	if row == nil {
+		row = make(map[NodeID]model.Time)
+		w.c[p] = row
+	}
+	row[n] = c
+}
+
+// Get returns the WCET of process p on node n; ok is false when the
+// process cannot be mapped there.
+func (w *WCET) Get(p model.ProcID, n NodeID) (c model.Time, ok bool) {
+	c, ok = w.c[p][n]
+	return c, ok
+}
+
+// MustGet is Get for mappings already known to be legal.
+func (w *WCET) MustGet(p model.ProcID, n NodeID) model.Time {
+	c, ok := w.Get(p, n)
+	if !ok {
+		panic(fmt.Sprintf("arch: process %d not mappable on node %d", p, n))
+	}
+	return c
+}
+
+// AllowedNodes returns, in ascending order, the nodes process p can be
+// mapped to (the set N_Pi of the paper).
+func (w *WCET) AllowedNodes(p model.ProcID) []NodeID {
+	row := w.c[p]
+	out := make([]NodeID, 0, len(row))
+	for n := range row {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Average returns the mean WCET of p over its allowed nodes; it is used
+// by mapping-independent priority functions. ok is false when p has no
+// allowed node.
+func (w *WCET) Average(p model.ProcID) (model.Time, bool) {
+	row := w.c[p]
+	if len(row) == 0 {
+		return 0, false
+	}
+	var sum model.Time
+	for _, c := range row {
+		sum += c
+	}
+	return sum / model.Time(len(row)), true
+}
+
+// Validate checks that every process of the merged graph can be mapped
+// on at least one node of the architecture.
+func (w *WCET) Validate(g *model.Graph, a *Architecture) error {
+	for _, p := range g.Processes() {
+		nodes := w.AllowedNodes(p.Origin)
+		if len(nodes) == 0 {
+			return fmt.Errorf("arch: process %s has no allowed node", p)
+		}
+		for _, n := range nodes {
+			if a.Node(n) == nil {
+				return fmt.Errorf("arch: process %s allows unknown node %d", p, n)
+			}
+		}
+	}
+	return nil
+}

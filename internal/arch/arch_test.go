@@ -1,0 +1,102 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestArchitectureBasics(t *testing.T) {
+	a := New(3)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if a.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", a.NumNodes())
+	}
+	if a.Node(0).Name != "N1" || a.Node(2).Name != "N3" {
+		t.Errorf("unexpected node names %v %v", a.Node(0), a.Node(2))
+	}
+	if a.Node(5) != nil || a.Node(-1) != nil {
+		t.Error("out-of-range Node lookup should return nil")
+	}
+	named := NewNamed("ETM", "ABS", "TCM")
+	if named.Node(1).Name != "ABS" {
+		t.Errorf("named node 1 = %q, want ABS", named.Node(1).Name)
+	}
+	empty := &Architecture{}
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate accepted empty architecture")
+	}
+}
+
+func TestWCETTable(t *testing.T) {
+	w := NewWCET()
+	p := model.ProcID(0)
+	w.Set(p, 0, model.Ms(40))
+	w.Set(p, 1, model.Ms(50))
+
+	if c, ok := w.Get(p, 0); !ok || c != model.Ms(40) {
+		t.Errorf("Get(p,0) = %v,%v", c, ok)
+	}
+	if _, ok := w.Get(p, 2); ok {
+		t.Error("Get on unmapped node should report !ok")
+	}
+	if c := w.MustGet(p, 1); c != model.Ms(50) {
+		t.Errorf("MustGet = %v, want 50ms", c)
+	}
+	nodes := w.AllowedNodes(p)
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 1 {
+		t.Errorf("AllowedNodes = %v, want [0 1]", nodes)
+	}
+	if avg, ok := w.Average(p); !ok || avg != model.Ms(45) {
+		t.Errorf("Average = %v,%v, want 45ms", avg, ok)
+	}
+	if _, ok := w.Average(model.ProcID(9)); ok {
+		t.Error("Average of unknown process should report !ok")
+	}
+}
+
+func TestWCETMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on unmapped pair should panic")
+		}
+	}()
+	NewWCET().MustGet(model.ProcID(0), 0)
+}
+
+func TestWCETSetRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with zero WCET should panic")
+		}
+	}()
+	NewWCET().Set(model.ProcID(0), 0, 0)
+}
+
+func TestWCETValidate(t *testing.T) {
+	app := model.NewApplication("a")
+	g := app.AddGraph("G", model.Ms(100), model.Ms(100))
+	p := app.AddProcess(g, "P")
+	q := app.AddProcess(g, "Q")
+	g.AddEdge(p, q, 1)
+	merged, err := app.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(2)
+	w := NewWCET()
+	w.Set(p.ID, 0, model.Ms(10))
+	if err := w.Validate(merged, a); err == nil {
+		t.Error("Validate accepted process with no allowed node")
+	}
+	w.Set(q.ID, 1, model.Ms(10))
+	if err := w.Validate(merged, a); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	w.Set(q.ID, 7, model.Ms(10))
+	if err := w.Validate(merged, a); err == nil {
+		t.Error("Validate accepted WCET entry for unknown node")
+	}
+}

@@ -1,0 +1,280 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 6):
+//
+//   - Table 1a: fault-tolerance overhead of MXR vs NFT over application
+//     size (20..100 processes on 2..6 nodes, k = 3..7, µ = 5 ms);
+//   - Table 1b: overhead over the number of faults (60 processes,
+//     4 nodes, k ∈ {2,4,6,8,10}, µ = 5 ms);
+//   - Table 1c: overhead over the fault duration (20 processes, 2 nodes,
+//     k = 3, µ ∈ {1,5,10,15,20} ms);
+//   - Figure 10: average % deviation of MX, MR and SFX from MXR;
+//   - the cruise-controller example (32 processes, 3 nodes, 250 ms
+//     deadline, k = 2, µ = 2 ms).
+//
+// The paper evaluates 15 random applications per dimension with per-
+// instance time limits of 10 minutes to 5.5 hours on Sun Fire V250
+// machines; the harness makes both the instance count and the search
+// budget configurable so the experiments scale from smoke tests to
+// paper-protocol runs. Applications rotate through random, tree and
+// chain-group structures and uniform/exponential execution-time
+// distributions, as in the paper.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/ccapp"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seeds is the number of random applications per dimension
+	// (the paper uses 15).
+	Seeds int
+	// MaxIterations bounds each optimization's tabu search.
+	MaxIterations int
+	// TimeLimit bounds each optimization run (0 = none).
+	TimeLimit time.Duration
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// DefaultConfig returns a configuration that finishes the full suite in
+// minutes on a laptop while preserving the paper's qualitative shapes.
+func DefaultConfig() Config {
+	return Config{Seeds: 5, MaxIterations: 200, TimeLimit: 20 * time.Second}
+}
+
+// SmokeConfig is a minimal configuration for tests.
+func SmokeConfig() Config {
+	return Config{Seeds: 1, MaxIterations: 12, TimeLimit: 10 * time.Second}
+}
+
+// PaperConfig mirrors the paper's protocol (15 seeds; budget per run
+// still bounded by iterations rather than hours).
+func PaperConfig() Config {
+	return Config{Seeds: 15, MaxIterations: 1000, TimeLimit: 2 * time.Minute}
+}
+
+// Dimension is one evaluation point.
+type Dimension struct {
+	Procs int
+	Nodes int
+	K     int
+	Mu    model.Time
+}
+
+func (d Dimension) String() string {
+	return fmt.Sprintf("%dp/%dn k=%d µ=%v", d.Procs, d.Nodes, d.K, d.Mu)
+}
+
+// Table1aDims are the application-size dimensions of Table 1a and
+// Figure 10.
+func Table1aDims() []Dimension {
+	return []Dimension{
+		{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(5)},
+		{Procs: 40, Nodes: 3, K: 4, Mu: model.Ms(5)},
+		{Procs: 60, Nodes: 4, K: 5, Mu: model.Ms(5)},
+		{Procs: 80, Nodes: 5, K: 6, Mu: model.Ms(5)},
+		{Procs: 100, Nodes: 6, K: 7, Mu: model.Ms(5)},
+	}
+}
+
+// Table1bDims vary the number of faults for 60 processes on 4 nodes.
+func Table1bDims() []Dimension {
+	var out []Dimension
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		out = append(out, Dimension{Procs: 60, Nodes: 4, K: k, Mu: model.Ms(5)})
+	}
+	return out
+}
+
+// Table1cDims vary the fault duration for 20 processes on 2 nodes.
+func Table1cDims() []Dimension {
+	var out []Dimension
+	for _, mu := range []int64{1, 5, 10, 15, 20} {
+		out = append(out, Dimension{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(mu)})
+	}
+	return out
+}
+
+// spec builds the generator specification of one instance of a
+// dimension, rotating graph shapes and WCET distributions as the paper
+// does.
+func (d Dimension) spec(seed int) gen.Spec {
+	shapes := []gen.Shape{gen.Random, gen.Tree, gen.Chains}
+	dists := []gen.Dist{gen.Uniform, gen.Exponential}
+	return gen.Spec{
+		Procs:    d.Procs,
+		Nodes:    d.Nodes,
+		Shape:    shapes[seed%len(shapes)],
+		WCETDist: dists[seed%len(dists)],
+		Seed:     int64(1000*d.Procs + 10*d.K + seed),
+	}
+}
+
+// RunPoint optimizes one generated instance with each strategy and
+// returns the resulting costs.
+func (c Config) RunPoint(d Dimension, seed int, strategies []core.Strategy) (map[core.Strategy]core.Cost, error) {
+	prob := gen.Problem(d.spec(seed), fault.Model{K: d.K, Mu: d.Mu})
+	out := make(map[core.Strategy]core.Cost, len(strategies))
+	for _, s := range strategies {
+		opts := core.DefaultOptions(s)
+		opts.MaxIterations = c.MaxIterations
+		opts.TimeLimit = c.TimeLimit
+		start := time.Now()
+		res, err := core.Optimize(prob, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v seed %d strategy %v: %w", d, seed, s, err)
+		}
+		out[s] = res.Cost
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "%v seed %d %-4v: %v (%v)\n",
+				d, seed, s, res.Cost, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return out, nil
+}
+
+// Stat accumulates min/avg/max of a series.
+type Stat struct {
+	Min, Max, Sum float64
+	N             int
+}
+
+// Add records one observation.
+func (s *Stat) Add(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Sum += v
+	s.N++
+}
+
+// Avg returns the mean (0 when empty).
+func (s *Stat) Avg() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// OverheadRow is one row of Table 1: the fault-tolerance overhead
+// 100·(δ_MXR − δ_NFT)/δ_NFT over the instances of a dimension.
+type OverheadRow struct {
+	Dim  Dimension
+	Stat Stat
+}
+
+// overheadTable runs MXR and NFT over the dimensions and accumulates
+// overheads.
+func (c Config) overheadTable(dims []Dimension) ([]OverheadRow, error) {
+	rows := make([]OverheadRow, 0, len(dims))
+	for _, d := range dims {
+		row := OverheadRow{Dim: d}
+		for seed := 0; seed < c.Seeds; seed++ {
+			costs, err := c.RunPoint(d, seed, []core.Strategy{core.NFT, core.MXR})
+			if err != nil {
+				return nil, err
+			}
+			nft := float64(costs[core.NFT].Makespan)
+			mxr := float64(costs[core.MXR].Makespan)
+			if nft <= 0 {
+				continue
+			}
+			row.Stat.Add(100 * (mxr - nft) / nft)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1a reproduces Table 1a (overhead vs application size).
+func (c Config) Table1a() ([]OverheadRow, error) { return c.overheadTable(Table1aDims()) }
+
+// Table1b reproduces Table 1b (overhead vs number of faults).
+func (c Config) Table1b() ([]OverheadRow, error) { return c.overheadTable(Table1bDims()) }
+
+// Table1c reproduces Table 1c (overhead vs fault duration).
+func (c Config) Table1c() ([]OverheadRow, error) { return c.overheadTable(Table1cDims()) }
+
+// DeviationRow is one point of Figure 10: the average percentage
+// deviation of MR, SFX and MX from MXR for one application size.
+type DeviationRow struct {
+	Dim Dimension
+	Dev map[core.Strategy]Stat
+}
+
+// Figure10 reproduces Figure 10 over the Table 1a dimensions.
+func (c Config) Figure10() ([]DeviationRow, error) {
+	strategies := []core.Strategy{core.MXR, core.MX, core.MR, core.SFX}
+	var rows []DeviationRow
+	for _, d := range Table1aDims() {
+		row := DeviationRow{Dim: d, Dev: map[core.Strategy]Stat{}}
+		for seed := 0; seed < c.Seeds; seed++ {
+			costs, err := c.RunPoint(d, seed, strategies)
+			if err != nil {
+				return nil, err
+			}
+			mxr := float64(costs[core.MXR].Makespan)
+			if mxr <= 0 {
+				continue
+			}
+			for _, s := range []core.Strategy{core.MR, core.SFX, core.MX} {
+				st := row.Dev[s]
+				st.Add(100 * (float64(costs[s].Makespan) - mxr) / mxr)
+				row.Dev[s] = st
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CCRow is one strategy's outcome on the cruise controller.
+type CCRow struct {
+	Strategy    core.Strategy
+	Makespan    model.Time
+	Schedulable bool
+	OverheadPct float64 // vs NFT
+}
+
+// CruiseController reproduces the paper's real-life example. The search
+// budget comes from the configuration; the paper's protocol needs on
+// the order of 1500 iterations.
+func (c Config) CruiseController() ([]CCRow, error) {
+	prob := ccapp.New()
+	strategies := []core.Strategy{core.NFT, core.MXR, core.MX, core.MR, core.SFX}
+	var nft float64
+	var rows []CCRow
+	for _, s := range strategies {
+		opts := core.DefaultOptions(s)
+		opts.MaxIterations = c.MaxIterations
+		opts.TimeLimit = c.TimeLimit
+		res, err := core.Optimize(prob, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := CCRow{Strategy: s, Makespan: res.Cost.Makespan, Schedulable: res.Cost.Schedulable()}
+		if s == core.NFT {
+			nft = float64(res.Cost.Makespan)
+		}
+		if nft > 0 {
+			row.OverheadPct = 100 * (float64(res.Cost.Makespan) - nft) / nft
+		}
+		rows = append(rows, row)
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "CC %-4v: δ=%v schedulable=%v\n", s, row.Makespan, row.Schedulable)
+		}
+	}
+	return rows, nil
+}

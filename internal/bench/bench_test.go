@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestDimensionsMatchPaper(t *testing.T) {
+	a := Table1aDims()
+	if len(a) != 5 {
+		t.Fatalf("Table 1a has %d dimensions, want 5", len(a))
+	}
+	wantProcs := []int{20, 40, 60, 80, 100}
+	wantNodes := []int{2, 3, 4, 5, 6}
+	wantK := []int{3, 4, 5, 6, 7}
+	for i, d := range a {
+		if d.Procs != wantProcs[i] || d.Nodes != wantNodes[i] || d.K != wantK[i] || d.Mu != model.Ms(5) {
+			t.Errorf("Table1a dim %d = %v", i, d)
+		}
+	}
+	b := Table1bDims()
+	for i, k := range []int{2, 4, 6, 8, 10} {
+		if b[i].Procs != 60 || b[i].Nodes != 4 || b[i].K != k {
+			t.Errorf("Table1b dim %d = %v", i, b[i])
+		}
+	}
+	c := Table1cDims()
+	for i, mu := range []int64{1, 5, 10, 15, 20} {
+		if c[i].Procs != 20 || c[i].Nodes != 2 || c[i].K != 3 || c[i].Mu != model.Ms(mu) {
+			t.Errorf("Table1c dim %d = %v", i, c[i])
+		}
+	}
+}
+
+func TestStat(t *testing.T) {
+	var s Stat
+	if s.Avg() != 0 {
+		t.Error("empty stat should average 0")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Min != 1 || s.Max != 3 || s.Avg() != 2 || s.N != 3 {
+		t.Errorf("stat = %+v", s)
+	}
+}
+
+func TestRunPointSmoke(t *testing.T) {
+	cfg := SmokeConfig()
+	d := Dimension{Procs: 10, Nodes: 2, K: 2, Mu: model.Ms(5)}
+	costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR, core.MX, core.MR, core.SFX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nft := costs[core.NFT].Makespan
+	if nft <= 0 {
+		t.Fatal("NFT makespan must be positive")
+	}
+	for _, s := range []core.Strategy{core.MXR, core.MX, core.MR, core.SFX} {
+		if costs[s].Makespan < nft {
+			t.Errorf("%v makespan %v below NFT %v", s, costs[s].Makespan, nft)
+		}
+	}
+}
+
+func TestOverheadTableSmoke(t *testing.T) {
+	cfg := SmokeConfig()
+	rows, err := cfg.overheadTable([]Dimension{{Procs: 8, Nodes: 2, K: 1, Mu: model.Ms(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Stat.N != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Stat.Avg() < 0 {
+		t.Errorf("fault tolerance should not shorten the schedule: %+v", rows[0].Stat)
+	}
+	out := FormatOverheads("t", "dim", Table1aLabel, rows)
+	if !strings.Contains(out, "8 procs") {
+		t.Errorf("formatting missing label: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	rows := []DeviationRow{{
+		Dim: Dimension{Procs: 20},
+		Dev: map[core.Strategy]Stat{
+			core.MR:  {Min: 1, Max: 3, Sum: 4, N: 2},
+			core.SFX: {Min: 1, Max: 2, Sum: 3, N: 2},
+			core.MX:  {Min: 0, Max: 1, Sum: 1, N: 2},
+		},
+	}}
+	out := FormatDeviations(rows)
+	if !strings.Contains(out, "MR") || !strings.Contains(out, "20") {
+		t.Errorf("deviation table: %q", out)
+	}
+	cc := FormatCC([]CCRow{
+		{Strategy: core.NFT, Makespan: model.Ms(172), Schedulable: true},
+		{Strategy: core.MXR, Makespan: model.Ms(244), Schedulable: true, OverheadPct: 41.9},
+		{Strategy: core.MX, Makespan: model.Ms(274), Schedulable: false, OverheadPct: 59.3},
+	})
+	if !strings.Contains(cc, "MISSED") || !strings.Contains(cc, "MET") {
+		t.Errorf("cc table: %q", cc)
+	}
+	if !strings.Contains(cc, "41.9%") {
+		t.Errorf("cc table missing overhead: %q", cc)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := Dimension{Procs: 60, Nodes: 4, K: 6, Mu: model.Ms(15)}
+	if Table1aLabel(d) != "60 procs" || Table1bLabel(d) != "k=6" || Table1cLabel(d) != "µ=15ms" {
+		t.Error("labels wrong")
+	}
+	if d.String() != "60p/4n k=6 µ=15ms" {
+		t.Errorf("Dimension.String = %q", d.String())
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf strings.Builder
+	rows := []OverheadRow{{
+		Dim:  Dimension{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(5)},
+		Stat: Stat{Min: 60, Max: 100, Sum: 240, N: 3},
+	}}
+	if err := WriteOverheadsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "procs,nodes,k,mu_ms") || !strings.Contains(out, "20,2,3,5,100.00,80.00,60.00,3") {
+		t.Errorf("overheads csv:\n%s", out)
+	}
+
+	buf.Reset()
+	dev := []DeviationRow{{
+		Dim: Dimension{Procs: 40},
+		Dev: map[core.Strategy]Stat{
+			core.MR:  {Min: 100, Max: 150, Sum: 250, N: 2},
+			core.SFX: {Min: 30, Max: 50, Sum: 80, N: 2},
+			core.MX:  {Min: 1, Max: 3, Sum: 4, N: 2},
+		},
+	}}
+	if err := WriteDeviationsCSV(&buf, dev); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "40,125.00,40.00,2.00,2") {
+		t.Errorf("deviations csv:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	cc := []CCRow{{Strategy: core.MXR, Makespan: model.Ms(244), Schedulable: true, OverheadPct: 41.9}}
+	if err := WriteCCCSV(&buf, cc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MXR,244,true,41.9") {
+		t.Errorf("cc csv:\n%s", buf.String())
+	}
+}

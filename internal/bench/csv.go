@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteOverheadsCSV emits an overhead table as CSV with the columns
+// procs, nodes, k, mu_ms, max, avg, min, n.
+func WriteOverheadsCSV(w io.Writer, rows []OverheadRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"procs", "nodes", "k", "mu_ms", "overhead_max_pct", "overhead_avg_pct", "overhead_min_pct", "n"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Dim.Procs),
+			strconv.Itoa(r.Dim.Nodes),
+			strconv.Itoa(r.Dim.K),
+			fmt.Sprintf("%g", r.Dim.Mu.Milliseconds()),
+			fmt.Sprintf("%.2f", r.Stat.Max),
+			fmt.Sprintf("%.2f", r.Stat.Avg()),
+			fmt.Sprintf("%.2f", r.Stat.Min),
+			strconv.Itoa(r.Stat.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDeviationsCSV emits Figure 10 data as CSV with the columns
+// procs, dev_mr_pct, dev_sfx_pct, dev_mx_pct.
+func WriteDeviationsCSV(w io.Writer, rows []DeviationRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"procs", "dev_mr_avg_pct", "dev_sfx_avg_pct", "dev_mx_avg_pct", "n"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		mr, sfx, mx := r.Dev[core.MR], r.Dev[core.SFX], r.Dev[core.MX]
+		rec := []string{
+			strconv.Itoa(r.Dim.Procs),
+			fmt.Sprintf("%.2f", mr.Avg()),
+			fmt.Sprintf("%.2f", sfx.Avg()),
+			fmt.Sprintf("%.2f", mx.Avg()),
+			strconv.Itoa(mr.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCCCSV emits the cruise-controller comparison as CSV.
+func WriteCCCSV(w io.Writer, rows []CCRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"strategy", "makespan_ms", "schedulable", "overhead_pct"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Strategy.String(),
+			fmt.Sprintf("%g", r.Makespan.Milliseconds()),
+			strconv.FormatBool(r.Schedulable),
+			fmt.Sprintf("%.1f", r.OverheadPct),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// FormatOverheads renders an overhead table in the paper's layout
+// (%max / %avg / %min columns), with the dimension column adapted to
+// what varies.
+func FormatOverheads(title, dimHeader string, dimLabel func(Dimension) string, rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %4s\n", dimHeader, "%max", "%avg", "%min", "n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %10.2f %4d\n",
+			dimLabel(r.Dim), r.Stat.Max, r.Stat.Avg(), r.Stat.Min, r.Stat.N)
+	}
+	return b.String()
+}
+
+// Table1aLabel labels rows by process count (the paper's first column).
+func Table1aLabel(d Dimension) string { return fmt.Sprintf("%d procs", d.Procs) }
+
+// Table1bLabel labels rows by fault count.
+func Table1bLabel(d Dimension) string { return fmt.Sprintf("k=%d", d.K) }
+
+// Table1cLabel labels rows by fault duration.
+func Table1cLabel(d Dimension) string { return fmt.Sprintf("µ=%v", d.Mu) }
+
+// FormatDeviations renders Figure 10 as a table: average % deviation
+// from MXR per application size and strategy.
+func FormatDeviations(rows []DeviationRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: average % deviation from MXR\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "processes", "MR", "SFX", "MX")
+	for _, r := range rows {
+		mr, sfx, mx := r.Dev[core.MR], r.Dev[core.SFX], r.Dev[core.MX]
+		fmt.Fprintf(&b, "%-10d %10.2f %10.2f %10.2f\n", r.Dim.Procs, mr.Avg(), sfx.Avg(), mx.Avg())
+	}
+	return b.String()
+}
+
+// FormatCC renders the cruise-controller comparison.
+func FormatCC(rows []CCRow) string {
+	var b strings.Builder
+	b.WriteString("Cruise controller (32 processes, 3 nodes, deadline 250ms, k=2, µ=2ms)\n")
+	fmt.Fprintf(&b, "%-6s %12s %14s %12s\n", "strat", "δ", "deadline", "overhead")
+	for _, r := range rows {
+		verdict := "MET"
+		if !r.Schedulable {
+			verdict = "MISSED"
+		}
+		ovh := "-"
+		if r.Strategy != core.NFT {
+			ovh = fmt.Sprintf("%.1f%%", r.OverheadPct)
+		}
+		fmt.Fprintf(&b, "%-6v %12v %14s %12s\n", r.Strategy, r.Makespan, verdict, ovh)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+// Package ccapp reconstructs the real-life example of the paper's
+// Section 6: a vehicle cruise controller (CC) with 32 processes mapped
+// on an architecture of three nodes — the Electronic Throttle Module
+// (ETM), the Anti-lock Braking System (ABS) and the Transmission Control
+// Module (TCM). The paper references the process graph to Pop's PhD
+// thesis [18] without reproducing it; this package rebuilds a CC of the
+// same size and style: sensor acquisition → filtering → fusion →
+// control law → actuation-preparation → actuation stages, with the
+// sensor and actuator processes pinned to their host units.
+//
+// The paper's setting: deadline 250 ms, k = 2 transient faults per
+// cycle, µ = 2 ms.
+package ccapp
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// Node indices of the CC architecture.
+const (
+	ETM = arch.NodeID(0)
+	ABS = arch.NodeID(1)
+	TCM = arch.NodeID(2)
+)
+
+// Paper parameters for the CC experiment.
+const (
+	Deadline = 250 * model.Millisecond
+	K        = 2
+	Mu       = 2 * model.Millisecond
+	Period   = 500 * model.Millisecond
+)
+
+// FaultModel returns the CC fault hypothesis (k=2, µ=2 ms).
+func FaultModel() fault.Model { return fault.Model{K: K, Mu: Mu} }
+
+// ccProc describes one process: WCETs on ETM/ABS/TCM in milliseconds
+// and an optional pinned node (home < 0 means unpinned).
+type ccProc struct {
+	name          string
+	etm, abs, tcm int64
+	home          arch.NodeID
+	inputs        []string
+	msgBytes      int
+}
+
+const unpinned = arch.NodeID(-1)
+
+// ccProcs is the 32-process cruise controller. Message sizes are 1–2
+// bytes (sensor words and commands).
+var ccProcs = []ccProc{
+	// Acquisition (7): sensors pinned to their host units.
+	{name: "ReadSpeedFL", etm: 6, abs: 4, tcm: 6, home: ABS},
+	{name: "ReadSpeedFR", etm: 6, abs: 4, tcm: 6, home: ABS},
+	{name: "ReadThrottlePos", etm: 4, abs: 6, tcm: 6, home: ETM},
+	{name: "ReadButtons", etm: 6, abs: 6, tcm: 4, home: TCM},
+	{name: "ReadBrakePedal", etm: 6, abs: 4, tcm: 6, home: ABS},
+	{name: "ReadGear", etm: 6, abs: 6, tcm: 4, home: TCM},
+	{name: "ReadEngineRPM", etm: 4, abs: 6, tcm: 5, home: ETM},
+
+	// Filtering / validation (6).
+	{name: "FilterSpeedFL", etm: 7, abs: 6, tcm: 7, home: unpinned, inputs: []string{"ReadSpeedFL"}, msgBytes: 2},
+	{name: "FilterSpeedFR", etm: 7, abs: 6, tcm: 7, home: unpinned, inputs: []string{"ReadSpeedFR"}, msgBytes: 2},
+	{name: "FilterThrottle", etm: 6, abs: 7, tcm: 7, home: unpinned, inputs: []string{"ReadThrottlePos"}, msgBytes: 2},
+	{name: "DebounceButtons", etm: 6, abs: 6, tcm: 5, home: unpinned, inputs: []string{"ReadButtons"}, msgBytes: 1},
+	{name: "ValidateBrake", etm: 6, abs: 5, tcm: 6, home: unpinned, inputs: []string{"ReadBrakePedal"}, msgBytes: 1},
+	{name: "ValidateGear", etm: 6, abs: 6, tcm: 5, home: unpinned, inputs: []string{"ReadGear"}, msgBytes: 1},
+
+	// Fusion (4): moderately heavy state estimation.
+	{name: "VehicleSpeed", etm: 14, abs: 13, tcm: 14, home: unpinned, inputs: []string{"FilterSpeedFL", "FilterSpeedFR"}, msgBytes: 2},
+	{name: "ModeLogic", etm: 10, abs: 10, tcm: 9, home: unpinned, inputs: []string{"DebounceButtons", "ValidateBrake", "ValidateGear"}, msgBytes: 1},
+	{name: "TargetSpeed", etm: 10, abs: 10, tcm: 10, home: unpinned, inputs: []string{"ModeLogic", "VehicleSpeed"}, msgBytes: 2},
+	{name: "Plausibility", etm: 10, abs: 10, tcm: 10, home: unpinned, inputs: []string{"VehicleSpeed", "FilterThrottle"}, msgBytes: 1},
+
+	// Control law (5): the heavy tail of the pipeline.
+	{name: "SpeedError", etm: 8, abs: 8, tcm: 8, home: unpinned, inputs: []string{"TargetSpeed", "VehicleSpeed"}, msgBytes: 2},
+	{name: "PIDControl", etm: 26, abs: 28, tcm: 28, home: unpinned, inputs: []string{"SpeedError"}, msgBytes: 2},
+	{name: "GainSchedule", etm: 16, abs: 17, tcm: 16, home: unpinned, inputs: []string{"PIDControl", "ReadEngineRPM"}, msgBytes: 2},
+	{name: "TorqueLimit", etm: 14, abs: 15, tcm: 15, home: unpinned, inputs: []string{"GainSchedule", "Plausibility"}, msgBytes: 2},
+	{name: "FaultMonitor", etm: 9, abs: 9, tcm: 9, home: unpinned, inputs: []string{"Plausibility", "ModeLogic"}, msgBytes: 1},
+
+	// Actuation preparation (5).
+	{name: "ThrottleSetpoint", etm: 12, abs: 13, tcm: 13, home: unpinned, inputs: []string{"TorqueLimit"}, msgBytes: 2},
+	{name: "ThrottleRamp", etm: 14, abs: 15, tcm: 15, home: unpinned, inputs: []string{"ThrottleSetpoint", "FaultMonitor"}, msgBytes: 2},
+	{name: "GearHint", etm: 9, abs: 9, tcm: 8, home: unpinned, inputs: []string{"GainSchedule"}, msgBytes: 1},
+	{name: "ShiftSchedule", etm: 11, abs: 11, tcm: 10, home: unpinned, inputs: []string{"GearHint", "ValidateGear"}, msgBytes: 1},
+	{name: "DisplayData", etm: 6, abs: 6, tcm: 6, home: unpinned, inputs: []string{"ModeLogic", "VehicleSpeed"}, msgBytes: 2},
+
+	// Actuation / outputs (5): actuators pinned.
+	{name: "ActuateThrottle", etm: 11, abs: 13, tcm: 13, home: ETM, inputs: []string{"ThrottleRamp"}, msgBytes: 2},
+	{name: "ActuateShift", etm: 11, abs: 11, tcm: 9, home: TCM, inputs: []string{"ShiftSchedule"}, msgBytes: 1},
+	{name: "UpdateDisplay", etm: 6, abs: 6, tcm: 5, home: TCM, inputs: []string{"DisplayData"}, msgBytes: 2},
+	{name: "LogDiagnostics", etm: 6, abs: 6, tcm: 6, home: unpinned, inputs: []string{"FaultMonitor"}, msgBytes: 1},
+	{name: "WatchdogKick", etm: 4, abs: 4, tcm: 4, home: unpinned, inputs: []string{"ModeLogic"}, msgBytes: 1},
+}
+
+// New builds the cruise-controller design problem.
+func New() core.Problem {
+	app := model.NewApplication("cruise-controller")
+	g := app.AddGraph("CC", Period, Deadline)
+	a := arch.NewNamed("ETM", "ABS", "TCM")
+	w := arch.NewWCET()
+	fixed := make(map[model.ProcID]arch.NodeID)
+
+	byName := make(map[string]*model.Process, len(ccProcs))
+	for _, cp := range ccProcs {
+		p := app.AddProcess(g, cp.name)
+		byName[cp.name] = p
+		w.Set(p.ID, ETM, model.Ms(cp.etm))
+		w.Set(p.ID, ABS, model.Ms(cp.abs))
+		w.Set(p.ID, TCM, model.Ms(cp.tcm))
+		if cp.home != unpinned {
+			fixed[p.ID] = cp.home
+		}
+	}
+	for _, cp := range ccProcs {
+		for _, in := range cp.inputs {
+			src, ok := byName[in]
+			if !ok {
+				panic(fmt.Sprintf("ccapp: unknown input %q of %q", in, cp.name))
+			}
+			bytes := cp.msgBytes
+			if bytes <= 0 {
+				bytes = 1
+			}
+			g.AddEdge(src, byName[cp.name], bytes)
+		}
+	}
+	return core.Problem{
+		App:          app,
+		Arch:         a,
+		WCET:         w,
+		Faults:       FaultModel(),
+		FixedMapping: fixed,
+	}
+}

@@ -1,0 +1,97 @@
+package ccapp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCCStructure(t *testing.T) {
+	p := New()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.App.NumProcesses(); got != 32 {
+		t.Fatalf("CC has %d processes, want 32 (paper)", got)
+	}
+	if p.Arch.NumNodes() != 3 {
+		t.Fatalf("CC architecture has %d nodes, want 3", p.Arch.NumNodes())
+	}
+	names := map[string]bool{"ETM": false, "ABS": false, "TCM": false}
+	for _, n := range p.Arch.Nodes() {
+		names[n.Name] = true
+	}
+	for n, ok := range names {
+		if !ok {
+			t.Errorf("missing node %s", n)
+		}
+	}
+	if p.Faults.K != 2 || p.Faults.Mu != Mu {
+		t.Errorf("fault model %v, want k=2 µ=2ms", p.Faults)
+	}
+	g := p.App.Graphs()[0]
+	if g.Deadline != Deadline {
+		t.Errorf("deadline %v, want 250ms", g.Deadline)
+	}
+	if _, err := g.TopologicalOrder(); err != nil {
+		t.Fatalf("CC graph not acyclic: %v", err)
+	}
+	// Sensors and actuators are pinned to their home units.
+	if len(p.FixedMapping) != 10 {
+		t.Errorf("%d pinned processes, want 10", len(p.FixedMapping))
+	}
+}
+
+// TestCCExperiment reproduces the qualitative result of the paper's CC
+// evaluation: MXR finds a schedulable fault-tolerant implementation
+// within the 250 ms deadline, while the single-policy approaches MX and
+// MR miss it.
+func TestCCExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CC optimization runs several seconds")
+	}
+	p := New()
+	run := func(s core.Strategy) *core.Result {
+		t.Helper()
+		opts := core.DefaultOptions(s)
+		// The mixed-policy search needs a real budget to find the
+		// combined solution (the paper gave every instance minutes to
+		// hours; ~15s suffices here).
+		opts.MaxIterations = 1500
+		res, err := core.Optimize(p, opts)
+		if err != nil {
+			t.Fatalf("Optimize(%v): %v", s, err)
+		}
+		return res
+	}
+	nftP := p
+	nftP.Faults.K = 0
+	nft := run(core.NFT)
+	mxr := run(core.MXR)
+	mx := run(core.MX)
+	mr := run(core.MR)
+
+	t.Logf("NFT: %v", nft.Cost)
+	t.Logf("MXR: %v", mxr.Cost)
+	t.Logf("MX:  %v", mx.Cost)
+	t.Logf("MR:  %v", mr.Cost)
+
+	if !nft.Cost.Schedulable() {
+		t.Errorf("NFT must trivially meet the deadline, got %v", nft.Cost)
+	}
+	if !mxr.Cost.Schedulable() {
+		t.Errorf("MXR should meet the 250ms deadline (paper: 229ms), got %v", mxr.Cost)
+	}
+	if mx.Cost.Schedulable() {
+		t.Errorf("MX should miss the 250ms deadline (paper: 253ms), got %v", mx.Cost)
+	}
+	if mr.Cost.Schedulable() {
+		t.Errorf("MR should miss the 250ms deadline (paper: 301ms), got %v", mr.Cost)
+	}
+	if !(mxr.Cost.Makespan < mx.Cost.Makespan) {
+		t.Errorf("MXR (%v) should beat MX (%v)", mxr.Cost.Makespan, mx.Cost.Makespan)
+	}
+	if !(mx.Cost.Makespan < mr.Cost.Makespan) {
+		t.Errorf("MX (%v) should beat MR (%v)", mx.Cost.Makespan, mr.Cost.Makespan)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Cost orders design alternatives lexicographically: first by the degree
+// of unschedulability (the sum of worst-case deadline violations), then
+// by the worst-case schedule length δ. The search thus drives designs to
+// feasibility first and then compresses them, which is what the paper's
+// evaluation measures (the shortest schedule within a time limit).
+type Cost struct {
+	Tardiness model.Time
+	Makespan  model.Time
+}
+
+// costOf extracts the cost of a built schedule.
+func costOf(s *sched.Schedule) Cost {
+	return Cost{Tardiness: s.Tardiness, Makespan: s.Makespan}
+}
+
+// Less reports whether c is strictly better than o.
+func (c Cost) Less(o Cost) bool {
+	if c.Tardiness != o.Tardiness {
+		return c.Tardiness < o.Tardiness
+	}
+	return c.Makespan < o.Makespan
+}
+
+// Schedulable reports whether the cost corresponds to a design meeting
+// all deadlines.
+func (c Cost) Schedulable() bool { return c.Tardiness == 0 }
+
+func (c Cost) String() string {
+	if c.Schedulable() {
+		return fmt.Sprintf("δ=%v", c.Makespan)
+	}
+	return fmt.Sprintf("δ=%v tardy=%v", c.Makespan, c.Tardiness)
+}
+
+// worstCost is an upper bound used to initialize searches.
+var worstCost = Cost{Tardiness: model.Infinity, Makespan: model.Infinity}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestEndToEndAllStrategiesSimulated is the deepest integration test:
+// small random problems are optimized with every strategy, and the
+// synthesized schedules are executed by the runtime simulator under
+// every fault scenario of the hypothesis. Every scenario must complete
+// all processes within the analysis bounds.
+func TestEndToEndAllStrategiesSimulated(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 6, 2, 1)
+		for _, s := range []Strategy{MXR, MX, MR, SFX} {
+			opts := DefaultOptions(s)
+			opts.MaxIterations = 40
+			res, err := Optimize(p, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, s, err)
+			}
+			count := 0
+			sim.ForEachScenario(res.Schedule, func(sc sim.Scenario) bool {
+				count++
+				r := sim.Run(res.Schedule, sc)
+				for _, v := range r.Violations {
+					// Deadline misses are impossible: the workloads are
+					// unconstrained. Anything else is a soundness bug.
+					t.Errorf("seed %d %v scenario %v: %s", seed, s, sc, v)
+				}
+				if r.Makespan > res.Schedule.Makespan {
+					t.Errorf("seed %d %v scenario %v: simulated %v beyond analysis %v",
+						seed, s, sc, r.Makespan, res.Schedule.Makespan)
+				}
+				return true
+			})
+			if count == 0 {
+				t.Fatalf("seed %d %v: no scenarios enumerated", seed, s)
+			}
+		}
+	}
+}
+
+// TestMultiRateApplication drives a two-rate application through the
+// whole pipeline: merging, policy optimization and scheduling. Both
+// instances of the fast graph must respect their own releases and
+// deadlines.
+func TestMultiRateApplication(t *testing.T) {
+	app := model.NewApplication("multirate")
+	fastG := app.AddGraph("fast", model.Ms(100), model.Ms(80))
+	slowG := app.AddGraph("slow", model.Ms(200), model.Ms(180))
+	fs := app.AddProcess(fastG, "FastSense")
+	fa := app.AddProcess(fastG, "FastAct")
+	fastG.AddEdge(fs, fa, 1)
+	ss := app.AddProcess(slowG, "SlowPlan")
+	sa := app.AddProcess(slowG, "SlowLog")
+	slowG.AddEdge(ss, sa, 2)
+
+	a := arch.New(2)
+	w := arch.NewWCET()
+	for _, pr := range []*model.Process{fs, fa, ss, sa} {
+		w.Set(pr.ID, 0, model.Ms(10))
+		w.Set(pr.ID, 1, model.Ms(12))
+	}
+	prob := Problem{App: app, Arch: a, WCET: w, Faults: fault.Model{K: 1, Mu: model.Ms(5)}}
+
+	opts := DefaultOptions(MXR)
+	opts.MaxIterations = 150
+	res, err := Optimize(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cost.Schedulable() {
+		t.Fatalf("multirate system should be schedulable: %v (violations %v)",
+			res.Cost, res.Schedule.Violations())
+	}
+	merged := res.Schedule.In.Graph
+	if merged.NumProcesses() != 2*2+2 {
+		t.Fatalf("merged graph has %d processes, want 6", merged.NumProcesses())
+	}
+	// The second instance of the fast graph is released at 100ms and
+	// must complete by 180ms; check the analysis respects the release.
+	for _, p := range merged.Processes() {
+		if p.Origin == fs.ID && p.Instance == 1 {
+			for _, inst := range res.Schedule.Ex.Of(p.ID) {
+				it := res.Schedule.Item(inst.ID)
+				if it.NominalStart < model.Ms(100) {
+					t.Errorf("instance 1 of FastSense starts at %v, before its release", it.NominalStart)
+				}
+			}
+			if done := res.Schedule.ProcCompletion(p.ID); done > model.Ms(180) {
+				t.Errorf("instance 1 of FastSense completes at %v, after 180ms", done)
+			}
+		}
+	}
+	// Simulate every scenario.
+	sim.ForEachScenario(res.Schedule, func(sc sim.Scenario) bool {
+		if r := sim.Run(res.Schedule, sc); !r.OK() {
+			t.Errorf("scenario %v: %v", sc, r.Violations)
+			return false
+		}
+		return true
+	})
+}
+
+// TestOptimizerOutputsValidAssignments: every strategy must return an
+// assignment that passes policy validation for the effective fault
+// model.
+func TestOptimizerOutputsValidAssignments(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		p := randomProblem(rng, 9, 3, 2)
+		merged, err := p.App.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []Strategy{MXR, MX, MR, SFX} {
+			opts := DefaultOptions(s)
+			opts.MaxIterations = 25
+			res, err := Optimize(p, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, s, err)
+			}
+			if err := res.Assignment.Validate(merged, p.WCET, p.Faults.K); err != nil {
+				t.Errorf("seed %d %v: invalid assignment: %v", seed, s, err)
+			}
+		}
+	}
+}
+
+// TestTimeLimitRespected: the optimizer must return promptly when given
+// a tiny time budget, even with a huge iteration allowance.
+func TestTimeLimitRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 30, 3, 2)
+	opts := DefaultOptions(MXR)
+	opts.MaxIterations = 1 << 30
+	opts.TimeLimit = 50 * 1e6 // 50ms
+	res, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed > 20*1e9 {
+		t.Fatalf("optimization ran %v despite 50ms limit", res.Elapsed)
+	}
+}
+
+// TestCheckpointingExtension: enabling checkpoint moves must improve (or
+// match) plain re-execution when the checkpoint overhead is small, the
+// chosen assignments must carry checkpoints, and the synthesized
+// schedules must stay sound under simulated fault scenarios.
+func TestCheckpointingExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := randomProblem(rng, 8, 2, 2)
+	p.Faults = fault.Model{K: 2, Mu: model.Ms(5), Chi: model.Ms(1)}
+
+	plain := DefaultOptions(MX)
+	plain.MaxIterations = 80
+	resPlain, err := Optimize(p, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := plain
+	ck.EnableCheckpointing = true
+	resCk, err := Optimize(p, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Cost.Less(resCk.Cost) {
+		t.Errorf("checkpointing worsened the design: %v vs %v", resCk.Cost, resPlain.Cost)
+	}
+	if resCk.Cost.Makespan >= resPlain.Cost.Makespan {
+		t.Errorf("cheap checkpoints (χ=1ms, k=2) should shorten the schedule: %v vs %v",
+			resCk.Cost.Makespan, resPlain.Cost.Makespan)
+	}
+	usesCk := false
+	for _, pol := range resCk.Assignment {
+		for _, rep := range pol.Replicas {
+			if rep.Checkpoints > 0 {
+				usesCk = true
+			}
+		}
+	}
+	if !usesCk {
+		t.Error("no checkpoints in the optimized assignment")
+	}
+	// Soundness under simulation.
+	sim.ForEachScenario(resCk.Schedule, func(sc sim.Scenario) bool {
+		r := sim.Run(resCk.Schedule, sc)
+		if !r.OK() {
+			t.Errorf("scenario %v: %v", sc, r.Violations)
+			return false
+		}
+		if r.Makespan > resCk.Schedule.Makespan {
+			t.Errorf("scenario %v: simulated %v beyond analysis %v", sc, r.Makespan, resCk.Schedule.Makespan)
+			return false
+		}
+		return true
+	})
+}

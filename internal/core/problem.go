@@ -1,0 +1,128 @@
+// Package core implements the paper's contribution: the design
+// optimization strategy of Section 5 (Figure 6) that decides, for a hard
+// real-time application on a TTP-based distributed architecture, the
+// mapping of processes to nodes and the assignment of fault-tolerance
+// policies (re-execution, active replication, or combinations) such that
+// k transient faults are tolerated and all deadlines hold.
+//
+// The strategy has three steps: a fast constructive initial solution
+// (InitialBusAccess + InitialMPA), a greedy improvement loop (GreedyMPA)
+// and a tabu search (TabuSearchMPA, Figure 9). Besides the paper's MXR
+// approach the package implements the evaluation baselines MX
+// (re-execution only), MR (replication only), SFX (fault-oblivious
+// mapping followed by re-execution) and NFT (the non-fault-tolerant
+// reference).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// Problem is a design-optimization instance: the application, the
+// architecture with its WCET table, the fault hypothesis, and the
+// designer-imposed constraints (the sets P_X, P_R and P_M of Section 4).
+type Problem struct {
+	App    *model.Application
+	Arch   *arch.Architecture
+	WCET   *arch.WCET
+	Faults fault.Model
+
+	// ForceReexecution (P_X) pins the listed processes to the pure
+	// re-execution policy; ForceReplication (P_R) pins them to pure
+	// active replication. A process may appear in at most one set.
+	ForceReexecution map[model.ProcID]bool
+	ForceReplication map[model.ProcID]bool
+
+	// FixedMapping (P_M) pins the first replica of a process to a node.
+	FixedMapping map[model.ProcID]arch.NodeID
+}
+
+// Validate checks the problem for consistency.
+func (p Problem) Validate() error {
+	if p.App == nil || p.Arch == nil || p.WCET == nil {
+		return fmt.Errorf("core: incomplete problem")
+	}
+	if err := p.App.Validate(); err != nil {
+		return err
+	}
+	if err := p.Arch.Validate(); err != nil {
+		return err
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return err
+	}
+	for id := range p.ForceReexecution {
+		if p.ForceReplication[id] {
+			return fmt.Errorf("core: process %d in both P_X and P_R", id)
+		}
+		if p.App.Process(id) == nil {
+			return fmt.Errorf("core: P_X references unknown process %d", id)
+		}
+	}
+	for id := range p.ForceReplication {
+		if p.App.Process(id) == nil {
+			return fmt.Errorf("core: P_R references unknown process %d", id)
+		}
+		if len(p.WCET.AllowedNodes(id)) < p.Faults.K+1 {
+			return fmt.Errorf("core: process %d forced to replication but has only %d allowed nodes for k=%d",
+				id, len(p.WCET.AllowedNodes(id)), p.Faults.K)
+		}
+	}
+	for id, n := range p.FixedMapping {
+		if p.App.Process(id) == nil {
+			return fmt.Errorf("core: P_M references unknown process %d", id)
+		}
+		if _, ok := p.WCET.Get(id, n); !ok {
+			return fmt.Errorf("core: process %d fixed to node %d where it cannot run", id, n)
+		}
+	}
+	// Every process must be mappable somewhere; replication-capable
+	// checks are per strategy.
+	for _, proc := range p.App.Processes() {
+		if len(p.WCET.AllowedNodes(proc.ID)) == 0 {
+			return fmt.Errorf("core: process %s has no allowed node", proc)
+		}
+	}
+	return nil
+}
+
+// policyFreedom classifies what the optimizer may change for a process
+// under a given strategy and the problem constraints.
+type policyFreedom int
+
+const (
+	freeAny    policyFreedom = iota // policy and mapping moves
+	freeReexec                      // pure re-execution, mapping moves only
+	freeRepl                        // pure replication, replica remaps only
+)
+
+// freedomOf resolves the per-process freedom for a strategy.
+func (p Problem) freedomOf(id model.ProcID, strat Strategy) policyFreedom {
+	if p.ForceReexecution[id] {
+		return freeReexec
+	}
+	if p.ForceReplication[id] {
+		return freeRepl
+	}
+	switch strat {
+	case MX, SFX, NFT:
+		return freeReexec
+	case MR:
+		return freeRepl
+	default:
+		return freeAny
+	}
+}
+
+// reexecCount is the number of re-executions a pure re-execution policy
+// needs under this problem's fault model.
+func (p Problem) reexecCount() int { return p.Faults.K }
+
+// mergedGraph builds the merged application graph Γ.
+func (p Problem) mergedGraph() (*model.Graph, error) {
+	return p.App.Merge()
+}

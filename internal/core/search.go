@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/ttp"
+)
+
+// searchState carries the immutable context of one optimization run.
+type searchState struct {
+	p      Problem
+	opts   Options
+	merged *model.Graph
+	bus    ttp.Config
+	static *sched.Static // precomputed for the current bus configuration
+
+	// origins are the original (pre-merge) process IDs, sorted.
+	origins []model.ProcID
+	// prio is the priority of each origin: the maximum bottom level over
+	// its merged instances. Used for the initial mapping order.
+	prio map[model.ProcID]model.Time
+}
+
+// rebuildStatic revalidates and precomputes the scheduling context;
+// called at construction and whenever the bus configuration changes.
+func (st *searchState) rebuildStatic() error {
+	s, err := sched.NewStatic(sched.Input{
+		Graph:  st.merged,
+		Arch:   st.p.Arch,
+		WCET:   st.p.WCET,
+		Faults: st.p.Faults,
+		Bus:    st.bus,
+	})
+	if err != nil {
+		return err
+	}
+	st.static = s
+	return nil
+}
+
+func newSearchState(p Problem, opts Options) (*searchState, error) {
+	merged, err := p.mergedGraph()
+	if err != nil {
+		return nil, err
+	}
+	bus := ttp.InitialConfig(p.Arch, merged.MaxMessageBytes(), ttp.DefaultPerByte)
+
+	st := &searchState{p: p, opts: opts, merged: merged, bus: bus}
+	if err := st.rebuildStatic(); err != nil {
+		return nil, err
+	}
+	bl := sched.BottomLevels(sched.Input{Graph: merged, Arch: p.Arch, WCET: p.WCET, Bus: bus})
+	st.prio = make(map[model.ProcID]model.Time)
+	seen := make(map[model.ProcID]bool)
+	for _, proc := range merged.Processes() {
+		if bl[proc.ID] > st.prio[proc.Origin] {
+			st.prio[proc.Origin] = bl[proc.ID]
+		}
+		if !seen[proc.Origin] {
+			seen[proc.Origin] = true
+			st.origins = append(st.origins, proc.Origin)
+		}
+	}
+	sort.Slice(st.origins, func(i, j int) bool { return st.origins[i] < st.origins[j] })
+	return st, nil
+}
+
+// schedInput assembles the scheduler input for an assignment.
+func (st *searchState) schedInput(asgn policy.Assignment) sched.Input {
+	return sched.Input{
+		Graph:      st.merged,
+		Arch:       st.p.Arch,
+		WCET:       st.p.WCET,
+		Faults:     st.p.Faults,
+		Assignment: asgn,
+		Bus:        st.bus,
+		Options:    sched.Options{SlackSharing: st.opts.SlackSharing},
+		Static:     st.static,
+	}
+}
+
+// evaluate schedules an assignment and returns its cost.
+func (st *searchState) evaluate(asgn policy.Assignment) (*sched.Schedule, Cost, error) {
+	s, err := sched.Build(st.schedInput(asgn))
+	if err != nil {
+		return nil, worstCost, err
+	}
+	return s, costOf(s), nil
+}
+
+// initialMPA is the paper's step 1 (line 2 of Figure 6): assign the
+// default policy of the strategy to every free process and derive a
+// mapping that balances the utilization among the nodes. Processes are
+// mapped in decreasing priority order; each replica goes to the allowed
+// node with the least accumulated load.
+func (st *searchState) initialMPA() (policy.Assignment, error) {
+	p := st.p
+	k := p.Faults.K
+
+	order := append([]model.ProcID(nil), st.origins...)
+	sort.Slice(order, func(i, j int) bool {
+		if st.prio[order[i]] != st.prio[order[j]] {
+			return st.prio[order[i]] > st.prio[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	load := make(map[arch.NodeID]model.Time, p.Arch.NumNodes())
+	asgn := policy.Assignment{}
+	for _, id := range order {
+		allowed := p.WCET.AllowedNodes(id)
+		freedom := p.freedomOf(id, st.opts.Strategy)
+		var pol policy.Policy
+		switch freedom {
+		case freeRepl:
+			// Maximal space redundancy: k+1 replicas when the allowed
+			// nodes permit; otherwise one replica per allowed node with
+			// the k+1 executions spread over them (pure replication
+			// cannot tolerate k faults on fewer than k+1 nodes).
+			r := k + 1
+			if len(allowed) < r {
+				if p.ForceReplication[id] {
+					return nil, fmt.Errorf("core: process %d forced to replication needs %d nodes, has %d allowed",
+						id, r, len(allowed))
+				}
+				r = len(allowed)
+			}
+			nodes := st.pickNodes(id, allowed, r, load)
+			pol = policy.Distribute(nodes, k)
+		default:
+			nodes := st.pickNodes(id, allowed, 1, load)
+			pol = policy.Reexecution(nodes[0], k)
+		}
+		for _, rep := range pol.Replicas {
+			load[rep.Node] += p.WCET.MustGet(id, rep.Node)
+		}
+		asgn[id] = pol
+	}
+	return asgn, nil
+}
+
+// pickNodes selects r allowed nodes with the least accumulated load,
+// honoring a fixed mapping of the first replica.
+func (st *searchState) pickNodes(id model.ProcID, allowed []arch.NodeID, r int, load map[arch.NodeID]model.Time) []arch.NodeID {
+	fixed, hasFixed := st.p.FixedMapping[id]
+	cands := append([]arch.NodeID(nil), allowed...)
+	sort.Slice(cands, func(i, j int) bool {
+		li := load[cands[i]] + st.p.WCET.MustGet(id, cands[i])
+		lj := load[cands[j]] + st.p.WCET.MustGet(id, cands[j])
+		if li != lj {
+			return li < lj
+		}
+		return cands[i] < cands[j]
+	})
+	var nodes []arch.NodeID
+	if hasFixed {
+		nodes = append(nodes, fixed)
+	}
+	for _, n := range cands {
+		if len(nodes) == r {
+			break
+		}
+		if hasFixed && n == fixed {
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// greedyMPA is the paper's step 2: repeatedly evaluate all moves on the
+// critical path and apply the best one while it improves the design.
+func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, curCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost, int) {
+	iters := 0
+	for !expired(deadline) {
+		iters++
+		moves := st.generateMoves(asgn, cur.CriticalPath())
+		var bestMove *move
+		var bestSched *sched.Schedule
+		bestCost := curCost
+		for i := range moves {
+			m := &moves[i]
+			prev := asgn[m.proc]
+			asgn[m.proc] = m.pol
+			s, c, err := st.evaluate(asgn)
+			asgn[m.proc] = prev
+			if err != nil {
+				continue
+			}
+			if c.Less(bestCost) {
+				bestMove, bestSched, bestCost = m, s, c
+			}
+		}
+		if bestMove == nil {
+			break
+		}
+		asgn = bestMove.applyTo(asgn)
+		cur, curCost = bestSched, bestCost
+		if st.opts.StopWhenSchedulable && curCost.Schedulable() {
+			break
+		}
+	}
+	return asgn, cur, curCost, iters
+}
+
+// tabuSearchMPA is the paper's step 3 (Figure 9): a tabu search over the
+// critical-path moves with a selective history of Tabu and Wait
+// counters, aspiration (tabu moves better than the best-so-far are
+// accepted) and diversification (processes that waited longer than |Γ|
+// iterations).
+func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedule, bestCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost, int) {
+	n := len(st.origins)
+	tenure := st.opts.TabuTenure
+	if tenure <= 0 {
+		tenure = int(math.Sqrt(float64(n))) + 2
+	}
+	maxIters := st.opts.MaxIterations
+	if maxIters <= 0 {
+		maxIters = 50 + 10*n
+	}
+	diversifyAfter := st.merged.NumProcesses() // |Γ|
+
+	tabu := make(map[model.ProcID]int, n)
+	wait := make(map[model.ProcID]int, n)
+
+	xnow := asgn.Clone()
+	snow := xbest
+	bestAsgn := asgn.Clone()
+
+	iters := 0
+	for iters < maxIters && !expired(deadline) {
+		if st.opts.StopWhenSchedulable && bestCost.Schedulable() {
+			break
+		}
+		iters++
+
+		cp := snow.CriticalPath()
+		moves := st.generateMoves(xnow, cp)
+		if len(moves) == 0 {
+			moves = st.generateMoves(xnow, st.origins)
+		}
+		if len(moves) == 0 {
+			break
+		}
+
+		type evaluated struct {
+			m     *move
+			s     *sched.Schedule
+			c     Cost
+			isTab bool
+			waits bool
+		}
+		var all []evaluated
+		for i := range moves {
+			m := &moves[i]
+			prev := xnow[m.proc]
+			xnow[m.proc] = m.pol
+			s, c, err := st.evaluate(xnow)
+			xnow[m.proc] = prev
+			if err != nil {
+				continue
+			}
+			all = append(all, evaluated{
+				m:     &moves[i],
+				s:     s,
+				c:     c,
+				isTab: tabu[moves[i].proc] > 0,
+				waits: wait[moves[i].proc] > diversifyAfter,
+			})
+		}
+		if len(all) == 0 {
+			break
+		}
+		pick := func(filter func(evaluated) bool) *evaluated {
+			var best *evaluated
+			for i := range all {
+				if !filter(all[i]) {
+					continue
+				}
+				if best == nil || all[i].c.Less(best.c) {
+					best = &all[i]
+				}
+			}
+			return best
+		}
+		// Aspiration: any move better than the best-so-far is accepted,
+		// tabu or not (line 17 of Figure 9).
+		chosen := pick(func(e evaluated) bool { return true })
+		if !chosen.c.Less(bestCost) {
+			// Otherwise diversify with long-waiting moves (line 18)…
+			if w := pick(func(e evaluated) bool { return e.waits && !e.isTab }); w != nil {
+				chosen = w
+			} else if nt := pick(func(e evaluated) bool { return !e.isTab }); nt != nil {
+				// …or take the best non-tabu move (line 19).
+				chosen = nt
+			}
+		}
+
+		xnow = chosen.m.applyTo(xnow)
+		snow = chosen.s
+		if chosen.c.Less(bestCost) {
+			bestAsgn, xbest, bestCost = xnow.Clone(), chosen.s, chosen.c
+		}
+
+		// Update the selective history (line 25).
+		for _, id := range st.origins {
+			if tabu[id] > 0 {
+				tabu[id]--
+			}
+			wait[id]++
+		}
+		tabu[chosen.m.proc] = tenure
+		wait[chosen.m.proc] = 0
+	}
+	return bestAsgn, xbest, bestCost, iters
+}
+
+// optimizeBus hill-climbs over the TDMA slot order (the final step of
+// Figure 6; the paper defers the full treatment to [19]). Adjacent slot
+// swaps are evaluated against the current best assignment until no swap
+// improves the cost.
+func (st *searchState) optimizeBus(asgn policy.Assignment, best *sched.Schedule, bestCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost) {
+	n := len(st.bus.Slots)
+	if n < 2 {
+		return asgn, best, bestCost
+	}
+	improved := true
+	for improved && !expired(deadline) {
+		improved = false
+		for i := 0; i+1 < n; i++ {
+			perm := make([]int, n)
+			for j := range perm {
+				perm[j] = j
+			}
+			perm[i], perm[i+1] = perm[i+1], perm[i]
+			saved, savedStatic := st.bus, st.static
+			st.bus = st.bus.WithSlotOrder(perm)
+			if err := st.rebuildStatic(); err != nil {
+				st.bus, st.static = saved, savedStatic
+				continue
+			}
+			s, c, err := st.evaluate(asgn)
+			if err != nil || !c.Less(bestCost) {
+				st.bus, st.static = saved, savedStatic
+				continue
+			}
+			best, bestCost = s, c
+			improved = true
+		}
+	}
+	return asgn, best, bestCost
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}

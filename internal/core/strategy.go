@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+// Strategy selects the optimization approach evaluated in Section 6 of
+// the paper.
+type Strategy int
+
+const (
+	// MXR is the paper's contribution: mapping moves plus free policy
+	// assignment mixing re-execution and replication.
+	MXR Strategy = iota
+	// MX considers only re-execution (plus mapping moves).
+	MX
+	// MR considers only active replication (plus replica remaps).
+	MR
+	// SFX first derives a mapping ignoring fault tolerance, then applies
+	// re-execution on top of it ("straightforward" baseline).
+	SFX
+	// NFT is the optimized non-fault-tolerant reference implementation
+	// (k = 0) against which overheads are measured.
+	NFT
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case MXR:
+		return "MXR"
+	case MX:
+		return "MX"
+	case MR:
+		return "MR"
+	case SFX:
+		return "SFX"
+	case NFT:
+		return "NFT"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options tune the optimization run.
+type Options struct {
+	Strategy Strategy
+
+	// TimeLimit bounds the whole optimization; <= 0 means no time limit
+	// (MaxIterations still applies).
+	TimeLimit time.Duration
+
+	// MaxIterations bounds the tabu-search iterations; <= 0 selects a
+	// size-dependent default.
+	MaxIterations int
+
+	// StopWhenSchedulable stops as soon as all deadlines hold in the
+	// worst case (the paper's synthesis goal). Disable it to keep
+	// minimizing the schedule length, as the evaluation experiments do.
+	StopWhenSchedulable bool
+
+	// TabuTenure is the number of iterations a moved process stays tabu;
+	// <= 0 selects a size-dependent default.
+	TabuTenure int
+
+	// SlackSharing toggles the shared re-execution slack (ablation).
+	// The default (via DefaultOptions) is on.
+	SlackSharing bool
+
+	// OptimizeBusAccess runs the final bus-access optimization step
+	// (slot order hill climbing) after the search.
+	OptimizeBusAccess bool
+
+	// EnableCheckpointing adds checkpoint-count moves to the search:
+	// re-executed replicas may take up to MaxCheckpoints state-saving
+	// points (cost χ each, from the fault model) so a fault re-executes
+	// only the hit segment. This is the reproduction's documented
+	// extension beyond the paper (DESIGN.md §7); it is off by default.
+	EnableCheckpointing bool
+
+	// MaxCheckpoints caps the checkpoints per replica; <= 0 selects 4.
+	MaxCheckpoints int
+}
+
+// DefaultOptions returns the paper's configuration for a strategy.
+func DefaultOptions(s Strategy) Options {
+	return Options{
+		Strategy:            s,
+		MaxIterations:       0,
+		StopWhenSchedulable: false,
+		SlackSharing:        true,
+	}
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Strategy   Strategy
+	Assignment policy.Assignment
+	Schedule   *sched.Schedule
+	Cost       Cost
+	Iterations int
+	Elapsed    time.Duration
+}
+
+// Optimize runs the paper's OptimizationStrategy (Figure 6) for the
+// selected strategy:
+//
+//	Step 1: B0 = InitialBusAccess; ψ0 = InitialMPA
+//	Step 2: ψ  = GreedyMPA(ψ0)
+//	Step 3: ψ  = TabuSearchMPA(ψ)
+//	finally the optional bus-access optimization.
+//
+// With StopWhenSchedulable the run returns at the first step that yields
+// a schedulable design; otherwise it uses the full budget to minimize
+// the worst-case schedule length.
+func Optimize(p Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	// SFX is a two-phase pipeline rather than a search of its own.
+	if opts.Strategy == SFX {
+		return optimizeSFX(p, opts, start, deadline)
+	}
+
+	eff := p
+	if opts.Strategy == NFT {
+		eff.Faults = fault.None
+	}
+
+	st, err := newSearchState(eff, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: initial bus access, mapping and policy assignment.
+	asgn, err := st.initialMPA()
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost, err := st.evaluate(asgn)
+	if err != nil {
+		return nil, err
+	}
+	iters := 0
+	if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
+		// Step 2: greedy improvement.
+		asgn, best, bestCost, iters = st.greedyMPA(asgn, best, bestCost, deadline)
+		if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
+			// Step 3: tabu search.
+			var tIters int
+			asgn, best, bestCost, tIters = st.tabuSearchMPA(asgn, best, bestCost, deadline)
+			iters += tIters
+		}
+	}
+
+	if opts.OptimizeBusAccess {
+		asgn2, best2, cost2 := st.optimizeBus(asgn, best, bestCost, deadline)
+		asgn, best, bestCost = asgn2, best2, cost2
+	}
+
+	return &Result{
+		Strategy:   opts.Strategy,
+		Assignment: asgn,
+		Schedule:   best,
+		Cost:       bestCost,
+		Iterations: iters,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// optimizeSFX implements the straightforward baseline: derive the best
+// mapping while ignoring fault tolerance (an NFT run), then assign
+// re-execution to every process on that mapping and schedule once.
+func optimizeSFX(p Problem, opts Options, start time.Time, deadline time.Time) (*Result, error) {
+	nftOpts := opts
+	nftOpts.Strategy = NFT
+	nftOpts.StopWhenSchedulable = false
+	nft, err := Optimize(p, nftOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	asgn := policy.Assignment{}
+	for _, proc := range p.App.Processes() {
+		node := nft.Assignment[proc.ID].Replicas[0].Node
+		asgn[proc.ID] = policy.Reexecution(node, p.Faults.K)
+	}
+	st, err := newSearchState(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	s, cost, err := st.evaluate(asgn)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:   SFX,
+		Assignment: asgn,
+		Schedule:   s,
+		Cost:       cost,
+		Iterations: nft.Iterations,
+		Elapsed:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		MXR: "MXR", MX: "MX", MR: "MR", SFX: "SFX", NFT: "NFT",
+		Strategy(42): "Strategy(42)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCostString(t *testing.T) {
+	ok := Cost{Makespan: model.Ms(120)}
+	if got := ok.String(); got != "δ=120ms" {
+		t.Errorf("schedulable cost = %q", got)
+	}
+	bad := Cost{Makespan: model.Ms(120), Tardiness: model.Ms(30)}
+	if got := bad.String(); !strings.Contains(got, "tardy=30ms") {
+		t.Errorf("tardy cost = %q", got)
+	}
+}
+
+func TestCostLess(t *testing.T) {
+	a := Cost{Tardiness: 0, Makespan: model.Ms(100)}
+	b := Cost{Tardiness: 0, Makespan: model.Ms(110)}
+	c := Cost{Tardiness: model.Ms(1), Makespan: model.Ms(50)}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("makespan ordering wrong")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("tardiness must dominate makespan")
+	}
+	if !b.Less(c) {
+		t.Error("any schedulable cost beats any tardy one")
+	}
+	if a.Less(a) {
+		t.Error("Less must be irreflexive")
+	}
+	if !a.Schedulable() || c.Schedulable() {
+		t.Error("Schedulable wrong")
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	p := diamondProblem(t, 1, 0)
+	st, err := newSearchState(p, DefaultOptions(MXR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgn, err := st.initialMPA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := st.generateMoves(asgn, []model.ProcID{p.App.Processes()[0].ID})
+	if len(moves) == 0 {
+		t.Fatal("no moves")
+	}
+	if s := moves[0].String(); !strings.Contains(s, "P0") || !strings.Contains(s, "→") {
+		t.Errorf("move string = %q", s)
+	}
+}

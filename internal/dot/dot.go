@@ -1,0 +1,102 @@
+// Package dot exports application graphs and synthesized fault-tolerant
+// designs in Graphviz DOT format, for documentation and debugging.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+// WriteGraph emits a process graph: processes as nodes (annotated with
+// release/deadline when set) and messages as labelled edges.
+func WriteGraph(w io.Writer, g *model.Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitize(g.Name))
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, p := range g.Processes() {
+		label := p.Name
+		if p.Release > 0 {
+			label += fmt.Sprintf("\\nrelease %v", p.Release)
+		}
+		if p.Deadline > 0 {
+			label += fmt.Sprintf("\\ndeadline %v", p.Deadline)
+		}
+		fmt.Fprintf(&b, "  p%d [label=\"%s\"];\n", p.ID, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  p%d -> p%d [label=\"%dB\"];\n", e.Src, e.Dst, e.Bytes)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDesign emits a synthesized design: one cluster per node holding
+// the replica instances in schedule order (annotated with their policy
+// and nominal window), plus the data-flow edges between instances (bus
+// messages labelled with their MEDL slot times).
+func WriteDesign(w io.Writer, s *sched.Schedule) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitize(s.In.Graph.Name))
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range s.In.Arch.Nodes() {
+		fmt.Fprintf(&b, "  subgraph cluster_n%d {\n    label=%q;\n", n.ID, n.Name)
+		for _, it := range s.NodeSequence(n.ID) {
+			fmt.Fprintf(&b, "    i%d [label=\"%s\\n[%v,%v)%s\"];\n",
+				it.Inst.ID, it.Inst.Name(), it.NominalStart, it.NominalFinish,
+				policyNote(it.Inst))
+		}
+		b.WriteString("  }\n")
+	}
+	edgeIdx := make(map[[2]model.ProcID]int, len(s.In.Graph.Edges()))
+	for i, e := range s.In.Graph.Edges() {
+		edgeIdx[[2]model.ProcID{e.Src, e.Dst}] = i
+	}
+	for _, e := range s.In.Graph.Edges() {
+		idx := edgeIdx[[2]model.ProcID{e.Src, e.Dst}]
+		for _, src := range s.Ex.Of(e.Src) {
+			sit := s.Item(src.ID)
+			for _, dst := range s.Ex.Of(e.Dst) {
+				if src.Node == dst.Node {
+					fmt.Fprintf(&b, "  i%d -> i%d;\n", src.ID, dst.ID)
+					continue
+				}
+				if tr, ok := sit.Msgs[idx]; ok {
+					fmt.Fprintf(&b, "  i%d -> i%d [style=dashed, label=\"bus [%v,%v)\"];\n",
+						src.ID, dst.ID, tr.Start, tr.Arrival)
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func policyNote(in *policy.Instance) string {
+	var parts []string
+	if in.Reexec > 0 {
+		parts = append(parts, fmt.Sprintf("%dx re-exec", in.Reexec))
+	}
+	if in.Checkpoints > 0 {
+		parts = append(parts, fmt.Sprintf("%d ckpt", in.Checkpoints))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "\\n" + strings.Join(parts, ", ")
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,219 @@
+// Package exact is a brute-force reference optimizer for small design
+// problems: it enumerates the complete mapping × fault-tolerance-policy
+// space, schedules every design, and returns a provably optimal
+// configuration (within the policy space of the paper: one replica per
+// node subset, the k+1 executions spread over the replicas in every
+// possible way). It exists to measure the optimality gap of the tabu
+// search on instances where enumeration is feasible — an evaluation the
+// paper itself could not run — and as an oracle for tests.
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/ttp"
+)
+
+// Options bound the enumeration.
+type Options struct {
+	// MaxDesigns aborts when the design space is larger; <= 0 selects
+	// one million.
+	MaxDesigns int64
+	// SlackSharing mirrors the scheduler option.
+	SlackSharing bool
+}
+
+// Result is the outcome of an exhaustive search.
+type Result struct {
+	Assignment policy.Assignment
+	Schedule   *sched.Schedule
+	Cost       core.Cost
+	// Designs is the number of complete designs evaluated.
+	Designs int64
+}
+
+// Search enumerates every design of the problem and returns the best.
+// The search honors the problem's P_X/P_R/P_M constraints.
+func Search(p core.Problem, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxDesigns := opts.MaxDesigns
+	if maxDesigns <= 0 {
+		maxDesigns = 1_000_000
+	}
+	merged, err := p.App.Merge()
+	if err != nil {
+		return nil, err
+	}
+	bus := ttp.InitialConfig(p.Arch, merged.MaxMessageBytes(), ttp.DefaultPerByte)
+	static, err := sched.NewStatic(sched.Input{
+		Graph: merged, Arch: p.Arch, WCET: p.WCET, Faults: p.Faults, Bus: bus,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate policies per process.
+	procs := p.App.Processes()
+	cands := make([][]policy.Policy, len(procs))
+	var space int64 = 1
+	for i, proc := range procs {
+		cands[i] = candidatePolicies(p, proc.ID)
+		if len(cands[i]) == 0 {
+			return nil, fmt.Errorf("exact: process %v has no feasible policy", proc)
+		}
+		space *= int64(len(cands[i]))
+		if space > maxDesigns {
+			return nil, fmt.Errorf("exact: design space exceeds %d designs", maxDesigns)
+		}
+	}
+
+	res := &Result{Cost: core.Cost{Tardiness: model.Infinity, Makespan: model.Infinity}}
+	asgn := policy.Assignment{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(procs) {
+			res.Designs++
+			s, err := sched.Build(sched.Input{
+				Graph:      merged,
+				Arch:       p.Arch,
+				WCET:       p.WCET,
+				Faults:     p.Faults,
+				Assignment: asgn,
+				Bus:        bus,
+				Options:    sched.Options{SlackSharing: opts.SlackSharing},
+				Static:     static,
+			})
+			if err != nil {
+				return err
+			}
+			c := core.Cost{Tardiness: s.Tardiness, Makespan: s.Makespan}
+			if c.Less(res.Cost) {
+				res.Cost = c
+				res.Schedule = s
+				res.Assignment = asgn.Clone()
+			}
+			return nil
+		}
+		for _, pol := range cands[i] {
+			asgn[procs[i].ID] = pol
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(asgn, procs[i].ID)
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// candidatePolicies enumerates the canonical policy space of one
+// process: every non-empty subset of its allowed nodes up to size k+1,
+// with every way of choosing which replicas receive the extra
+// re-executions when k+1 does not divide evenly. Pinned processes keep
+// their fixed node in every subset; forced sets restrict the shapes.
+func candidatePolicies(p core.Problem, id model.ProcID) []policy.Policy {
+	k := p.Faults.K
+	allowed := p.WCET.AllowedNodes(id)
+	fixed, pinned := p.FixedMapping[id]
+
+	maxR := k + 1
+	if maxR > len(allowed) {
+		maxR = len(allowed)
+	}
+	forceX := p.ForceReexecution[id]
+	forceR := p.ForceReplication[id]
+
+	var out []policy.Policy
+	forEachSubset(allowed, maxR, func(nodes []arch.NodeID) {
+		if pinned && !containsNode(nodes, fixed) {
+			return
+		}
+		r := len(nodes)
+		if forceX && r != 1 {
+			return
+		}
+		if forceR && r != k+1 {
+			return
+		}
+		total := k + 1
+		if total < r {
+			total = r
+		}
+		base := total / r
+		extras := total % r
+		forEachChoice(r, extras, func(extraIdx map[int]bool) {
+			pol := policy.Policy{Replicas: make([]policy.Replica, r)}
+			for i, n := range nodes {
+				exec := base
+				if extraIdx[i] {
+					exec++
+				}
+				pol.Replicas[i] = policy.Replica{Node: n, Reexec: exec - 1}
+			}
+			out = append(out, pol)
+		})
+	})
+	return out
+}
+
+func containsNode(nodes []arch.NodeID, n arch.NodeID) bool {
+	for _, m := range nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachSubset enumerates the non-empty subsets of nodes up to maxR
+// elements, in ascending node order.
+func forEachSubset(nodes []arch.NodeID, maxR int, visit func([]arch.NodeID)) {
+	var cur []arch.NodeID
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 && len(cur) <= maxR {
+			visit(cur)
+		}
+		if len(cur) == maxR {
+			return
+		}
+		for i := start; i < len(nodes); i++ {
+			cur = append(cur, nodes[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+}
+
+// forEachChoice enumerates every way to pick `pick` indices out of n.
+func forEachChoice(n, pick int, visit func(map[int]bool)) {
+	if pick == 0 {
+		visit(nil)
+		return
+	}
+	chosen := map[int]bool{}
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			visit(chosen)
+			return
+		}
+		for i := start; i <= n-left; i++ {
+			chosen[i] = true
+			rec(i+1, left-1)
+			delete(chosen, i)
+		}
+	}
+	rec(0, pick)
+}

@@ -1,0 +1,134 @@
+// Package fault holds the transient-fault hypothesis of the paper's
+// Section 2.1: at most k transient faults may occur anywhere in the
+// system during one operation cycle, each with a worst-case duration µ
+// from detection until the system is back to normal operation. Faults
+// are confined to a single process execution; k may exceed the number of
+// processors, and several faults may hit the same processor or even the
+// same process.
+//
+// The package also provides generic helpers to enumerate and sample
+// distributions of a fault budget over a set of fault sites, used by the
+// fault-injection simulator and the validation tests.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Model is the fault hypothesis (k, µ) plus the checkpointing overhead χ
+// used by the checkpointing extension.
+type Model struct {
+	// K is the maximum number of transient faults per operation cycle.
+	K int
+	// Mu is the worst-case recovery overhead per fault (detection until
+	// normal operation resumes).
+	Mu model.Time
+	// Chi is the overhead of taking one checkpoint (saving the process
+	// state so a fault re-executes only the current segment instead of
+	// the whole process). Zero when checkpointing is not used; the DATE
+	// 2005 paper evaluates only re-execution and replication, and
+	// checkpointing is this reproduction's documented extension.
+	Chi model.Time
+}
+
+// None is the fault-free model used for the NFT reference implementation.
+var None = Model{K: 0, Mu: 0}
+
+// Validate checks the model parameters.
+func (m Model) Validate() error {
+	if m.K < 0 {
+		return fmt.Errorf("fault: negative fault count k=%d", m.K)
+	}
+	if m.Mu < 0 {
+		return fmt.Errorf("fault: negative fault duration µ=%v", m.Mu)
+	}
+	if m.Chi < 0 {
+		return fmt.Errorf("fault: negative checkpoint overhead χ=%v", m.Chi)
+	}
+	return nil
+}
+
+func (m Model) String() string {
+	if m.Chi > 0 {
+		return fmt.Sprintf("k=%d µ=%v χ=%v", m.K, m.Mu, m.Chi)
+	}
+	return fmt.Sprintf("k=%d µ=%v", m.K, m.Mu)
+}
+
+// Distribution assigns a number of faults to each of a set of fault
+// sites; Sum() never exceeds the budget it was generated for.
+type Distribution []int
+
+// Sum returns the total number of faults in the distribution.
+func (d Distribution) Sum() int {
+	s := 0
+	for _, f := range d {
+		s += f
+	}
+	return s
+}
+
+// Clone returns a copy of the distribution.
+func (d Distribution) Clone() Distribution {
+	return append(Distribution(nil), d...)
+}
+
+// Enumerate calls yield for every distribution of at most budget faults
+// over n sites, including the all-zero distribution. The slice passed to
+// yield is reused; clone it to retain. Enumeration stops early when
+// yield returns false. The number of distributions is C(n+budget,
+// budget); callers are responsible for keeping n and budget small (the
+// validation tests use Count to decide between Enumerate and Sample).
+func Enumerate(n, budget int, yield func(Distribution) bool) {
+	if n < 0 || budget < 0 {
+		panic("fault: negative site count or budget")
+	}
+	d := make(Distribution, n)
+	var rec func(i, left int) bool
+	rec = func(i, left int) bool {
+		if i == n {
+			return yield(d)
+		}
+		for f := 0; f <= left; f++ {
+			d[i] = f
+			if !rec(i+1, left-f) {
+				return false
+			}
+		}
+		d[i] = 0
+		return true
+	}
+	rec(0, budget)
+}
+
+// Count returns the number of distributions Enumerate would yield for n
+// sites and the given budget: C(n+budget, budget). It saturates at
+// math.MaxInt64 to stay safe for large inputs.
+func Count(n, budget int) int64 {
+	const maxInt64 = int64(1<<63 - 1)
+	var c int64 = 1
+	for i := 1; i <= budget; i++ {
+		num := int64(n + i)
+		if c > maxInt64/num {
+			return maxInt64
+		}
+		c = c * num / int64(i)
+	}
+	return c
+}
+
+// Sample draws a random distribution of exactly faults faults over n
+// sites, uniformly over site sequences (sites may repeat).
+func Sample(rng *rand.Rand, n, faults int) Distribution {
+	d := make(Distribution, n)
+	if n == 0 {
+		return d
+	}
+	for i := 0; i < faults; i++ {
+		d[rng.Intn(n)]++
+	}
+	return d
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestModelValidate(t *testing.T) {
+	good := []Model{{K: 0, Mu: 0}, {K: 2, Mu: model.Ms(10)}, {K: 3, Mu: 0}}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", m, err)
+		}
+	}
+	bad := []Model{{K: -1, Mu: 0}, {K: 1, Mu: -model.Ms(1)}}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%v) accepted invalid model", m)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := Model{K: 2, Mu: model.Ms(10)}
+	if s := m.String(); s != "k=2 µ=10ms" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEnumerateSmall(t *testing.T) {
+	var got []Distribution
+	Enumerate(2, 2, func(d Distribution) bool {
+		got = append(got, d.Clone())
+		return true
+	})
+	// C(2+2,2) = 6 distributions over 2 sites with budget <= 2.
+	if len(got) != 6 {
+		t.Fatalf("enumerated %d distributions, want 6: %v", len(got), got)
+	}
+	seen := make(map[[2]int]bool)
+	for _, d := range got {
+		if d.Sum() > 2 {
+			t.Errorf("distribution %v exceeds budget", d)
+		}
+		key := [2]int{d[0], d[1]}
+		if seen[key] {
+			t.Errorf("duplicate distribution %v", d)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	calls := 0
+	Enumerate(3, 3, func(d Distribution) bool {
+		calls++
+		return calls < 4
+	})
+	if calls != 4 {
+		t.Errorf("yield called %d times, want 4 (early stop)", calls)
+	}
+}
+
+func TestEnumerateZeroSites(t *testing.T) {
+	calls := 0
+	Enumerate(0, 5, func(d Distribution) bool {
+		calls++
+		if len(d) != 0 {
+			t.Errorf("distribution over 0 sites has length %d", len(d))
+		}
+		return true
+	})
+	if calls != 1 {
+		t.Errorf("zero sites should yield exactly the empty distribution, got %d calls", calls)
+	}
+}
+
+func TestCountMatchesEnumerate(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		for k := 0; k <= 4; k++ {
+			var got int64
+			Enumerate(n, k, func(Distribution) bool { got++; return true })
+			if want := Count(n, k); got != want {
+				t.Errorf("Count(%d,%d) = %d, Enumerate yields %d", n, k, want, got)
+			}
+		}
+	}
+}
+
+func TestCountSaturates(t *testing.T) {
+	if Count(1000000, 1000) <= 0 {
+		t.Error("Count must saturate, not overflow")
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := Sample(rng, 5, 3)
+		if len(d) != 5 || d.Sum() != 3 {
+			t.Fatalf("Sample returned %v", d)
+		}
+	}
+	if d := Sample(rng, 0, 3); len(d) != 0 {
+		t.Errorf("Sample over zero sites = %v", d)
+	}
+}
+
+// Property: every enumerated distribution respects the budget and
+// cloning is deep.
+func TestEnumerateProperty(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%4) + 1
+		k := int(k8 % 4)
+		ok := true
+		Enumerate(n, k, func(d Distribution) bool {
+			if d.Sum() > k || len(d) != n {
+				ok = false
+				return false
+			}
+			c := d.Clone()
+			c[0]++
+			if d[0] == c[0] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

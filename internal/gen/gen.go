@@ -1,0 +1,209 @@
+// Package gen generates the synthetic workloads of the paper's
+// evaluation (Section 6): applications of 20–100 processes on
+// architectures of 2–6 nodes, with graphs of random structure as well as
+// trees and groups of chains, execution times and message lengths drawn
+// from uniform or exponential distributions within 10–100 ms and 1–4
+// bytes. All randomness is seeded for reproducibility.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/model"
+)
+
+// Shape selects the graph structure.
+type Shape int
+
+const (
+	// Random graphs add forward edges between random process pairs.
+	Random Shape = iota
+	// Tree graphs give every process exactly one random parent.
+	Tree
+	// Chains builds groups of independent chains.
+	Chains
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case Tree:
+		return "tree"
+	case Chains:
+		return "chains"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// Dist selects the sampling distribution for execution times.
+type Dist int
+
+const (
+	// Uniform samples uniformly within [Min, Max].
+	Uniform Dist = iota
+	// Exponential samples an exponential clamped into [Min, Max].
+	Exponential
+)
+
+func (d Dist) String() string {
+	if d == Exponential {
+		return "exponential"
+	}
+	return "uniform"
+}
+
+// Spec describes one synthetic application.
+type Spec struct {
+	Procs int
+	Nodes int
+	Shape Shape
+	Seed  int64
+
+	// EdgeProb is the probability of an extra forward edge between a
+	// random pair (Random shape); <= 0 selects the default 0.15.
+	EdgeProb float64
+
+	// ChainCount is the number of chains for the Chains shape; <= 0
+	// derives one chain per five processes.
+	ChainCount int
+
+	// WCETDist, WCETMin, WCETMax control execution times. Zero values
+	// select the paper's 10–100 ms uniform range.
+	WCETDist Dist
+	WCETMin  model.Time
+	WCETMax  model.Time
+
+	// MsgMin, MsgMax bound message sizes in bytes; zero selects 1–4.
+	MsgMin, MsgMax int
+
+	// Deadline imposed on the graph; 0 leaves the application
+	// unconstrained (the evaluation compares schedule lengths).
+	Deadline model.Time
+}
+
+// withDefaults fills in the paper's parameters.
+func (s Spec) withDefaults() Spec {
+	if s.Procs <= 0 {
+		s.Procs = 20
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 2
+	}
+	if s.EdgeProb <= 0 {
+		s.EdgeProb = 0.15
+	}
+	if s.ChainCount <= 0 {
+		s.ChainCount = (s.Procs + 4) / 5
+	}
+	if s.WCETMin <= 0 {
+		s.WCETMin = model.Ms(10)
+	}
+	if s.WCETMax <= s.WCETMin {
+		s.WCETMax = model.Ms(100)
+	}
+	if s.MsgMin <= 0 {
+		s.MsgMin = 1
+	}
+	if s.MsgMax < s.MsgMin {
+		s.MsgMax = 4
+	}
+	return s
+}
+
+// Generate builds the application, architecture and WCET table of a
+// specification. The same Spec always yields the same system.
+func Generate(spec Spec) (*model.Application, *arch.Architecture, *arch.WCET) {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	app := model.NewApplication(fmt.Sprintf("%s-%dp-%dn-s%d", spec.Shape, spec.Procs, spec.Nodes, spec.Seed))
+	// A period large enough never to constrain the schedule; the
+	// deadline (when given) is what matters.
+	period := model.Time(spec.Procs+1)*spec.WCETMax*16 + model.Second
+	deadline := spec.Deadline
+	if deadline <= 0 || deadline > period {
+		deadline = 0
+	}
+	g := app.AddGraph("G", period, deadline)
+
+	procs := make([]*model.Process, spec.Procs)
+	for i := range procs {
+		procs[i] = app.AddProcess(g, fmt.Sprintf("P%d", i+1))
+	}
+	edges := make(map[[2]int]bool)
+	addEdge := func(i, j int) {
+		if i == j || edges[[2]int{i, j}] {
+			return
+		}
+		edges[[2]int{i, j}] = true
+		g.AddEdge(procs[i], procs[j], spec.MsgMin+rng.Intn(spec.MsgMax-spec.MsgMin+1))
+	}
+
+	switch spec.Shape {
+	case Tree:
+		for i := 1; i < spec.Procs; i++ {
+			addEdge(rng.Intn(i), i)
+		}
+	case Chains:
+		chains := spec.ChainCount
+		if chains > spec.Procs {
+			chains = spec.Procs
+		}
+		for i := chains; i < spec.Procs; i++ {
+			// Process i continues the chain of process i-chains.
+			addEdge(i-chains, i)
+		}
+	default: // Random
+		for i := 1; i < spec.Procs; i++ {
+			if rng.Float64() < 0.75 {
+				addEdge(rng.Intn(i), i)
+			}
+		}
+		extra := int(spec.EdgeProb * float64(spec.Procs) * 2)
+		for e := 0; e < extra; e++ {
+			i := rng.Intn(spec.Procs - 1)
+			j := i + 1 + rng.Intn(spec.Procs-i-1)
+			addEdge(i, j)
+		}
+	}
+
+	a := arch.New(spec.Nodes)
+	w := arch.NewWCET()
+	for _, p := range procs {
+		for n := 0; n < spec.Nodes; n++ {
+			w.Set(p.ID, arch.NodeID(n), spec.sampleWCET(rng))
+		}
+	}
+	return app, a, w
+}
+
+// sampleWCET draws one execution time, quantized to whole milliseconds
+// as in the paper's tables.
+func (s Spec) sampleWCET(rng *rand.Rand) model.Time {
+	span := s.WCETMax - s.WCETMin
+	var v model.Time
+	switch s.WCETDist {
+	case Exponential:
+		// Mean at a quarter of the span, clamped into the range.
+		v = model.Time(rng.ExpFloat64() * float64(span) / 4)
+		if v > span {
+			v = span
+		}
+	default:
+		v = model.Time(rng.Int63n(int64(span) + 1))
+	}
+	ms := (s.WCETMin + v + model.Millisecond/2) / model.Millisecond
+	return ms * model.Millisecond
+}
+
+// Problem bundles a generated system with a fault model into a
+// design-optimization problem.
+func Problem(spec Spec, fm fault.Model) core.Problem {
+	app, a, w := Generate(spec)
+	return core.Problem{App: app, Arch: a, WCET: w, Faults: fm}
+}

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildDiamond(t *testing.T) (*Application, *Graph, []*Process) {
+	t.Helper()
+	app := NewApplication("diamond")
+	g := app.AddGraph("G", Ms(100), Ms(100))
+	p1 := app.AddProcess(g, "P1")
+	p2 := app.AddProcess(g, "P2")
+	p3 := app.AddProcess(g, "P3")
+	p4 := app.AddProcess(g, "P4")
+	g.AddEdge(p1, p2, 1)
+	g.AddEdge(p1, p3, 2)
+	g.AddEdge(p2, p4, 3)
+	g.AddEdge(p3, p4, 4)
+	return app, g, []*Process{p1, p2, p3, p4}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{Ms(40), "40ms"},
+		{Us(12500), "12.500ms"},
+		{0, "0ms"},
+		{Infinity, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	app, g, ps := buildDiamond(t)
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if n := g.NumProcesses(); n != 4 {
+		t.Fatalf("NumProcesses = %d, want 4", n)
+	}
+	if got := len(g.Successors(ps[0].ID)); got != 2 {
+		t.Errorf("P1 successors = %d, want 2", got)
+	}
+	if got := len(g.Predecessors(ps[3].ID)); got != 2 {
+		t.Errorf("P4 predecessors = %d, want 2", got)
+	}
+	src := g.Sources()
+	if len(src) != 1 || src[0] != ps[0] {
+		t.Errorf("Sources = %v, want [P1]", src)
+	}
+	snk := g.Sinks()
+	if len(snk) != 1 || snk[0] != ps[3] {
+		t.Errorf("Sinks = %v, want [P4]", snk)
+	}
+	if g.MaxMessageBytes() != 4 {
+		t.Errorf("MaxMessageBytes = %d, want 4", g.MaxMessageBytes())
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	_, g, ps := buildDiamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatalf("TopologicalOrder: %v", err)
+	}
+	pos := make(map[ProcID]int)
+	for i, p := range order {
+		pos[p.ID] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.Src] >= pos[e.Dst] {
+			t.Errorf("edge %v violates topological order", e)
+		}
+	}
+	_ = ps
+}
+
+func TestCycleDetection(t *testing.T) {
+	app := NewApplication("cyclic")
+	g := app.AddGraph("G", Ms(10), Ms(10))
+	a := app.AddProcess(g, "A")
+	b := app.AddProcess(g, "B")
+	g.AddEdge(a, b, 1)
+	g.AddEdge(b, a, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a cyclic graph")
+	}
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Fatal("TopologicalOrder accepted a cyclic graph")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("non-positive period", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", 0, 0)
+		app.AddProcess(g, "P")
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted zero period")
+		}
+	})
+	t.Run("deadline exceeds period", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", Ms(10), Ms(20))
+		app.AddProcess(g, "P")
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted deadline > period")
+		}
+	})
+	t.Run("empty graph", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", Ms(10), Ms(10))
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted empty graph")
+		}
+	})
+	t.Run("self loop", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", Ms(10), Ms(10))
+		p := app.AddProcess(g, "P")
+		g.AddEdge(p, p, 1)
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted self loop")
+		}
+	})
+	t.Run("duplicate edge", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", Ms(10), Ms(10))
+		p := app.AddProcess(g, "P")
+		q := app.AddProcess(g, "Q")
+		g.AddEdge(p, q, 1)
+		g.AddEdge(p, q, 2)
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted duplicate edge")
+		}
+	})
+	t.Run("zero byte message", func(t *testing.T) {
+		app := NewApplication("x")
+		g := app.AddGraph("G", Ms(10), Ms(10))
+		p := app.AddProcess(g, "P")
+		q := app.AddProcess(g, "Q")
+		g.AddEdge(p, q, 0)
+		if err := g.Validate(); err == nil {
+			t.Fatal("accepted zero-byte message")
+		}
+	})
+}
+
+// randomDAG builds a random acyclic graph by only adding forward edges
+// over a random permutation.
+func randomDAG(rng *rand.Rand, n int) (*Application, *Graph) {
+	app := NewApplication("rand")
+	g := app.AddGraph("G", Ms(1000), Ms(1000))
+	ps := make([]*Process, n)
+	for i := range ps {
+		ps[i] = app.AddProcess(g, "P")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				g.AddEdge(ps[i], ps[j], 1+rng.Intn(4))
+			}
+		}
+	}
+	return app, g
+}
+
+func TestTopologicalOrderProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randomDAG(rng, n)
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != n {
+			return false
+		}
+		pos := make(map[ProcID]int)
+		for i, p := range order {
+			pos[p.ID] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.Src] >= pos[e.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinTime(t *testing.T) {
+	if MaxTime(Ms(3), Ms(5)) != Ms(5) || MaxTime(Ms(5), Ms(3)) != Ms(5) {
+		t.Error("MaxTime wrong")
+	}
+	if MinTime(Ms(3), Ms(5)) != Ms(3) || MinTime(Ms(5), Ms(3)) != Ms(3) {
+		t.Error("MinTime wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The JSON schema references processes by name within their graph, which
+// keeps files human-editable; IDs are (re)assigned on load. All times are
+// given in milliseconds and may be fractional down to one microsecond.
+
+type appJSON struct {
+	Name   string      `json:"name"`
+	Graphs []graphJSON `json:"graphs"`
+}
+
+type graphJSON struct {
+	Name       string     `json:"name"`
+	PeriodMs   float64    `json:"period_ms"`
+	DeadlineMs float64    `json:"deadline_ms,omitempty"`
+	Processes  []procJSON `json:"processes"`
+	Edges      []edgeJSON `json:"edges"`
+}
+
+type procJSON struct {
+	Name       string  `json:"name"`
+	ReleaseMs  float64 `json:"release_ms,omitempty"`
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+type edgeJSON struct {
+	Src   string `json:"src"`
+	Dst   string `json:"dst"`
+	Bytes int    `json:"bytes"`
+}
+
+func msToTime(ms float64) Time {
+	return Time(math.Round(ms * float64(Millisecond)))
+}
+
+// WriteJSON serializes the application to w.
+func (a *Application) WriteJSON(w io.Writer) error {
+	out := appJSON{Name: a.Name}
+	for _, g := range a.graphs {
+		gj := graphJSON{
+			Name:       g.Name,
+			PeriodMs:   g.Period.Milliseconds(),
+			DeadlineMs: g.Deadline.Milliseconds(),
+		}
+		for _, p := range g.Processes() {
+			gj.Processes = append(gj.Processes, procJSON{
+				Name:       p.Name,
+				ReleaseMs:  p.Release.Milliseconds(),
+				DeadlineMs: p.Deadline.Milliseconds(),
+			})
+		}
+		for _, e := range g.Edges() {
+			gj.Edges = append(gj.Edges, edgeJSON{
+				Src:   g.Process(e.Src).Name,
+				Dst:   g.Process(e.Dst).Name,
+				Bytes: e.Bytes,
+			})
+		}
+		out.Graphs = append(out.Graphs, gj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses an application from r and validates it.
+func ReadJSON(r io.Reader) (*Application, error) {
+	var in appJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding application: %w", err)
+	}
+	app := NewApplication(in.Name)
+	for _, gj := range in.Graphs {
+		g := app.AddGraph(gj.Name, msToTime(gj.PeriodMs), msToTime(gj.DeadlineMs))
+		byName := make(map[string]*Process, len(gj.Processes))
+		for _, pj := range gj.Processes {
+			if _, dup := byName[pj.Name]; dup {
+				return nil, fmt.Errorf("model: graph %q has duplicate process name %q", gj.Name, pj.Name)
+			}
+			p := app.AddProcess(g, pj.Name)
+			p.Release = msToTime(pj.ReleaseMs)
+			p.Deadline = msToTime(pj.DeadlineMs)
+			byName[pj.Name] = p
+		}
+		for _, ej := range gj.Edges {
+			src, ok := byName[ej.Src]
+			if !ok {
+				return nil, fmt.Errorf("model: graph %q edge references unknown process %q", gj.Name, ej.Src)
+			}
+			dst, ok := byName[ej.Dst]
+			if !ok {
+				return nil, fmt.Errorf("model: graph %q edge references unknown process %q", gj.Name, ej.Dst)
+			}
+			g.AddEdge(src, dst, ej.Bytes)
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}

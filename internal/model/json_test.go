@@ -1,0 +1,79 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	app, _, _ := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := app.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.Name != app.Name {
+		t.Errorf("name = %q, want %q", back.Name, app.Name)
+	}
+	if back.NumProcesses() != app.NumProcesses() {
+		t.Errorf("processes = %d, want %d", back.NumProcesses(), app.NumProcesses())
+	}
+	bg := back.Graphs()[0]
+	ag := app.Graphs()[0]
+	if bg.Period != ag.Period || bg.Deadline != ag.Deadline {
+		t.Errorf("graph timing mismatch: %v/%v vs %v/%v", bg.Period, bg.Deadline, ag.Period, ag.Deadline)
+	}
+	if len(bg.Edges()) != len(ag.Edges()) {
+		t.Fatalf("edges = %d, want %d", len(bg.Edges()), len(ag.Edges()))
+	}
+	for i, e := range bg.Edges() {
+		if e.Bytes != ag.Edges()[i].Bytes {
+			t.Errorf("edge %d bytes = %d, want %d", i, e.Bytes, ag.Edges()[i].Bytes)
+		}
+	}
+}
+
+func TestJSONFractionalMs(t *testing.T) {
+	const doc = `{
+	  "name": "frac",
+	  "graphs": [{
+	    "name": "G", "period_ms": 10.5,
+	    "processes": [{"name": "P", "release_ms": 0.25}],
+	    "edges": []
+	  }]
+	}`
+	app, err := ReadJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	g := app.Graphs()[0]
+	if g.Period != Us(10500) {
+		t.Errorf("period = %v, want 10.5ms", g.Period)
+	}
+	if g.Processes()[0].Release != Us(250) {
+		t.Errorf("release = %v, want 0.25ms", g.Processes()[0].Release)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad edge ref": `{"name":"x","graphs":[{"name":"G","period_ms":10,
+			"processes":[{"name":"P"}],
+			"edges":[{"src":"P","dst":"Q","bytes":1}]}]}`,
+		"duplicate name": `{"name":"x","graphs":[{"name":"G","period_ms":10,
+			"processes":[{"name":"P"},{"name":"P"}],"edges":[]}]}`,
+		"unknown field": `{"name":"x","bogus":1,"graphs":[]}`,
+		"cycle": `{"name":"x","graphs":[{"name":"G","period_ms":10,
+			"processes":[{"name":"P"},{"name":"Q"}],
+			"edges":[{"src":"P","dst":"Q","bytes":1},{"src":"Q","dst":"P","bytes":1}]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadJSON accepted invalid document", name)
+		}
+	}
+}

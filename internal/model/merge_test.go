@@ -1,0 +1,160 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperPeriod(t *testing.T) {
+	app := NewApplication("hp")
+	g1 := app.AddGraph("G1", Ms(20), Ms(20))
+	g2 := app.AddGraph("G2", Ms(30), Ms(30))
+	app.AddProcess(g1, "A")
+	app.AddProcess(g2, "B")
+	if hp := app.HyperPeriod(); hp != Ms(60) {
+		t.Fatalf("HyperPeriod = %v, want 60ms", hp)
+	}
+}
+
+func TestMergeSingleGraphIsCopy(t *testing.T) {
+	app, g, _ := buildDiamond(t)
+	merged, err := app.Merge()
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if merged.NumProcesses() != g.NumProcesses() {
+		t.Fatalf("merged has %d processes, want %d", merged.NumProcesses(), g.NumProcesses())
+	}
+	if len(merged.Edges()) != len(g.Edges()) {
+		t.Fatalf("merged has %d edges, want %d", len(merged.Edges()), len(g.Edges()))
+	}
+	for i, p := range merged.Processes() {
+		orig := g.Processes()[i]
+		if p.Origin != orig.ID {
+			t.Errorf("process %d origin = %d, want %d", i, p.Origin, orig.ID)
+		}
+		if p.Instance != 0 {
+			t.Errorf("process %d instance = %d, want 0", i, p.Instance)
+		}
+		if p.Deadline != Ms(100) {
+			t.Errorf("process %d deadline = %v, want graph deadline 100ms", i, p.Deadline)
+		}
+	}
+}
+
+func TestMergeMultiRate(t *testing.T) {
+	app := NewApplication("mr")
+	g1 := app.AddGraph("fast", Ms(20), Ms(15))
+	g2 := app.AddGraph("slow", Ms(60), Ms(60))
+	a := app.AddProcess(g1, "A")
+	b := app.AddProcess(g1, "B")
+	g1.AddEdge(a, b, 1)
+	c := app.AddProcess(g2, "C")
+	_ = c
+	merged, err := app.Merge()
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// fast graph has 3 instances (2 procs each), slow has 1 instance.
+	if merged.NumProcesses() != 3*2+1 {
+		t.Fatalf("merged has %d processes, want 7", merged.NumProcesses())
+	}
+	if len(merged.Edges()) != 3 {
+		t.Fatalf("merged has %d edges, want 3", len(merged.Edges()))
+	}
+	if merged.Period != Ms(60) {
+		t.Fatalf("merged period = %v, want 60ms", merged.Period)
+	}
+	// check releases and deadlines of the fast instances
+	var fast []*Process
+	for _, p := range merged.Processes() {
+		if p.Origin == a.ID {
+			fast = append(fast, p)
+		}
+	}
+	if len(fast) != 3 {
+		t.Fatalf("found %d instances of A, want 3", len(fast))
+	}
+	for j, p := range fast {
+		wantRel := Ms(int64(20 * j))
+		wantDl := Ms(int64(20*j + 15))
+		if p.Release != wantRel {
+			t.Errorf("A[%d] release = %v, want %v", j, p.Release, wantRel)
+		}
+		if p.Deadline != wantDl {
+			t.Errorf("A[%d] deadline = %v, want %v", j, p.Deadline, wantDl)
+		}
+		if p.Instance != j {
+			t.Errorf("A[%d] instance = %d", j, p.Instance)
+		}
+	}
+	if err := checkAcyclicNaming(merged); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkAcyclicNaming(g *Graph) error {
+	_, err := g.TopologicalOrder()
+	return err
+}
+
+func TestMergeFoldsIndividualDeadlines(t *testing.T) {
+	app := NewApplication("dl")
+	g := app.AddGraph("G", Ms(100), Ms(90))
+	p := app.AddProcess(g, "P")
+	p.Deadline = Ms(50)
+	q := app.AddProcess(g, "Q")
+	g.AddEdge(p, q, 1)
+	merged, err := app.Merge()
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	procs := merged.Processes()
+	if procs[0].Deadline != Ms(50) {
+		t.Errorf("P deadline = %v, want 50ms (tighter individual deadline)", procs[0].Deadline)
+	}
+	if procs[1].Deadline != Ms(90) {
+		t.Errorf("Q deadline = %v, want 90ms (graph deadline)", procs[1].Deadline)
+	}
+}
+
+// Property: the merged graph always has Σ (HP/Ti)·|Vi| processes and is
+// acyclic, for arbitrary divisor-friendly period combinations.
+func TestMergeSizeProperty(t *testing.T) {
+	periods := []Time{Ms(10), Ms(20), Ms(30), Ms(60)}
+	f := func(sel []uint8) bool {
+		if len(sel) == 0 || len(sel) > 5 {
+			return true // skip degenerate shapes
+		}
+		app := NewApplication("prop")
+		want := 0
+		hp := Time(1)
+		var chosen []Time
+		for _, s := range sel {
+			chosen = append(chosen, periods[int(s)%len(periods)])
+		}
+		for _, p := range chosen {
+			hp = lcmTime(hp, p)
+		}
+		for i, p := range chosen {
+			g := app.AddGraph("G", p, p)
+			a := app.AddProcess(g, "A")
+			b := app.AddProcess(g, "B")
+			g.AddEdge(a, b, 1)
+			want += int(hp/p) * 2
+			_ = i
+		}
+		merged, err := app.Merge()
+		if err != nil {
+			return false
+		}
+		if merged.NumProcesses() != want {
+			return false
+		}
+		_, err = merged.TopologicalOrder()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

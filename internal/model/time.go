@@ -1,0 +1,66 @@
+// Package model defines the application model of the fault-tolerant
+// design-optimization framework: directed, acyclic, polar process graphs
+// with message-passing edges, periods, deadlines and release times, plus
+// the hyper-period merge that combines all graphs of an application into
+// the single merged graph Γ used by the scheduler and the optimizer.
+//
+// The model follows Section 3 of Izosimov et al., "Design Optimization of
+// Time- and Cost-Constrained Fault-Tolerant Distributed Embedded Systems"
+// (DATE 2005).
+package model
+
+import "fmt"
+
+// Time is a point or duration on the discrete global time line.
+// The unit is one microsecond; all paper values (given in milliseconds)
+// are exact multiples. Using integers keeps the scheduler and the
+// worst-case analysis free of rounding artefacts.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+
+	// Infinity is a sentinel larger than any schedulable horizon.
+	// Arithmetic on Infinity is not meaningful; compare only.
+	Infinity Time = 1<<62 - 1
+)
+
+// Ms converts a duration expressed in milliseconds to a Time.
+func Ms(ms int64) Time { return Time(ms) * Millisecond }
+
+// Us converts a duration expressed in microseconds to a Time.
+func Us(us int64) Time { return Time(us) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time in milliseconds, trimming trailing zeros,
+// e.g. "40ms" or "12.5ms".
+func (t Time) String() string {
+	if t == Infinity {
+		return "inf"
+	}
+	if t%Millisecond == 0 {
+		return fmt.Sprintf("%dms", int64(t/Millisecond))
+	}
+	return fmt.Sprintf("%.3fms", t.Milliseconds())
+}
+
+// MaxTime returns the larger of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the smaller of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// InstID identifies one replica instance in the expanded fault-tolerant
+// graph. IDs are dense in expansion order.
+type InstID int
+
+// Instance is one replica of one (merged-graph) process: the schedulable
+// unit of the fault-tolerant system. P1's policy {N1+1x N2} expands into
+// the instances P1/1 on N1 (one re-execution) and P1/2 on N2.
+type Instance struct {
+	ID          InstID
+	Proc        *model.Process // process of the merged graph
+	Replica     int            // replica index within the policy
+	Node        arch.NodeID
+	Reexec      int        // faults this replica recovers from
+	Checkpoints int        // state-saving points (segment recovery)
+	WCET        model.Time // C of the process on Node
+
+	singleReplica bool // set during expansion; affects Name only
+}
+
+// ExecTime returns the fault-free execution time including the
+// checkpointing overhead: C + Checkpoints·χ.
+func (in *Instance) ExecTime(chi model.Time) model.Time {
+	return in.WCET + model.Time(in.Checkpoints)*chi
+}
+
+// RecoverTime returns the worst-case cost of one fault: re-executing the
+// longest segment plus the recovery overhead µ. Without checkpoints the
+// whole process is re-executed (C + µ).
+func (in *Instance) RecoverTime(mu model.Time) model.Time {
+	segs := model.Time(in.Checkpoints + 1)
+	seg := (in.WCET + segs - 1) / segs // ceil
+	return seg + mu
+}
+
+// Name returns the paper-style replica name, e.g. "P1/2". A process with
+// a single replica keeps its plain name.
+func (in *Instance) Name() string {
+	if in.Replica == 0 && in.singleReplica {
+		return in.Proc.Name
+	}
+	return fmt.Sprintf("%s/%d", in.Proc.Name, in.Replica+1)
+}
+
+func (in *Instance) String() string { return in.Name() }
+
+// Expansion is the fault-tolerant instance graph: all replica instances
+// plus the per-process grouping needed to resolve edges (every replica
+// of a successor consumes the output of every replica of a predecessor).
+type Expansion struct {
+	Instances []*Instance
+	byProc    map[model.ProcID][]*Instance // keyed by merged-graph ProcID
+	graph     *model.Graph
+}
+
+// Expand instantiates the replica instances of every process of the
+// merged graph according to the assignment. WCETs are resolved from the
+// table; unmappable replicas are an error.
+func Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (*Expansion, error) {
+	ex := &Expansion{byProc: make(map[model.ProcID][]*Instance, g.NumProcesses()), graph: g}
+	var next InstID
+	for _, proc := range g.Processes() {
+		pol, ok := asgn[proc.Origin]
+		if !ok {
+			return nil, fmt.Errorf("policy: process %s has no policy", proc)
+		}
+		single := len(pol.Replicas) == 1
+		for ri, rep := range pol.Replicas {
+			c, ok := w.Get(proc.Origin, rep.Node)
+			if !ok {
+				return nil, fmt.Errorf("policy: process %s replica %d not mappable on node %d", proc, ri, rep.Node)
+			}
+			in := &Instance{
+				ID:          next,
+				Proc:        proc,
+				Replica:     ri,
+				Node:        rep.Node,
+				Reexec:      rep.Reexec,
+				Checkpoints: rep.Checkpoints,
+				WCET:        c,
+			}
+			in.singleReplica = single
+			next++
+			ex.Instances = append(ex.Instances, in)
+			ex.byProc[proc.ID] = append(ex.byProc[proc.ID], in)
+		}
+	}
+	return ex, nil
+}
+
+// Of returns the replica instances of the merged-graph process id, in
+// replica order.
+func (ex *Expansion) Of(id model.ProcID) []*Instance { return ex.byProc[id] }
+
+// Graph returns the merged graph the expansion was built from.
+func (ex *Expansion) Graph() *model.Graph { return ex.graph }
+
+// NumInstances returns the total number of replica instances.
+func (ex *Expansion) NumInstances() int { return len(ex.Instances) }

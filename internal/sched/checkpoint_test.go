@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+// TestCheckpointedAnalysis checks the exact worst-case arithmetic of the
+// checkpointing extension: C=40ms, k=2, µ=5ms, χ=1ms with 3 checkpoints
+// splits the process into four 10ms segments, so each fault re-executes
+// one segment (10+5) instead of the whole process (40+5).
+func TestCheckpointedAnalysis(t *testing.T) {
+	fm := fault.Model{K: 2, Mu: model.Ms(5), Chi: model.Ms(1)}
+
+	build := func(pol policy.Policy) (*Schedule, *sys) {
+		s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+		p := s.proc(t, "P", 40, 40)
+		in := s.input(t, fm, policy.Assignment{p.ID: pol})
+		return mustBuild(t, in), s
+	}
+
+	t.Run("plain re-execution", func(t *testing.T) {
+		sch, s := build(policy.Reexecution(0, 2))
+		// 40 + 2·(40+5) = 130.
+		if got := sch.ProcCompletion(s.mergedID(t, "P")); got != model.Ms(130) {
+			t.Errorf("completion = %v, want 130ms", got)
+		}
+	})
+	t.Run("checkpointed", func(t *testing.T) {
+		sch, s := build(policy.Checkpointed(0, 2, 3))
+		// Execution 40 + 3·1 = 43, recovery per fault 10+5 = 15:
+		// 43 + 2·15 = 73.
+		if got := sch.ProcCompletion(s.mergedID(t, "P")); got != model.Ms(73) {
+			t.Errorf("completion = %v, want 73ms", got)
+		}
+		it := itemOf(t, sch, s, "P", 0)
+		if it.NominalFinish != model.Ms(43) {
+			t.Errorf("nominal finish = %v, want 43ms (checkpoint overhead included)", it.NominalFinish)
+		}
+	})
+	t.Run("checkpoint overhead can outweigh savings", func(t *testing.T) {
+		// With a huge χ the checkpointed variant loses.
+		heavy := fault.Model{K: 1, Mu: model.Ms(5), Chi: model.Ms(30)}
+		s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+		p := s.proc(t, "P", 40, 40)
+		in := s.input(t, heavy, policy.Assignment{p.ID: policy.Checkpointed(0, 1, 2)})
+		sch := mustBuild(t, in)
+		// b = 40 + 2·30 = 100ms, seg = ⌈40000µs/3⌉ = 13334µs,
+		// d = 18334µs: 100ms + 18.334ms vs plain 40 + 45 = 85ms.
+		if got := sch.ProcCompletion(s.mergedID(t, "P")); got != model.Us(118_334) {
+			t.Errorf("completion = %v, want 118.334ms", got)
+		}
+	})
+}
+
+// TestCheckpointedSlackSharing: checkpointed processes share slack like
+// re-executed ones; the recovery term uses each instance's own d.
+func TestCheckpointedSlackSharing(t *testing.T) {
+	fm := fault.Model{K: 1, Mu: model.Ms(5), Chi: model.Ms(1)}
+	s := newSys(t, 1, model.Ms(1000), model.Ms(1000))
+	a := s.proc(t, "A", 40)
+	b := s.proc(t, "B", 60)
+	s.edge(t, "A", "B", 1)
+	in := s.input(t, fm, policy.Assignment{
+		a.ID: policy.Checkpointed(0, 1, 1), // segments of 20, d = 25
+		b.ID: policy.Checkpointed(0, 1, 2), // segments of 20, d = 25
+	})
+	sch := mustBuild(t, in)
+	// Nominal: A = 41, B = 41+62 = 103. One fault: the worst single
+	// fault adds max(d_A, d_B) = 25 → 128.
+	if got := sch.ProcCompletion(s.mergedID(t, "B")); got != model.Ms(128) {
+		t.Errorf("B completion = %v, want 128ms (shared checkpointed slack)", got)
+	}
+}
+
+// TestCheckpointedTransmission: the transparent send time of a
+// checkpointed sender covers segment recoveries only.
+func TestCheckpointedTransmission(t *testing.T) {
+	fm := fault.Model{K: 1, Mu: model.Ms(5), Chi: model.Ms(1)}
+	s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+	a := s.proc(t, "A", 40, 40)
+	b := s.proc(t, "B", 20, 20)
+	s.edge(t, "A", "B", 4)
+	in := s.input(t, fm, policy.Assignment{
+		a.ID: policy.Checkpointed(0, 1, 3), // b = 43, d = 15
+		b.ID: policy.Reexecution(1, 1),
+	})
+	sch := mustBuild(t, in)
+	it := itemOf(t, sch, s, "A", 0)
+	if it.SendReady != model.Ms(58) {
+		t.Errorf("send ready = %v, want 58ms (43 + one segment recovery)", it.SendReady)
+	}
+}

@@ -1,0 +1,115 @@
+// Package sched implements the fault-tolerant list scheduler of the
+// paper's Section 5.1. Given a merged application graph Γ, an
+// architecture, a fault model (k, µ), a fault-tolerance policy
+// assignment (which folds in the mapping) and a bus-access
+// configuration, it builds the static schedule tables for the nodes and
+// the MEDL for the TTP bus, together with a worst-case response-time
+// analysis covering every distribution of the k transient faults.
+//
+// The scheduler realizes the paper's transparent re-execution
+// ([11]-style recovery with slack sharing): outbound messages are placed
+// in the MEDL at the sender's worst-case surviving completion time, so
+// faults on one node are never observed by other nodes, and re-execution
+// slack on a node is shared among the processes mapped to it.
+// Descendants of replicated processes are scheduled at their nominal
+// (fault-free) position, with the contingency behaviour (Figure 7 of the
+// paper) covered by the worst-case analysis.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/ttp"
+)
+
+// Options tune scheduler behaviour; the zero value is NOT the default,
+// use DefaultOptions.
+type Options struct {
+	// SlackSharing enables the shared re-execution slack of [11]
+	// (Figure 3b2 of the paper). When disabled, every process reserves
+	// its own private worst-case re-execution slack, which is the naive
+	// pre-Kandasamy baseline used by the ablation benchmarks.
+	SlackSharing bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{SlackSharing: true} }
+
+// Input bundles everything the scheduler needs.
+type Input struct {
+	Graph      *model.Graph // merged application graph Γ
+	Arch       *arch.Architecture
+	WCET       *arch.WCET
+	Faults     fault.Model
+	Assignment policy.Assignment
+	Bus        ttp.Config
+	Options    Options
+
+	// Static, when non-nil, supplies assignment-independent data
+	// precomputed with NewStatic. Optimizers that schedule thousands of
+	// assignment variants over the same graph and bus use it to avoid
+	// recomputing priorities per call. It also implies that graph, WCET
+	// and bus were validated once up front, so Build skips revalidation
+	// (assignment-dependent errors are still caught during placement).
+	Static *Static
+}
+
+// Static is the assignment-independent part of a scheduling context.
+type Static struct {
+	prio    map[model.ProcID]model.Time
+	edgeIdx map[[2]model.ProcID]int
+}
+
+// NewStatic validates the assignment-independent inputs and precomputes
+// the priorities and edge index for repeated Build calls.
+func NewStatic(in Input) (*Static, error) {
+	probe := in
+	probe.Static = nil
+	probe.Assignment = nil
+	if err := probe.validateStatic(); err != nil {
+		return nil, err
+	}
+	st := &Static{
+		prio:    BottomLevels(in),
+		edgeIdx: make(map[[2]model.ProcID]int, len(in.Graph.Edges())),
+	}
+	for i, e := range in.Graph.Edges() {
+		st.edgeIdx[[2]model.ProcID{e.Src, e.Dst}] = i
+	}
+	return st, nil
+}
+
+// validateStatic checks the assignment-independent invariants.
+func (in Input) validateStatic() error {
+	if in.Graph == nil {
+		return fmt.Errorf("sched: nil graph")
+	}
+	if in.Arch == nil || in.WCET == nil {
+		return fmt.Errorf("sched: nil architecture or WCET table")
+	}
+	if err := in.Arch.Validate(); err != nil {
+		return err
+	}
+	if err := in.Faults.Validate(); err != nil {
+		return err
+	}
+	if _, err := in.Graph.TopologicalOrder(); err != nil {
+		return err
+	}
+	if err := in.WCET.Validate(in.Graph, in.Arch); err != nil {
+		return err
+	}
+	return in.Bus.Validate(in.Arch)
+}
+
+// Validate checks the consistency of the whole input.
+func (in Input) Validate() error {
+	if err := in.validateStatic(); err != nil {
+		return err
+	}
+	return in.Assignment.Validate(in.Graph, in.WCET, in.Faults.K)
+}

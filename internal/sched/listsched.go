@@ -1,0 +1,322 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/ttp"
+)
+
+// Build runs the list scheduler (Section 5.1 of the paper) and returns
+// the synthesized schedule with its worst-case analysis. The caller owns
+// the policy assignment; Build never mutates the input.
+func Build(in Input) (*Schedule, error) {
+	st := in.Static
+	if st == nil {
+		if err := in.Validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		st, err = NewStatic(in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ex, err := policy.Expand(in.Graph, in.Assignment, in.WCET)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		s: &Schedule{
+			In:       in,
+			Ex:       ex,
+			items:    make([]*Item, ex.NumInstances()),
+			nodeSeq:  make(map[arch.NodeID][]*Item, in.Arch.NumNodes()),
+			bus:      ttp.NewBus(in.Bus),
+			procDone: make(map[model.ProcID]procResult, in.Graph.NumProcesses()),
+		},
+		timelines: make([]*nodeTimeline, in.Arch.NumNodes()),
+		edgeIdx:   st.edgeIdx,
+		prio:      st.prio,
+	}
+	for _, n := range in.Arch.Nodes() {
+		b.timelines[n.ID] = newNodeTimeline(in.Faults.K, in.Faults.Mu, in.Options.SlackSharing)
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return b.s, nil
+}
+
+type builder struct {
+	s         *Schedule
+	timelines []*nodeTimeline // indexed by NodeID
+	edgeIdx   map[[2]model.ProcID]int
+	prio      map[model.ProcID]model.Time
+
+	// scratch buffers reused across placements
+	grBuf     []model.Time
+	remoteBuf []candidate
+	complBuf  []completionCand
+}
+
+// run drives the ready-list loop: in every iteration the ready process
+// with the highest partial-critical-path priority is extracted and all
+// its replica instances are placed; its outbound broadcast messages are
+// then reserved on the bus at the transparent (worst-case surviving)
+// send times.
+func (b *builder) run() error {
+	in := b.s.In
+	g := in.Graph
+
+	indeg := make(map[model.ProcID]int, g.NumProcesses())
+	var ready []*model.Process
+	for _, p := range g.Processes() {
+		indeg[p.ID] = len(g.Predecessors(p.ID))
+		if indeg[p.ID] == 0 {
+			ready = append(ready, p)
+		}
+	}
+	scheduled := 0
+	for len(ready) > 0 {
+		// Extract the highest-priority ready process (ties: smaller ID).
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			pi, pb := b.prio[ready[i].ID], b.prio[ready[best].ID]
+			if pi > pb || (pi == pb && ready[i].ID < ready[best].ID) {
+				best = i
+			}
+		}
+		p := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+
+		if err := b.placeProcess(p); err != nil {
+			return err
+		}
+		scheduled++
+
+		for _, e := range g.Successors(p.ID) {
+			indeg[e.Dst]--
+			if indeg[e.Dst] == 0 {
+				ready = append(ready, g.Process(e.Dst))
+			}
+		}
+	}
+	if scheduled != g.NumProcesses() {
+		return fmt.Errorf("sched: scheduled %d of %d processes (cycle?)", scheduled, g.NumProcesses())
+	}
+	b.finalize()
+	return nil
+}
+
+// placeProcess places every replica instance of p, runs the per-process
+// completion analysis, and reserves the broadcast messages of p.
+func (b *builder) placeProcess(p *model.Process) error {
+	in := b.s.In
+	ex := b.s.Ex
+	k := in.Faults.K
+
+	for _, inst := range ex.Of(p.ID) {
+		gr, nr, bindOn, bindKind, err := b.readiness(p, inst)
+		if err != nil {
+			return err
+		}
+		nt := b.timelines[inst.Node]
+		pl := nt.place(inst.ID, gr, nr,
+			inst.ExecTime(in.Faults.Chi), inst.RecoverTime(in.Faults.Mu), inst.Reexec)
+		item := &Item{
+			Inst:            inst,
+			NodePos:         len(b.s.nodeSeq[inst.Node]),
+			NominalStart:    pl.nominalStart,
+			NominalFinish:   pl.nominalFinish,
+			GuaranteedReady: gr[k],
+			WCFinish:        pl.wcFinish,
+			SendReady:       pl.sendReady,
+			Bind:            bindKind,
+			BindOn:          bindOn,
+			wcRow:           pl.survRow,
+		}
+		if pl.boundByPrev {
+			item.Bind = BindPrevOnNode
+			item.BindOn = pl.prevInst
+		}
+		b.s.items[inst.ID] = item
+		b.s.nodeSeq[inst.Node] = append(b.s.nodeSeq[inst.Node], item)
+	}
+
+	// Per-process worst-case completion: the adversarial first-valid
+	// completion over the replicas of p.
+	cands := b.complBuf[:0]
+	nominal := model.Infinity
+	for _, inst := range ex.Of(p.ID) {
+		it := b.s.items[inst.ID]
+		cands = append(cands, completionCand{row: it.wcRow, cost: inst.Reexec + 1, inst: inst.ID})
+		nominal = model.MinTime(nominal, it.NominalFinish)
+	}
+	b.complBuf = cands
+	done, bindOn, ok := guaranteedCompletion(cands, k)
+	if !ok {
+		return fmt.Errorf("sched: policy of process %s does not tolerate %d faults", p, k)
+	}
+	b.s.procDone[p.ID] = procResult{
+		guaranteed: done,
+		nominal:    nominal,
+		bindOn:     bindOn,
+		deadline:   p.Deadline,
+	}
+
+	// Broadcast messages: one transmission per (sender instance,
+	// outgoing edge) pair that has at least one remote receiver. The
+	// send slot starts at or after the sender's worst-case surviving
+	// completion, which makes faults of the sender's node invisible to
+	// the receivers (transparent re-execution, Figure 4a).
+	for _, e := range in.Graph.Successors(p.ID) {
+		idx := b.edgeIdx[[2]model.ProcID{e.Src, e.Dst}]
+		receivers := ex.Of(e.Dst)
+		for _, sender := range ex.Of(p.ID) {
+			remote := false
+			for _, r := range receivers {
+				if r.Node != sender.Node {
+					remote = true
+					break
+				}
+			}
+			if !remote {
+				continue
+			}
+			it := b.s.items[sender.ID]
+			label := fmt.Sprintf("m%d:%s", idx, sender.Name())
+			tr, err := b.s.bus.Reserve(sender.Node, it.SendReady, e.Bytes, label)
+			if err != nil {
+				return err
+			}
+			if it.Msgs == nil {
+				it.Msgs = make(map[int]ttp.Transmission, 1)
+			}
+			it.Msgs[idx] = tr
+		}
+	}
+	return nil
+}
+
+// readiness computes the guaranteed (worst-case) and nominal input-ready
+// times of one replica instance, together with the binding constraint of
+// the guaranteed time.
+//
+// Per incoming edge, the predecessor has at most one replica on the
+// instance's own node (replicas live on distinct nodes) plus remote
+// replicas delivering over the bus. When the local replica survives, its
+// output is available the moment it finishes, which the per-node
+// timeline DP already accounts for — it must NOT additionally constrain
+// the guaranteed ready time, or the shared re-execution slack of [11]
+// would be double-counted (Figure 3b2). Only two things constrain gr:
+//
+//   - edges with no local replica: the adversarial first-valid arrival
+//     over the remote broadcasts (fixed MEDL times), and
+//   - edges whose local replica the adversary can kill (kill cost ≤ k):
+//     the first-valid arrival over the remote broadcasts with the
+//     remaining budget — this is exactly the contingency start of
+//     Figure 7 (P3 waits for m2 from the replica of P2).
+func (b *builder) readiness(p *model.Process, inst *policy.Instance) (gr []model.Time, nr model.Time, bindOn policy.InstID, bindKind BindKind, err error) {
+	in := b.s.In
+	ex := b.s.Ex
+	k := in.Faults.K
+
+	if cap(b.grBuf) < k+1 {
+		b.grBuf = make([]model.Time, k+1)
+	}
+	gr = b.grBuf[:k+1]
+	for f := range gr {
+		gr[f] = p.Release
+	}
+	nr = p.Release
+	bindOn, bindKind = NoInst, BindRelease
+
+	for _, e := range in.Graph.Predecessors(p.ID) {
+		idx := b.edgeIdx[[2]model.ProcID{e.Src, e.Dst}]
+		remotes := b.remoteBuf[:0]
+		localCost := -1 // kill cost of the local replica, -1 when absent
+		nomBest := model.Infinity
+		for _, src := range ex.Of(e.Src) {
+			it := b.s.items[src.ID]
+			if it == nil {
+				return nil, 0, NoInst, BindRelease,
+					fmt.Errorf("sched: predecessor %s placed after successor %s", src, inst)
+			}
+			if src.Node == inst.Node {
+				localCost = src.Reexec + 1
+				nomBest = model.MinTime(nomBest, it.NominalFinish)
+				continue
+			}
+			tr, ok := it.Msgs[idx]
+			if !ok {
+				return nil, 0, NoInst, BindRelease,
+					fmt.Errorf("sched: missing broadcast of %s for edge %v", src, e)
+			}
+			remotes = append(remotes, candidate{avail: tr.Arrival, killCost: src.Reexec + 1, inst: src.ID})
+			nomBest = model.MinTime(nomBest, tr.Arrival)
+		}
+		b.remoteBuf = remotes
+		nr = model.MaxTime(nr, nomBest)
+
+		// gr[f]: the worst-case first-valid arrival when the adversary
+		// may spend at most f faults on this edge's deliveries. A
+		// surviving local replica is subsumed by the node timeline (it
+		// finishes before the node is free again), so the edge only
+		// constrains gr in scenarios where the local replica is killed —
+		// or always, when there is no local replica.
+		for f := 0; f <= k; f++ {
+			budget := f
+			if localCost >= 0 {
+				if localCost > f {
+					continue // local replica survives under f faults
+				}
+				budget = f - localCost
+			}
+			t, first, ok := guaranteedFirstValid(remotes, budget)
+			if !ok {
+				return nil, 0, NoInst, BindRelease,
+					fmt.Errorf("sched: inputs of %s over edge %v not guaranteed under %d faults", inst, e, f)
+			}
+			if t > gr[f] {
+				gr[f] = t
+				if f == k {
+					bindOn, bindKind = first, BindInput
+				}
+			}
+		}
+	}
+	return gr, nr, bindOn, bindKind, nil
+}
+
+// finalize computes makespan, tardiness and the worst process.
+func (b *builder) finalize() {
+	s := b.s
+	var worstViol model.Time = -1
+	var worstViolProc model.ProcID
+	var lastProc model.ProcID
+	var last model.Time = -1
+	for _, p := range s.In.Graph.Processes() {
+		r := s.procDone[p.ID]
+		if r.guaranteed > s.Makespan {
+			s.Makespan = r.guaranteed
+		}
+		if r.guaranteed > last {
+			last, lastProc = r.guaranteed, p.ID
+		}
+		if r.deadline > 0 && r.guaranteed > r.deadline {
+			v := r.guaranteed - r.deadline
+			s.Tardiness += v
+			if v > worstViol {
+				worstViol, worstViolProc = v, p.ID
+			}
+		}
+	}
+	if worstViol >= 0 {
+		s.worstProc = worstViolProc
+	} else {
+		s.worstProc = lastProc
+	}
+}

@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+// TestFigure2 reproduces the worst-case fault scenarios of the paper's
+// Figure 2: process P1 with C = 30 ms under k = 2 faults of µ = 10 ms.
+//
+//	(a) re-execution:        P1, P1/2, P1/3 back to back  → 110 ms
+//	(b) replication (3 way): two replicas killed, third at → 30 ms
+//	(c) re-executed replicas (2 replicas, one re-execution):
+//	    replica 2 killed, replica 1 re-executed once       → 70 ms
+func TestFigure2(t *testing.T) {
+	fm := fault.Model{K: 2, Mu: model.Ms(10)}
+
+	build := func(pol policy.Policy) (*Schedule, *sys) {
+		s := newSys(t, 3, model.Ms(1000), model.Ms(1000))
+		p1 := s.proc(t, "P1", 30, 30, 30)
+		in := s.input(t, fm, policy.Assignment{p1.ID: pol})
+		return mustBuild(t, in), s
+	}
+
+	t.Run("re-execution", func(t *testing.T) {
+		sch, s := build(policy.Reexecution(0, 2))
+		if got := sch.ProcCompletion(s.mergedID(t, "P1")); got != model.Ms(110) {
+			t.Errorf("completion = %v, want 110ms (C + 2(C+µ))", got)
+		}
+	})
+	t.Run("replication", func(t *testing.T) {
+		sch, s := build(policy.Replication(0, 1, 2))
+		if got := sch.ProcCompletion(s.mergedID(t, "P1")); got != model.Ms(30) {
+			t.Errorf("completion = %v, want 30ms (one replica survives)", got)
+		}
+	})
+	t.Run("re-executed replicas", func(t *testing.T) {
+		sch, s := build(policy.Distribute([]arch.NodeID{0, 1}, 2))
+		if got := sch.ProcCompletion(s.mergedID(t, "P1")); got != model.Ms(70) {
+			t.Errorf("completion = %v, want 70ms (replica 1 re-executed once)", got)
+		}
+	})
+}
+
+// figure3 builds the two applications of the paper's Figure 3 on two
+// nodes with the paper's WCETs (P1: 40/50, P2: 40/60, P3: 50/70),
+// k = 1, µ = 10 ms, deadline 160 ms and 10 ms TDMA slots.
+func figure3(t *testing.T, chain bool) *sys {
+	s := newSys(t, 2, model.Ms(1000), model.Ms(160))
+	s.proc(t, "P1", 40, 50)
+	s.proc(t, "P2", 40, 60)
+	s.proc(t, "P3", 50, 70)
+	s.edge(t, "P1", "P2", 4)
+	if chain {
+		// A2: P3 is data dependent on P2.
+		s.edge(t, "P2", "P3", 4)
+	}
+	return s
+}
+
+var fig3Faults = fault.Model{K: 1, Mu: model.Ms(10)}
+
+// TestFigure3A1 checks the paper's claim for application A1 (P1→P2, P3
+// independent): re-execution meets the 160 ms deadline, replication
+// misses it.
+func TestFigure3A1(t *testing.T) {
+	t.Run("re-execution meets", func(t *testing.T) {
+		s := figure3(t, false)
+		asgn := policy.Assignment{
+			s.byName["P1"].ID: policy.Reexecution(0, 1),
+			s.byName["P2"].ID: policy.Reexecution(0, 1),
+			s.byName["P3"].ID: policy.Reexecution(1, 1),
+		}
+		sch := mustBuild(t, s.input(t, fig3Faults, asgn))
+		if !sch.Schedulable() {
+			t.Fatalf("re-execution should be schedulable; violations: %v", sch.Violations())
+		}
+		// P1 and P2 share the re-execution slack on N1 (Figure 3b1): P2
+		// completes by 130 ms in the worst case, not 40+40+2·(40+10).
+		if got := sch.ProcCompletion(s.mergedID(t, "P2")); got != model.Ms(130) {
+			t.Errorf("P2 completion = %v, want 130ms (shared slack)", got)
+		}
+		// P3 runs on N2 (C=70) with its own slack: 2·70+10 = 150 ms is
+		// the makespan.
+		if sch.Makespan != model.Ms(150) {
+			t.Errorf("makespan = %v, want 150ms", sch.Makespan)
+		}
+	})
+	t.Run("replication misses", func(t *testing.T) {
+		s := figure3(t, false)
+		asgn := policy.Assignment{
+			s.byName["P1"].ID: policy.Replication(0, 1),
+			s.byName["P2"].ID: policy.Replication(0, 1),
+			s.byName["P3"].ID: policy.Replication(0, 1),
+		}
+		sch := mustBuild(t, s.input(t, fig3Faults, asgn))
+		if sch.Schedulable() {
+			t.Fatalf("replication should miss the 160ms deadline, makespan %v", sch.Makespan)
+		}
+	})
+}
+
+// TestFigure3A2 checks the flip side for application A2 (chain
+// P1→P2→P3): pure re-execution misses the deadline, and replication is
+// strictly better than re-execution (the paper's qualitative point that
+// the preferred policy depends on the application structure).
+func TestFigure3A2(t *testing.T) {
+	s := figure3(t, true)
+	mx := policy.Assignment{
+		s.byName["P1"].ID: policy.Reexecution(0, 1),
+		s.byName["P2"].ID: policy.Reexecution(0, 1),
+		s.byName["P3"].ID: policy.Reexecution(0, 1),
+	}
+	schMX := mustBuild(t, s.input(t, fig3Faults, mx))
+	if schMX.Schedulable() {
+		t.Errorf("re-execution should miss the 160ms deadline on A2, makespan %v", schMX.Makespan)
+	}
+	if schMX.Makespan != model.Ms(190) {
+		t.Errorf("re-execution makespan = %v, want 190ms (one shared slack of C3+µ after the chain)", schMX.Makespan)
+	}
+
+	s2 := figure3(t, true)
+	mr := policy.Assignment{
+		s2.byName["P1"].ID: policy.Replication(0, 1),
+		s2.byName["P2"].ID: policy.Replication(0, 1),
+		s2.byName["P3"].ID: policy.Replication(0, 1),
+	}
+	schMR := mustBuild(t, s2.input(t, fig3Faults, mr))
+	// On the chain A2 replication strictly beats re-execution — together
+	// with A1 this is the paper's point that the policy ranking flips
+	// with the application structure.
+	if schMR.Makespan >= schMX.Makespan {
+		t.Errorf("replication (%v) should beat re-execution (%v) on the chain A2",
+			schMR.Makespan, schMX.Makespan)
+	}
+}
+
+// TestFigure7 reproduces the scheduling of replica descendants
+// (Figure 7): P1→P2→P3 with P2 replicated on both nodes, P1 and P3
+// re-executed on N1. WCETs: P1 40/40, P2 80/80, P3 50/50; k=1, µ=10ms.
+//
+// The two properties of the contingency schedule the paper calls out:
+//  1. P3 is placed immediately after P2/1 on N1 (nominal start 120 ms),
+//     not at the guaranteed arrival of m2 from the replica.
+//  2. The worst case covers the contingency switch: if P2/1 fails, P3
+//     starts at the arrival of m2 from P2's replica on N2 (200 ms) and —
+//     because the fault budget is then exhausted — runs WITHOUT its own
+//     re-execution slack: worst case 250 ms, not 200 + 2·50 + 10.
+func TestFigure7(t *testing.T) {
+	s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+	s.proc(t, "P1", 40, 40)
+	s.proc(t, "P2", 80, 80)
+	s.proc(t, "P3", 50, 50)
+	s.edge(t, "P1", "P2", 4)
+	s.edge(t, "P2", "P3", 4)
+	asgn := policy.Assignment{
+		s.byName["P1"].ID: policy.Reexecution(0, 1),
+		s.byName["P2"].ID: policy.Replication(0, 1),
+		s.byName["P3"].ID: policy.Reexecution(0, 1),
+	}
+	sch := mustBuild(t, s.input(t, fault.Model{K: 1, Mu: model.Ms(10)}, asgn))
+
+	p3 := itemOf(t, sch, s, "P3", 0)
+	if p3.NominalStart != model.Ms(120) {
+		t.Errorf("P3 nominal start = %v, want 120ms (immediately after P2/1)", p3.NominalStart)
+	}
+	// m2 from P2/2 on N2: P2/2 finishes at 190 in the worst case it
+	// survives; the next S2 slot is [190,200), so m2 arrives at 200.
+	if p3.GuaranteedReady != model.Ms(200) {
+		t.Errorf("P3 guaranteed ready = %v, want 200ms (m2 arrival from the replica)", p3.GuaranteedReady)
+	}
+	if p3.WCFinish != model.Ms(250) {
+		t.Errorf("P3 worst-case finish = %v, want 250ms (contingency without extra slack)", p3.WCFinish)
+	}
+	// Property 1 of the paper: the nominal schedule is NOT delayed to
+	// the guaranteed arrival.
+	if p3.NominalStart >= p3.GuaranteedReady {
+		t.Error("P3 should be scheduled before the replica message arrival (transparent contingency)")
+	}
+}
+
+// TestFigure4TransparentMessage checks the transparency rule of
+// Figure 4a: the message of a re-executed process is scheduled only
+// after its full potential re-execution (C1 + µ after its nominal
+// completion), so a fault of the sender is invisible to the receiver.
+func TestFigure4TransparentMessage(t *testing.T) {
+	s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+	s.proc(t, "P1", 40, 50)
+	s.proc(t, "P3", 60, 60)
+	s.edge(t, "P1", "P3", 4)
+	asgn := policy.Assignment{
+		s.byName["P1"].ID: policy.Reexecution(0, 1),
+		s.byName["P3"].ID: policy.Reexecution(1, 1),
+	}
+	sch := mustBuild(t, s.input(t, fault.Model{K: 1, Mu: model.Ms(10)}, asgn))
+
+	p1 := itemOf(t, sch, s, "P1", 0)
+	// Worst-case surviving completion: 40 + (40+10) = 90.
+	if p1.SendReady != model.Ms(90) {
+		t.Fatalf("P1 send ready = %v, want 90ms (C1 + (C1+µ))", p1.SendReady)
+	}
+	if len(p1.Msgs) != 1 {
+		t.Fatalf("P1 should send exactly one broadcast, got %d", len(p1.Msgs))
+	}
+	for _, tr := range p1.Msgs {
+		if tr.Start < p1.SendReady {
+			t.Errorf("m2 scheduled at %v, before the potential re-execution ends (%v)", tr.Start, p1.SendReady)
+		}
+		// N1 owns slot S1 = [0,10) every 20ms round; first slot at or
+		// after 90 is [100,110).
+		if tr.Start != model.Ms(100) || tr.Arrival != model.Ms(110) {
+			t.Errorf("m2 transmission = %v, want slot [100,110)", tr)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/ttp"
+)
+
+// NoInst is the sentinel instance ID used in bindings.
+const NoInst = policy.InstID(-1)
+
+// BindKind says which constraint determined the worst-case start of an
+// item; the critical-path extraction follows these bindings backwards.
+type BindKind uint8
+
+const (
+	// BindRelease: the item starts at its release time (path source).
+	BindRelease BindKind = iota
+	// BindPrevOnNode: the previous instance on the same node binds it.
+	BindPrevOnNode
+	// BindInput: the guaranteed arrival of an input (local predecessor
+	// completion or bus message) binds it.
+	BindInput
+)
+
+func (b BindKind) String() string {
+	switch b {
+	case BindRelease:
+		return "release"
+	case BindPrevOnNode:
+		return "prev-on-node"
+	case BindInput:
+		return "input"
+	}
+	return fmt.Sprintf("BindKind(%d)", uint8(b))
+}
+
+// Item is one scheduled replica instance with its timing analysis.
+type Item struct {
+	Inst *policy.Instance
+
+	// NodePos is the position within the node's static schedule table.
+	NodePos int
+
+	// NominalStart/NominalFinish is the fault-free execution window that
+	// goes into the node's schedule table.
+	NominalStart, NominalFinish model.Time
+
+	// GuaranteedReady is the worst-case time by which all inputs of the
+	// instance are certainly valid under any ≤k-fault scenario.
+	GuaranteedReady model.Time
+
+	// WCFinish is the worst-case completion over all scenarios in which
+	// the instance survives (produces valid output).
+	WCFinish model.Time
+
+	// SendReady is the worst-case completion over scenarios with at most
+	// Reexec faults on the node; outbound messages are scheduled at or
+	// after this time (the transparency rule — see analysis.go).
+	SendReady model.Time
+
+	// Bind/BindOn record the constraint that determined the worst case,
+	// for critical-path extraction.
+	Bind   BindKind
+	BindOn policy.InstID
+
+	// Msgs holds the broadcast transmission per outgoing edge index (in
+	// merged-graph edge order); only edges with at least one remote
+	// receiver are present.
+	Msgs map[int]ttp.Transmission
+
+	// wcRow[f] is the worst-case surviving completion under at most f
+	// faults on the instance's node timeline (f = 0..k).
+	wcRow []model.Time
+}
+
+// WCRow returns the worst-case surviving completion of the item under at
+// most f faults on its node's timeline. f is clamped to [0, k].
+func (it *Item) WCRow(f int) model.Time {
+	if f < 0 {
+		f = 0
+	}
+	if f >= len(it.wcRow) {
+		f = len(it.wcRow) - 1
+	}
+	return it.wcRow[f]
+}
+
+// procResult is the per-process completion analysis.
+type procResult struct {
+	guaranteed model.Time // worst-case first-valid completion over replicas
+	nominal    model.Time // fault-free first completion
+	bindOn     policy.InstID
+	deadline   model.Time // effective deadline, <=0 when unconstrained
+}
+
+// Schedule is the synthesized system configuration: per-node schedule
+// tables, the bus MEDL, and the worst-case analysis results.
+type Schedule struct {
+	In Input
+	Ex *policy.Expansion
+
+	items   []*Item // indexed by InstID
+	nodeSeq map[arch.NodeID][]*Item
+	bus     *ttp.Bus
+
+	procDone map[model.ProcID]procResult // keyed by merged ProcID
+
+	// Makespan is the worst-case schedule length δ: the latest
+	// guaranteed completion over all processes.
+	Makespan model.Time
+
+	// Tardiness is the degree of unschedulability: the sum of worst-case
+	// deadline violations. Zero means schedulable.
+	Tardiness model.Time
+
+	// worstProc starts the critical-path walk: the process with the
+	// largest deadline violation, or the one completing last.
+	worstProc model.ProcID
+}
+
+// Schedulable reports whether every deadline is met in the worst case.
+func (s *Schedule) Schedulable() bool { return s.Tardiness == 0 }
+
+// Item returns the scheduled item of an instance.
+func (s *Schedule) Item(id policy.InstID) *Item { return s.items[id] }
+
+// Items returns all items ordered by instance ID.
+func (s *Schedule) Items() []*Item { return s.items }
+
+// NodeSequence returns the static schedule table of node n, in execution
+// order.
+func (s *Schedule) NodeSequence(n arch.NodeID) []*Item { return s.nodeSeq[n] }
+
+// MEDL returns the synthesized message descriptor list.
+func (s *Schedule) MEDL() []ttp.Transmission { return s.bus.MEDL() }
+
+// Bus returns the bus allocator (for inspection).
+func (s *Schedule) Bus() *ttp.Bus { return s.bus }
+
+// ProcCompletion returns the worst-case guaranteed completion time of a
+// merged-graph process: the time by which, in every ≤k-fault scenario,
+// at least one replica has certainly produced the result.
+func (s *Schedule) ProcCompletion(id model.ProcID) model.Time {
+	return s.procDone[id].guaranteed
+}
+
+// ProcNominalCompletion returns the fault-free first completion time.
+func (s *Schedule) ProcNominalCompletion(id model.ProcID) model.Time {
+	return s.procDone[id].nominal
+}
+
+// CriticalPath returns the origin ProcIDs of the processes on the
+// critical path of the schedule: the chain of binding constraints from
+// the worst process back to a source. The first element is the path
+// start (earliest), the last the worst process. Duplicated origins
+// (through replicas or node bindings) appear once.
+func (s *Schedule) CriticalPath() []model.ProcID {
+	if len(s.items) == 0 {
+		return nil
+	}
+	var chain []model.ProcID
+	seenInst := make(map[policy.InstID]bool)
+	cur := s.procDone[s.worstProc].bindOn
+	for cur != NoInst && !seenInst[cur] {
+		seenInst[cur] = true
+		it := s.items[cur]
+		chain = append(chain, it.Inst.Proc.Origin)
+		switch it.Bind {
+		case BindPrevOnNode, BindInput:
+			cur = it.BindOn
+		default:
+			cur = NoInst
+		}
+	}
+	// Reverse into path order and deduplicate origins keeping the first
+	// occurrence.
+	out := make([]model.ProcID, 0, len(chain))
+	seen := make(map[model.ProcID]bool, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		if !seen[chain[i]] {
+			seen[chain[i]] = true
+			out = append(out, chain[i])
+		}
+	}
+	return out
+}
+
+// Violations lists the processes whose worst-case completion exceeds
+// their effective deadline, ordered by decreasing violation.
+func (s *Schedule) Violations() []Violation {
+	var out []Violation
+	for id, r := range s.procDone {
+		if r.deadline > 0 && r.guaranteed > r.deadline {
+			out = append(out, Violation{
+				Proc:     id,
+				Deadline: r.deadline,
+				WCFinish: r.guaranteed,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi := out[i].WCFinish - out[i].Deadline
+		vj := out[j].WCFinish - out[j].Deadline
+		if vi != vj {
+			return vi > vj
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// Violation is one worst-case deadline miss.
+type Violation struct {
+	Proc     model.ProcID // merged-graph process
+	Deadline model.Time
+	WCFinish model.Time
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("proc %d finishes at %v, deadline %v", v.Proc, v.WCFinish, v.Deadline)
+}

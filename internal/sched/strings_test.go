@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+func TestBindKindString(t *testing.T) {
+	cases := map[BindKind]string{
+		BindRelease:    "release",
+		BindPrevOnNode: "prev-on-node",
+		BindInput:      "input",
+		BindKind(9):    "BindKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestViolations(t *testing.T) {
+	// A system that misses its deadline must report ordered violations.
+	s := newSys(t, 1, model.Ms(1000), model.Ms(50))
+	a := s.proc(t, "A", 40)
+	b := s.proc(t, "B", 30)
+	s.edge(t, "A", "B", 1)
+	fm := fault.Model{K: 1, Mu: model.Ms(10)}
+	sch := mustBuild(t, s.input(t, fm, policy.Assignment{
+		a.ID: policy.Reexecution(0, 1),
+		b.ID: policy.Reexecution(0, 1),
+	}))
+	if sch.Schedulable() {
+		t.Fatal("design should miss the 50ms deadline")
+	}
+	vs := sch.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2", vs)
+	}
+	// Ordered by decreasing violation: B (finishes later) first.
+	if vs[0].WCFinish < vs[1].WCFinish {
+		t.Errorf("violations not ordered: %v", vs)
+	}
+	if !strings.Contains(vs[0].String(), "deadline") {
+		t.Errorf("violation string = %q", vs[0].String())
+	}
+	// Critical path starts from the worst violator and is non-empty.
+	if cp := sch.CriticalPath(); len(cp) == 0 {
+		t.Error("no critical path for unschedulable design")
+	}
+	// Tardiness is the sum of both misses.
+	want := (sch.ProcCompletion(s.mergedID(t, "A")) - model.Ms(50)) +
+		(sch.ProcCompletion(s.mergedID(t, "B")) - model.Ms(50))
+	if sch.Tardiness != want {
+		t.Errorf("tardiness = %v, want %v", sch.Tardiness, want)
+	}
+}
+
+func TestIndividualProcessDeadline(t *testing.T) {
+	// A process deadline tighter than the graph deadline is what binds.
+	s := newSys(t, 1, model.Ms(1000), model.Ms(500))
+	a := s.proc(t, "A", 40)
+	a.Deadline = model.Ms(60)
+	fm := fault.Model{K: 1, Mu: model.Ms(10)}
+	sch := mustBuild(t, s.input(t, fm, policy.Assignment{a.ID: policy.Reexecution(0, 1)}))
+	// WC completion 90ms > 60ms individual deadline.
+	if sch.Schedulable() {
+		t.Fatalf("60ms individual deadline should be missed (WC %v)", sch.Makespan)
+	}
+	if got := sch.Tardiness; got != model.Ms(30) {
+		t.Errorf("tardiness = %v, want 30ms", got)
+	}
+}
+
+func TestReleaseTimeRespected(t *testing.T) {
+	s := newSys(t, 1, model.Ms(1000), model.Ms(1000))
+	a := s.proc(t, "A", 40)
+	a.Release = model.Ms(25)
+	fm := fault.Model{K: 1, Mu: model.Ms(5)}
+	sch := mustBuild(t, s.input(t, fm, policy.Assignment{a.ID: policy.Reexecution(0, 1)}))
+	it := itemOf(t, sch, s, "A", 0)
+	if it.NominalStart != model.Ms(25) {
+		t.Errorf("nominal start = %v, want release 25ms", it.NominalStart)
+	}
+	if it.WCFinish != model.Ms(110) {
+		t.Errorf("wc finish = %v, want 25+40+45 = 110ms", it.WCFinish)
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+// The paper's Section 4 lists "the size of the schedule tables" among
+// the trade-offs the policy assignment influences: re-execution requires
+// contingency schedules on the affected node, replication enlarges the
+// tables of other nodes instead. CompileTables makes that cost explicit:
+// it derives, per node, the nominal dispatch table plus one contingency
+// entry per (instance, recoverable fault count) — the rows the paper's
+// kernel switches between when a local fault occurs — and reports the
+// resulting table sizes.
+
+// DispatchEntry is one row of a node's dispatch table.
+type DispatchEntry struct {
+	Inst  *policy.Instance
+	Start model.Time
+	// Contingency is 0 for the nominal row; f > 0 gives the start used
+	// after f local faults have already delayed this node's timeline
+	// (the worst-case switch time: the instance may start earlier when
+	// the actual delays are smaller, but never later).
+	Contingency int
+}
+
+// NodeTable is the compiled dispatch table of one node.
+type NodeTable struct {
+	Node    arch.NodeID
+	Entries []DispatchEntry
+}
+
+// Rows returns the number of table rows (nominal + contingency).
+func (nt NodeTable) Rows() int { return len(nt.Entries) }
+
+// Tables is the compiled schedule-table set of a design.
+type Tables struct {
+	Nodes []NodeTable
+	// MEDLRows is the number of message descriptor entries.
+	MEDLRows int
+}
+
+// TotalRows returns the total number of dispatch rows over all nodes —
+// the memory footprint metric of the design.
+func (t Tables) TotalRows() int {
+	n := t.MEDLRows
+	for _, nt := range t.Nodes {
+		n += nt.Rows()
+	}
+	return n
+}
+
+// CompileTables derives the explicit dispatch tables of a synthesized
+// schedule: per instance the nominal start plus one contingency row per
+// fault count the node may have absorbed before it (bounded by k). Rows
+// whose contingency start equals the previous row are deduplicated —
+// that is the table-size saving of shared slack.
+func CompileTables(s *Schedule) Tables {
+	k := s.In.Faults.K
+	out := Tables{MEDLRows: len(s.MEDL())}
+	for _, n := range s.In.Arch.Nodes() {
+		nt := NodeTable{Node: n.ID}
+		for _, it := range s.NodeSequence(n.ID) {
+			nt.Entries = append(nt.Entries, DispatchEntry{
+				Inst:  it.Inst,
+				Start: it.NominalStart,
+			})
+			prev := it.NominalStart
+			for f := 1; f <= k; f++ {
+				// Worst-case start after f faults on this node: the
+				// completion row at budget f minus the fault-free
+				// execution of the instance itself.
+				start := it.WCRow(f) - it.Inst.ExecTime(s.In.Faults.Chi)
+				if start <= prev {
+					continue // same row as before: shared slack absorbed it
+				}
+				nt.Entries = append(nt.Entries, DispatchEntry{
+					Inst:        it.Inst,
+					Start:       start,
+					Contingency: f,
+				})
+				prev = start
+			}
+		}
+		out.Nodes = append(out.Nodes, nt)
+	}
+	return out
+}
+
+// Format renders the compiled tables.
+func (t Tables) Format(s *Schedule) string {
+	var b strings.Builder
+	for _, nt := range t.Nodes {
+		fmt.Fprintf(&b, "node %s: %d rows\n", s.In.Arch.Node(nt.Node).Name, nt.Rows())
+		for _, e := range nt.Entries {
+			if e.Contingency == 0 {
+				fmt.Fprintf(&b, "  %-18s @ %8s\n", e.Inst.Name(), e.Start)
+			} else {
+				fmt.Fprintf(&b, "  %-18s @ %8s  (contingency after %d fault(s))\n",
+					e.Inst.Name(), e.Start, e.Contingency)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "MEDL: %d rows\ntotal: %d rows\n", t.MEDLRows, t.TotalRows())
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/model"
+	"repro/internal/policy"
+)
+
+func buildTableSystem(t *testing.T, k int) (*Schedule, *sys) {
+	s := newSys(t, 2, model.Ms(1000), model.Ms(1000))
+	a := s.proc(t, "A", 40, 40)
+	b := s.proc(t, "B", 30, 30)
+	s.edge(t, "A", "B", 2)
+	fm := fault.Model{K: k, Mu: model.Ms(10)}
+	sch := mustBuild(t, s.input(t, fm, policy.Assignment{
+		a.ID: policy.Reexecution(0, k),
+		b.ID: policy.Reexecution(0, k),
+	}))
+	return sch, s
+}
+
+func TestCompileTablesContingencyRows(t *testing.T) {
+	sch, _ := buildTableSystem(t, 2)
+	tables := CompileTables(sch)
+	if len(tables.Nodes) != 2 {
+		t.Fatalf("tables for %d nodes, want 2", len(tables.Nodes))
+	}
+	n0 := tables.Nodes[0]
+	// A: nominal @0 plus contingency rows after its own faults never
+	// shift A (it is first: WCRow includes only its own re-executions,
+	// start stays 0). B: nominal @40, after 1 fault @90, after 2 @140.
+	var starts []model.Time
+	var conts []int
+	for _, e := range n0.Entries {
+		if e.Inst.Proc.Name == "B" {
+			starts = append(starts, e.Start)
+			conts = append(conts, e.Contingency)
+		}
+	}
+	if len(starts) != 3 {
+		t.Fatalf("B has %d rows, want 3 (nominal + 2 contingency): %v", len(starts), n0.Entries)
+	}
+	want := []model.Time{model.Ms(40), model.Ms(90), model.Ms(140)}
+	for i := range starts {
+		if starts[i] != want[i] || conts[i] != i {
+			t.Errorf("B row %d = (%v, f=%d), want (%v, f=%d)", i, starts[i], conts[i], want[i], i)
+		}
+	}
+	// A's contingency rows are its own re-start points after each fault.
+	wantA := []model.Time{0, model.Ms(50), model.Ms(100)}
+	i := 0
+	for _, e := range n0.Entries {
+		if e.Inst.Proc.Name != "A" {
+			continue
+		}
+		if i >= len(wantA) || e.Start != wantA[i] || e.Contingency != i {
+			t.Errorf("A row %d = %+v, want start %v f=%d", i, e, wantA[i], i)
+		}
+		i++
+	}
+	if i != 3 {
+		t.Errorf("A has %d rows, want 3", i)
+	}
+	if tables.TotalRows() <= 0 {
+		t.Error("non-positive table size")
+	}
+	out := tables.Format(sch)
+	if !strings.Contains(out, "contingency after 1 fault") {
+		t.Errorf("format missing contingency rows:\n%s", out)
+	}
+}
+
+// TestTableSizePolicyTradeoff reproduces the paper's Section 4 remark:
+// the policy assignment influences the schedule-table sizes. Replicating
+// a producer adds instance rows on other nodes and extra MEDL entries,
+// while re-execution concentrates the rows (instance + contingencies) on
+// one node.
+func TestTableSizePolicyTradeoff(t *testing.T) {
+	fm := fault.Model{K: 2, Mu: model.Ms(10)}
+
+	build := func(pol func(*sys) policy.Assignment) Tables {
+		s := newSys(t, 3, model.Ms(1000), model.Ms(1000))
+		s.proc(t, "A", 40, 40, 40)
+		s.proc(t, "B", 20, 20, 20)
+		s.edge(t, "A", "B", 2)
+		asgn := pol(s)
+		asgn[s.byName["B"].ID] = policy.Reexecution(2, 2)
+		sch := mustBuild(t, s.input(t, fm, asgn))
+		return CompileTables(sch)
+	}
+
+	rex := build(func(s *sys) policy.Assignment {
+		return policy.Assignment{s.byName["A"].ID: policy.Reexecution(0, 2)}
+	})
+	repl := build(func(s *sys) policy.Assignment {
+		return policy.Assignment{s.byName["A"].ID: policy.Replication(0, 1, 2)}
+	})
+	rexRows, replRows := rex.TotalRows(), repl.TotalRows()
+	// Re-execution: A rows (1+2 contingency) on N1, one broadcast, B
+	// rows on N3. Replication: one A row per node plus two broadcasts
+	// (the replica on B's node delivers locally) — more rows in total.
+	if replRows <= rexRows {
+		t.Errorf("replicating the producer should need more rows (%d) than re-execution (%d)",
+			replRows, rexRows)
+	}
+	// Exact counts keep the accounting honest.
+	if rexRows != 7 {
+		t.Errorf("re-execution design has %d rows, want 7 (3 A + 3 B + 1 MEDL)", rexRows)
+	}
+	if replRows != 8 {
+		t.Errorf("replication design has %d rows, want 8 (3 A + 3 B + 2 MEDL)", replRows)
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Campaign configures a fault-injection campaign over a synthesized
+// schedule: either exhaustive enumeration of all scenarios within the
+// fault hypothesis (when their count does not exceed ExhaustiveLimit) or
+// adversarial scenarios plus random sampling.
+type Campaign struct {
+	// ExhaustiveLimit bounds exhaustive enumeration; above it, sampling
+	// is used. <= 0 selects 200000.
+	ExhaustiveLimit int64
+	// Samples is the number of random full-budget scenarios when not
+	// exhaustive. <= 0 selects 10000.
+	Samples int
+	// Seed drives the sampling RNG.
+	Seed int64
+}
+
+// CampaignResult aggregates a fault-injection campaign.
+type CampaignResult struct {
+	// Scenarios is the number of executed scenarios.
+	Scenarios int64
+	// Exhaustive reports whether every scenario of the hypothesis ran.
+	Exhaustive bool
+	// WorstMakespan is the latest observed completion of a whole cycle,
+	// with the scenario that caused it.
+	WorstMakespan model.Time
+	WorstScenario Scenario
+	// AnalysisBound is the scheduler's worst-case schedule length.
+	AnalysisBound model.Time
+	// Violations counts scenarios with deadline misses or failed
+	// processes (none are expected for a schedulable design within the
+	// hypothesis).
+	Violations int64
+	// FirstViolation records one offending scenario, when any.
+	FirstViolation Scenario
+	// ProcWorst is the worst observed completion per merged process.
+	ProcWorst map[model.ProcID]model.Time
+	// Histogram buckets the makespans of all scenarios into ten equal
+	// bins of [0, AnalysisBound].
+	Histogram [10]int64
+}
+
+// Run executes the campaign.
+func (c Campaign) Run(s *sched.Schedule) *CampaignResult {
+	limit := c.ExhaustiveLimit
+	if limit <= 0 {
+		limit = 200000
+	}
+	samples := c.Samples
+	if samples <= 0 {
+		samples = 10000
+	}
+	res := &CampaignResult{
+		AnalysisBound: s.Makespan,
+		ProcWorst:     make(map[model.ProcID]model.Time, s.In.Graph.NumProcesses()),
+	}
+	record := func(sc Scenario) {
+		r := Run(s, sc)
+		res.Scenarios++
+		if r.Makespan > res.WorstMakespan {
+			res.WorstMakespan = r.Makespan
+			res.WorstScenario = cloneScenario(sc)
+		}
+		if !r.OK() {
+			if res.Violations == 0 {
+				res.FirstViolation = cloneScenario(sc)
+			}
+			res.Violations++
+		}
+		for id, done := range r.ProcDone {
+			if done > res.ProcWorst[id] {
+				res.ProcWorst[id] = done
+			}
+		}
+		if res.AnalysisBound > 0 {
+			b := int(int64(r.Makespan) * 10 / int64(res.AnalysisBound))
+			if b > 9 {
+				b = 9
+			}
+			if b < 0 {
+				b = 0
+			}
+			res.Histogram[b]++
+		}
+	}
+	if ScenarioCount(s) <= limit {
+		res.Exhaustive = true
+		ForEachScenario(s, func(sc Scenario) bool {
+			record(sc)
+			return true
+		})
+		return res
+	}
+	for _, sc := range AdversarialScenarios(s) {
+		record(sc)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	for i := 0; i < samples; i++ {
+		record(RandomScenario(rng, s))
+	}
+	return res
+}
+
+func cloneScenario(sc Scenario) Scenario {
+	out := make(Scenario, len(sc))
+	for id, f := range sc {
+		out[id] = f
+	}
+	return out
+}
+
+// Format renders the campaign result as a human-readable report.
+func (res *CampaignResult) Format(s *sched.Schedule) string {
+	var b strings.Builder
+	mode := "sampled"
+	if res.Exhaustive {
+		mode = "exhaustive"
+	}
+	fmt.Fprintf(&b, "fault-injection campaign: %d scenarios (%s)\n", res.Scenarios, mode)
+	fmt.Fprintf(&b, "  worst observed cycle: %v (analysis bound %v)\n", res.WorstMakespan, res.AnalysisBound)
+	if len(res.WorstScenario) > 0 {
+		fmt.Fprintf(&b, "  worst scenario: %s\n", describeScenario(s, res.WorstScenario))
+	}
+	if res.Violations > 0 {
+		fmt.Fprintf(&b, "  VIOLATIONS in %d scenarios, e.g. %s\n",
+			res.Violations, describeScenario(s, res.FirstViolation))
+	} else {
+		b.WriteString("  no violations: every scenario met all deadlines\n")
+	}
+	b.WriteString("  makespan distribution (bins of analysis bound):\n")
+	maxCount := int64(1)
+	for _, n := range res.Histogram {
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	for i, n := range res.Histogram {
+		bar := strings.Repeat("#", int(n*40/maxCount))
+		fmt.Fprintf(&b, "    %3d-%3d%% %8d %s\n", i*10, (i+1)*10, n, bar)
+	}
+	return b.String()
+}
+
+// describeScenario renders a scenario with instance names.
+func describeScenario(s *sched.Schedule, sc Scenario) string {
+	if len(sc) == 0 {
+		return "fault-free"
+	}
+	type entry struct {
+		name   string
+		faults int
+	}
+	var entries []entry
+	for id, f := range sc {
+		entries = append(entries, entry{s.Item(id).Inst.Name(), f})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	var parts []string
+	for _, e := range entries {
+		parts = append(parts, fmt.Sprintf("%d×%s", e.faults, e.name))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestCampaignExhaustive(t *testing.T) {
+	s, _ := buildFigure7(t)
+	res := Campaign{}.Run(s)
+	if !res.Exhaustive {
+		t.Fatal("small system should be enumerated exhaustively")
+	}
+	if res.Scenarios != ScenarioCount(s) {
+		t.Errorf("ran %d scenarios, want %d", res.Scenarios, ScenarioCount(s))
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations: %d (first %v)", res.Violations, res.FirstViolation)
+	}
+	if res.WorstMakespan > res.AnalysisBound {
+		t.Errorf("worst observed %v beyond bound %v", res.WorstMakespan, res.AnalysisBound)
+	}
+	// Figure 7: the worst case 250ms is actually reached by the
+	// P2/1-kill scenario, so the bound is tight here.
+	if res.WorstMakespan != res.AnalysisBound {
+		t.Errorf("bound should be tight on Figure 7: %v vs %v", res.WorstMakespan, res.AnalysisBound)
+	}
+	var total int64
+	for _, n := range res.Histogram {
+		total += n
+	}
+	if total != res.Scenarios {
+		t.Errorf("histogram holds %d of %d scenarios", total, res.Scenarios)
+	}
+	out := res.Format(s)
+	for _, want := range []string{"exhaustive", "no violations", "worst scenario"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, _ := randomSystem(rng, 10, 3, 2)
+	s, err := sched.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Campaign{ExhaustiveLimit: 10, Samples: 500, Seed: 7}.Run(s)
+	if res.Exhaustive {
+		t.Fatal("campaign should have sampled")
+	}
+	// adversarial scenarios + 500 samples
+	if res.Scenarios <= 500 {
+		t.Errorf("ran %d scenarios, want > 500", res.Scenarios)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations: %d", res.Violations)
+	}
+	if res.WorstMakespan > res.AnalysisBound {
+		t.Errorf("worst observed %v beyond bound %v", res.WorstMakespan, res.AnalysisBound)
+	}
+	out := res.Format(s)
+	if !strings.Contains(out, "sampled") {
+		t.Errorf("report should say sampled:\n%s", out)
+	}
+}
+
+func TestDescribeScenario(t *testing.T) {
+	s, ids := buildFigure7(t)
+	if got := describeScenario(s, Scenario{}); got != "fault-free" {
+		t.Errorf("empty scenario = %q", got)
+	}
+	inst := s.Ex.Of(ids[0])[0]
+	got := describeScenario(s, Scenario{inst.ID: 1})
+	if !strings.Contains(got, "P1") {
+		t.Errorf("scenario description = %q", got)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/fault"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+// ForEachScenario enumerates every fault scenario with at most k faults
+// over the instances of the schedule (including the fault-free one) and
+// calls yield for each; enumeration stops early when yield returns
+// false. The number of scenarios is C(n+k, k) for n instances — use
+// ScenarioCount to decide whether enumeration is feasible.
+func ForEachScenario(s *sched.Schedule, yield func(Scenario) bool) {
+	insts := s.Ex.Instances
+	fault.Enumerate(len(insts), s.In.Faults.K, func(d fault.Distribution) bool {
+		sc := make(Scenario)
+		for i, f := range d {
+			if f > 0 {
+				sc[insts[i].ID] = f
+			}
+		}
+		return yield(sc)
+	})
+}
+
+// ScenarioCount returns the number of scenarios ForEachScenario would
+// yield (saturating).
+func ScenarioCount(s *sched.Schedule) int64 {
+	return fault.Count(s.Ex.NumInstances(), s.In.Faults.K)
+}
+
+// RandomScenario draws a scenario with exactly the full fault budget,
+// uniformly over instance sequences.
+func RandomScenario(rng *rand.Rand, s *sched.Schedule) Scenario {
+	insts := s.Ex.Instances
+	d := fault.Sample(rng, len(insts), s.In.Faults.K)
+	sc := make(Scenario)
+	for i, f := range d {
+		if f > 0 {
+			sc[insts[i].ID] = f
+		}
+	}
+	return sc
+}
+
+// AdversarialScenarios returns a set of heuristically bad scenarios:
+// the full budget concentrated on each single instance, and the budget
+// spent killing instances along the schedule's critical path. These are
+// the scenarios most likely to expose analysis optimism and are used by
+// the validation tests alongside random sampling.
+func AdversarialScenarios(s *sched.Schedule) []Scenario {
+	k := s.In.Faults.K
+	var out []Scenario
+	for _, inst := range s.Ex.Instances {
+		if k > 0 {
+			out = append(out, Scenario{inst.ID: k})
+		}
+	}
+	// Kill-the-critical-path: spend the budget killing the cheapest
+	// replicas of the processes on the critical path, in order.
+	cp := s.CriticalPath()
+	budget := k
+	sc := make(Scenario)
+	for _, origin := range cp {
+		if budget == 0 {
+			break
+		}
+		for _, p := range s.In.Graph.Processes() {
+			if p.Origin != origin {
+				continue
+			}
+			var cheapest *policyInstRef
+			for _, inst := range s.Ex.Of(p.ID) {
+				cost := inst.Reexec + 1
+				if cost <= budget && (cheapest == nil || cost < cheapest.cost) {
+					cheapest = &policyInstRef{id: inst.ID, cost: cost}
+				}
+			}
+			if cheapest != nil {
+				sc[cheapest.id] = cheapest.cost
+				budget -= cheapest.cost
+			}
+		}
+	}
+	if len(sc) > 0 {
+		out = append(out, sc)
+	}
+	return out
+}
+
+type policyInstRef struct {
+	id   policy.InstID
+	cost int
+}

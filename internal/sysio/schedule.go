@@ -1,0 +1,86 @@
+package sysio
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sched"
+)
+
+// The schedule export is the deployment artifact of the synthesis: the
+// static schedule table of every node (what the paper's real-time
+// kernel executes) and the MEDL (what the TTP controllers execute),
+// together with the worst-case analysis results. It is write-only: the
+// consumer is a target system or an external analysis, not this library.
+
+type scheduleJSON struct {
+	Schedulable bool      `json:"schedulable"`
+	MakespanMs  float64   `json:"makespan_ms"`
+	TardinessMs float64   `json:"tardiness_ms,omitempty"`
+	FaultModel  faultJSON `json:"fault_model"`
+
+	Nodes []nodeTableJSON `json:"nodes"`
+	MEDL  []medlJSON      `json:"medl"`
+}
+
+type nodeTableJSON struct {
+	Node  string      `json:"node"`
+	Table []entryJSON `json:"table"`
+}
+
+type entryJSON struct {
+	Process     string  `json:"process"`
+	Replica     int     `json:"replica"`
+	StartMs     float64 `json:"start_ms"`
+	EndMs       float64 `json:"end_ms"`
+	WorstCaseMs float64 `json:"worst_case_ms"`
+	Reexec      int     `json:"reexec,omitempty"`
+	Checkpoints int     `json:"checkpoints,omitempty"`
+}
+
+type medlJSON struct {
+	Label     string  `json:"label"`
+	Round     int     `json:"round"`
+	Slot      int     `json:"slot"`
+	Bytes     int     `json:"bytes"`
+	StartMs   float64 `json:"start_ms"`
+	ArrivalMs float64 `json:"arrival_ms"`
+}
+
+// WriteSchedule serializes a synthesized schedule.
+func WriteSchedule(w io.Writer, s *sched.Schedule) error {
+	out := scheduleJSON{
+		Schedulable: s.Schedulable(),
+		MakespanMs:  s.Makespan.Milliseconds(),
+		TardinessMs: s.Tardiness.Milliseconds(),
+		FaultModel:  faultJSON{K: s.In.Faults.K, MuMs: s.In.Faults.Mu.Milliseconds()},
+	}
+	for _, n := range s.In.Arch.Nodes() {
+		nt := nodeTableJSON{Node: n.Name}
+		for _, it := range s.NodeSequence(n.ID) {
+			nt.Table = append(nt.Table, entryJSON{
+				Process:     it.Inst.Proc.Name,
+				Replica:     it.Inst.Replica + 1,
+				StartMs:     it.NominalStart.Milliseconds(),
+				EndMs:       it.NominalFinish.Milliseconds(),
+				WorstCaseMs: it.WCFinish.Milliseconds(),
+				Reexec:      it.Inst.Reexec,
+				Checkpoints: it.Inst.Checkpoints,
+			})
+		}
+		out.Nodes = append(out.Nodes, nt)
+	}
+	for _, tr := range s.MEDL() {
+		out.MEDL = append(out.MEDL, medlJSON{
+			Label:     tr.Label,
+			Round:     tr.Round,
+			Slot:      tr.Slot,
+			Bytes:     tr.Bytes,
+			StartMs:   tr.Start.Milliseconds(),
+			ArrivalMs: tr.Arrival.Milliseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,178 @@
+package sysio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ccapp"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func TestRoundTripGenerated(t *testing.T) {
+	p := gen.Problem(gen.Spec{Procs: 12, Nodes: 3, Seed: 4}, fault.Model{K: 2, Mu: model.Ms(5)})
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	back, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	if back.App.NumProcesses() != p.App.NumProcesses() {
+		t.Errorf("processes: %d vs %d", back.App.NumProcesses(), p.App.NumProcesses())
+	}
+	if back.Arch.NumNodes() != p.Arch.NumNodes() {
+		t.Errorf("nodes: %d vs %d", back.Arch.NumNodes(), p.Arch.NumNodes())
+	}
+	if back.Faults != p.Faults {
+		t.Errorf("faults: %v vs %v", back.Faults, p.Faults)
+	}
+	// WCETs survive (IDs are reassigned in creation order, names map).
+	for _, proc := range p.App.Processes() {
+		var backID model.ProcID = -1
+		for _, bp := range back.App.Processes() {
+			if bp.Name == proc.Name {
+				backID = bp.ID
+				break
+			}
+		}
+		if backID < 0 {
+			t.Fatalf("process %q lost", proc.Name)
+		}
+		for _, n := range p.WCET.AllowedNodes(proc.ID) {
+			want := p.WCET.MustGet(proc.ID, n)
+			got, ok := back.WCET.Get(backID, n)
+			if !ok || got != want {
+				t.Errorf("WCET of %q on %d: %v vs %v", proc.Name, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRoundTripCruiseController(t *testing.T) {
+	p := ccapp.New()
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	back, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	if len(back.FixedMapping) != len(p.FixedMapping) {
+		t.Errorf("fixed mappings: %d vs %d", len(back.FixedMapping), len(p.FixedMapping))
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped CC invalid: %v", err)
+	}
+}
+
+func TestReadProblemErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown wcet process": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {"Q": {"N1": 5}},
+			"faults": {"k":0,"mu_ms":0}}`,
+		"unknown wcet node": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {"P": {"N9": 5}},
+			"faults": {"k":0,"mu_ms":0}}`,
+		"no architecture": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": [],
+			"wcet_ms": {"P": {"N1": 5}},
+			"faults": {"k":0,"mu_ms":0}}`,
+		"negative wcet": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {"P": {"N1": -5}},
+			"faults": {"k":0,"mu_ms":0}}`,
+		"unknown fixed process": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {"P": {"N1": 5}},
+			"faults": {"k":0,"mu_ms":0},
+			"fixed_mapping": {"Q": "N1"}}`,
+		"unknown constraint": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {"P": {"N1": 5}},
+			"faults": {"k":0,"mu_ms":0},
+			"force_reexecution": ["Q"]}`,
+		"unmappable process": `{
+			"application": {"name":"a","graphs":[{"name":"G","period_ms":100,
+				"processes":[{"name":"P"}],"edges":[]}]},
+			"architecture": ["N1"],
+			"wcet_ms": {},
+			"faults": {"k":0,"mu_ms":0}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadProblem(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted invalid document", name)
+		}
+	}
+}
+
+func TestWriteProblemRejectsDuplicateNames(t *testing.T) {
+	app := model.NewApplication("dup")
+	g := app.AddGraph("G", model.Ms(100), 0)
+	app.AddProcess(g, "P")
+	app.AddProcess(g, "P")
+	w := arch.NewWCET()
+	p := gen.Problem(gen.Spec{Procs: 2, Nodes: 1, Seed: 1}, fault.None)
+	p.App = app
+	p.WCET = w
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err == nil {
+		t.Error("accepted duplicate process names")
+	}
+}
+
+func TestWriteSchedule(t *testing.T) {
+	p := gen.Problem(gen.Spec{Procs: 6, Nodes: 2, Seed: 2}, fault.Model{K: 1, Mu: model.Ms(5)})
+	res, err := core.Optimize(p, func() core.Options {
+		o := core.DefaultOptions(core.MXR)
+		o.MaxIterations = 20
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc["schedulable"] != true {
+		t.Errorf("schedulable = %v", doc["schedulable"])
+	}
+	nodes, ok := doc["nodes"].([]any)
+	if !ok || len(nodes) != 2 {
+		t.Fatalf("nodes = %v", doc["nodes"])
+	}
+	total := 0
+	for _, n := range nodes {
+		tbl, _ := n.(map[string]any)["table"].([]any)
+		total += len(tbl)
+	}
+	if total != res.Schedule.Ex.NumInstances() {
+		t.Errorf("exported %d table entries, want %d", total, res.Schedule.Ex.NumInstances())
+	}
+}

@@ -1,0 +1,255 @@
+// Package ttp models the time-triggered protocol bus of the paper's
+// Section 2.1: a broadcast channel accessed in a TDMA scheme. Each node
+// owns exactly one slot per TDMA round; in its slot a node sends one
+// frame into which several messages can be packed. Rounds repeat
+// cyclically. The message descriptor list (MEDL) assigns every message a
+// slot occurrence; it is the schedule table of the TTP controllers.
+package ttp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// DefaultPerByte is the default transmission time for one byte of
+// payload. With 2.5 ms/byte a 4-byte slot lasts 10 ms, matching the
+// figures of the paper (slots S1, S2 of 10 ms each).
+const DefaultPerByte = 2500 * model.Microsecond
+
+// Slot is one TDMA slot, owned by a node, with a fixed length.
+type Slot struct {
+	Node   arch.NodeID
+	Length model.Time
+}
+
+// Config is a bus-access configuration: the slot sequence of one TDMA
+// round plus the physical byte transmission time. The paper's step 1
+// (InitialBusAccess) assigns slots in node order with the minimal
+// allowed length, equal to the largest message of the application.
+type Config struct {
+	Slots   []Slot
+	PerByte model.Time
+}
+
+// InitialConfig builds the paper's initial bus-access configuration B0:
+// slot i belongs to node i (Si = Ni) and every slot length is the
+// transmission time of the largest message in the application.
+func InitialConfig(a *arch.Architecture, maxMessageBytes int, perByte model.Time) Config {
+	if perByte <= 0 {
+		perByte = DefaultPerByte
+	}
+	if maxMessageBytes < 1 {
+		maxMessageBytes = 1
+	}
+	cfg := Config{PerByte: perByte}
+	for _, n := range a.Nodes() {
+		cfg.Slots = append(cfg.Slots, Slot{Node: n.ID, Length: model.Time(maxMessageBytes) * perByte})
+	}
+	return cfg
+}
+
+// Validate checks that every node of the architecture owns exactly one
+// slot and that all lengths are positive.
+func (c Config) Validate(a *arch.Architecture) error {
+	if c.PerByte <= 0 {
+		return fmt.Errorf("ttp: non-positive per-byte time %v", c.PerByte)
+	}
+	if len(c.Slots) != a.NumNodes() {
+		return fmt.Errorf("ttp: %d slots for %d nodes", len(c.Slots), a.NumNodes())
+	}
+	seen := make(map[arch.NodeID]bool, len(c.Slots))
+	for i, s := range c.Slots {
+		if a.Node(s.Node) == nil {
+			return fmt.Errorf("ttp: slot %d owned by unknown node %d", i, s.Node)
+		}
+		if seen[s.Node] {
+			return fmt.Errorf("ttp: node %d owns more than one slot", s.Node)
+		}
+		seen[s.Node] = true
+		if s.Length <= 0 {
+			return fmt.Errorf("ttp: slot %d has non-positive length", i)
+		}
+	}
+	return nil
+}
+
+// RoundLength returns the duration of one TDMA round.
+func (c Config) RoundLength() model.Time {
+	var sum model.Time
+	for _, s := range c.Slots {
+		sum += s.Length
+	}
+	return sum
+}
+
+// SlotIndex returns the position of the slot owned by node n in the
+// round, or -1 when the node owns no slot.
+func (c Config) SlotIndex(n arch.NodeID) int {
+	for i, s := range c.Slots {
+		if s.Node == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// SlotOffset returns the start offset of slot i within a round.
+func (c Config) SlotOffset(i int) model.Time {
+	var off model.Time
+	for j := 0; j < i; j++ {
+		off += c.Slots[j].Length
+	}
+	return off
+}
+
+// SlotCapacity returns how many payload bytes fit into slot i.
+func (c Config) SlotCapacity(i int) int {
+	return int(c.Slots[i].Length / c.PerByte)
+}
+
+// WithSlotOrder returns a copy of the configuration with the slot
+// sequence permuted: perm[i] is the index (into c.Slots) of the slot
+// placed at position i. Used by the bus-access optimization.
+func (c Config) WithSlotOrder(perm []int) Config {
+	if len(perm) != len(c.Slots) {
+		panic("ttp: permutation length mismatch")
+	}
+	out := Config{PerByte: c.PerByte, Slots: make([]Slot, len(c.Slots))}
+	for i, p := range perm {
+		out.Slots[i] = c.Slots[p]
+	}
+	return out
+}
+
+// WithSlotLength returns a copy with slot i resized to length.
+func (c Config) WithSlotLength(i int, length model.Time) Config {
+	out := Config{PerByte: c.PerByte, Slots: append([]Slot(nil), c.Slots...)}
+	out.Slots[i].Length = length
+	return out
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	return Config{PerByte: c.PerByte, Slots: append([]Slot(nil), c.Slots...)}
+}
+
+// Transmission describes one scheduled message occurrence in the MEDL.
+type Transmission struct {
+	Label   string // message identity, for display and the MEDL
+	Bytes   int
+	Round   int        // TDMA round index
+	Slot    int        // slot index within the round
+	Start   model.Time // start of the slot occurrence
+	Arrival model.Time // end of the slot occurrence: data available at all nodes
+}
+
+func (t Transmission) String() string {
+	return fmt.Sprintf("%s@r%d/s%d[%v,%v)", t.Label, t.Round, t.Slot, t.Start, t.Arrival)
+}
+
+// frame tracks the bytes already packed into one slot occurrence.
+type frame struct {
+	used int
+	msgs []Transmission
+}
+
+// Bus allocates messages onto slot occurrences, building the MEDL. It is
+// the scheduling-time view of the bus; a fresh Bus is used for every
+// schedule construction.
+type Bus struct {
+	cfg    Config
+	frames map[[2]int]*frame // key: {round, slot}
+}
+
+// NewBus returns an empty allocator over the given configuration.
+func NewBus(cfg Config) *Bus {
+	return &Bus{cfg: cfg, frames: make(map[[2]int]*frame)}
+}
+
+// Config returns the bus-access configuration of the allocator.
+func (b *Bus) Config() Config { return b.cfg }
+
+// Reserve schedules a message of the given size from node n into the
+// earliest slot occurrence of n that starts at or after ready and still
+// has capacity. It returns the resulting transmission. Reserve fails
+// only when the message is larger than the slot (the initial
+// configuration sizes slots for the largest message, so this indicates a
+// mis-configured bus).
+func (b *Bus) Reserve(n arch.NodeID, ready model.Time, bytes int, label string) (Transmission, error) {
+	si := b.cfg.SlotIndex(n)
+	if si < 0 {
+		return Transmission{}, fmt.Errorf("ttp: node %d owns no slot", n)
+	}
+	if bytes > b.cfg.SlotCapacity(si) {
+		return Transmission{}, fmt.Errorf("ttp: message %q (%d bytes) exceeds capacity %d of slot %d",
+			label, bytes, b.cfg.SlotCapacity(si), si)
+	}
+	if ready < 0 {
+		ready = 0
+	}
+	round := b.cfg.RoundLength()
+	offset := b.cfg.SlotOffset(si)
+	// First round whose occurrence of slot si starts at or after ready.
+	r := int((ready - offset + round - 1) / round)
+	if r < 0 {
+		r = 0
+	}
+	for {
+		start := model.Time(r)*round + offset
+		if start >= ready {
+			key := [2]int{r, si}
+			f := b.frames[key]
+			if f == nil {
+				f = &frame{}
+				b.frames[key] = f
+			}
+			if f.used+bytes <= b.cfg.SlotCapacity(si) {
+				tr := Transmission{
+					Label:   label,
+					Bytes:   bytes,
+					Round:   r,
+					Slot:    si,
+					Start:   start,
+					Arrival: start + b.cfg.Slots[si].Length,
+				}
+				f.used += bytes
+				f.msgs = append(f.msgs, tr)
+				return tr, nil
+			}
+		}
+		r++
+	}
+}
+
+// MEDL returns all scheduled transmissions ordered by time, i.e. the
+// message descriptor list of the synthesized system.
+func (b *Bus) MEDL() []Transmission {
+	var out []Transmission
+	for _, f := range b.frames {
+		out = append(out, f.msgs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Horizon returns the end of the last reserved slot occurrence, or 0
+// when the bus is empty.
+func (b *Bus) Horizon() model.Time {
+	var h model.Time
+	for _, f := range b.frames {
+		for _, m := range f.msgs {
+			if m.Arrival > h {
+				h = m.Arrival
+			}
+		}
+	}
+	return h
+}
