@@ -10,7 +10,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -219,6 +221,29 @@ func BenchmarkAblationBusOpt(b *testing.B) {
 	b.Run("on", func(b *testing.B) {
 		b.ReportMetric(run(b, true).Milliseconds(), "δ_ms")
 	})
+}
+
+// BenchmarkParallelSearch measures the parallel candidate-move
+// evaluation on the 100-process synthetic instance of Table 1a: the
+// same MXR search run with one worker (the sequential baseline) and
+// with one worker per CPU. The searches are deterministic, so both
+// sub-benchmarks do identical scheduling work and the ratio is the
+// fan-out speedup.
+func BenchmarkParallelSearch(b *testing.B) {
+	prob := gen.Problem(gen.Spec{Procs: 100, Nodes: 6, Seed: 1},
+		fault.Model{K: 7, Mu: model.Ms(5)})
+	run := func(b *testing.B, workers int) {
+		opts := core.DefaultOptions(core.MXR)
+		opts.MaxIterations = 10
+		opts.Workers = workers
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Optimize(prob, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
 }
 
 // schedulerInput builds one representative scheduling input per size for

@@ -7,6 +7,7 @@
 //	ftexp -exp all                  # default smoke-scale run
 //	ftexp -exp table1b -seeds 15    # paper-scale instance count
 //	ftexp -exp cc -iters 1500
+//	ftexp -exp table1a -workers 1   # sequential move evaluation
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "random applications per dimension (0 = default)")
 		iters   = flag.Int("iters", 0, "tabu iterations per run (0 = default)")
 		timeLim = flag.Duration("time", 0, "time limit per optimization run (0 = default)")
+		workers = flag.Int("workers", 0, "concurrent move evaluations per run (0 = all CPUs, 1 = sequential)")
 		paper   = flag.Bool("paper", false, "use the paper-protocol configuration (15 seeds, long runs)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress on stderr")
 		format  = flag.String("format", "text", "output format: text, csv")
@@ -48,6 +50,7 @@ func main() {
 	if *timeLim > 0 {
 		cfg.TimeLimit = *timeLim
 	}
+	cfg.Workers = *workers
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ftsched -in app.json [-strategy mxr] [-iters 500] [-time 30s]
-//	        [-stop-schedulable] [-gantt] [-width 100]
+//	        [-workers 0] [-stop-schedulable] [-gantt] [-width 100]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 		stopSch  = flag.Bool("stop-schedulable", false, "stop at the first schedulable design")
 		busOpt   = flag.Bool("busopt", false, "run the final bus-access optimization")
 		ckpt     = flag.Bool("checkpointing", false, "enable checkpoint moves (extension)")
+		workers  = flag.Int("workers", 0, "concurrent move evaluations (0 = all CPUs, 1 = sequential)")
 		showG    = flag.Bool("gantt", true, "print an ASCII Gantt chart")
 		width    = flag.Int("width", 100, "Gantt chart width")
 		export   = flag.String("export", "", "write the schedule tables + MEDL as JSON to this file")
@@ -73,6 +74,7 @@ func main() {
 	opts.StopWhenSchedulable = *stopSch
 	opts.OptimizeBusAccess = *busOpt
 	opts.EnableCheckpointing = *ckpt
+	opts.Workers = *workers
 
 	res, err := core.Optimize(prob, opts)
 	if err != nil {

@@ -41,6 +41,9 @@ type Config struct {
 	MaxIterations int
 	// TimeLimit bounds each optimization run (0 = none).
 	TimeLimit time.Duration
+	// Workers bounds the concurrent move evaluations inside each
+	// optimization run (core.Options.Workers); 0 uses all CPUs.
+	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -128,6 +131,7 @@ func (c Config) RunPoint(d Dimension, seed int, strategies []core.Strategy) (map
 		opts := core.DefaultOptions(s)
 		opts.MaxIterations = c.MaxIterations
 		opts.TimeLimit = c.TimeLimit
+		opts.Workers = c.Workers
 		start := time.Now()
 		res, err := core.Optimize(prob, opts)
 		if err != nil {
@@ -260,6 +264,7 @@ func (c Config) CruiseController() ([]CCRow, error) {
 		opts := core.DefaultOptions(s)
 		opts.MaxIterations = c.MaxIterations
 		opts.TimeLimit = c.TimeLimit
+		opts.Workers = c.Workers
 		res, err := core.Optimize(prob, opts)
 		if err != nil {
 			return nil, err

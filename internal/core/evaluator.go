@@ -1,0 +1,204 @@
+package core
+
+import (
+	"crypto/sha256"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sched"
+)
+
+// moveEval is the outcome of evaluating one candidate move: the
+// schedule and cost of the assignment with the move applied. ok is
+// false when the scheduler rejected the move or the deadline expired
+// before the move could be evaluated. s is nil when the cost came from
+// the memo cache — the cache keeps only costs, not schedules, so that
+// long tabu runs do not retain thousands of full schedule tables;
+// callers rebuild the schedule of the (rare) memoized winner.
+type moveEval struct {
+	s  *sched.Schedule
+	c  Cost
+	ok bool
+}
+
+// cachedCost is the memoized part of a moveEval.
+type cachedCost struct {
+	c  Cost
+	ok bool
+}
+
+// fingerprint is the fixed-size cache key of an assignment: a SHA-256
+// over its canonical serialization. Hashing keeps the memo table at
+// ~40 bytes per entry regardless of application size (the serialized
+// form is O(processes × replicas) bytes, which at paper scale would
+// retain hundreds of megabytes over a long tabu run).
+type fingerprint [sha256.Size]byte
+
+// maxCacheEntries bounds the memo table within one bus configuration;
+// beyond it new results are still returned but no longer remembered.
+// 2^20 entries (~40 MB) is far above any configured search budget.
+const maxCacheEntries = 1 << 20
+
+// evaluator runs the per-move scheduling passes shared by greedyMPA and
+// tabuSearchMPA. Moves are fanned out over a bounded worker pool and
+// results are memoized by assignment fingerprint, so the tabu loop
+// never re-schedules an assignment it has already costed.
+//
+// Concurrent evaluation relies on the read-only invariants of the
+// scheduling context: the merged graph (frozen by sched.NewStatic), the
+// architecture, the WCET table, the bus configuration and the
+// precomputed sched.Static are all shared across workers and must not
+// be mutated while evalMoves runs. Each evaluation builds its own
+// assignment clone and sched.Build allocates a fresh builder and bus
+// allocator per call, so no mutable state crosses goroutines.
+type evaluator struct {
+	st      *searchState
+	workers int
+
+	cache map[fingerprint]cachedCost
+	buf   []byte // scratch for fingerprint serialization
+	// hits/misses instrument the memoization for tests and tuning.
+	hits, misses int
+}
+
+func newEvaluator(st *searchState, workers int) *evaluator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &evaluator{st: st, workers: workers, cache: make(map[fingerprint]cachedCost)}
+}
+
+// invalidate drops the memoized results. Called whenever the bus
+// configuration changes: the fingerprint covers only the assignment, so
+// cached costs are valid for a single scheduling context.
+func (ev *evaluator) invalidate() {
+	clear(ev.cache)
+}
+
+// fingerprint serializes the assignment with pol substituted for proc
+// in the sorted origin order — so equal assignments always produce
+// equal serializations — and hashes it into a fixed-size key.
+func (ev *evaluator) fingerprint(base policy.Assignment, proc model.ProcID, pol policy.Policy) fingerprint {
+	buf := ev.buf[:0]
+	for _, id := range ev.st.origins {
+		p, ok := base[id]
+		if id == proc {
+			p, ok = pol, true
+		}
+		if !ok {
+			buf = append(buf, '-', '|')
+			continue
+		}
+		for _, r := range p.Replicas {
+			buf = strconv.AppendInt(buf, int64(r.Node), 10)
+			buf = append(buf, '+')
+			buf = strconv.AppendInt(buf, int64(r.Reexec), 10)
+			buf = append(buf, '/')
+			buf = strconv.AppendInt(buf, int64(r.Checkpoints), 10)
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, '|')
+	}
+	ev.buf = buf
+	return sha256.Sum256(buf)
+}
+
+// evalMoves evaluates every move against the base assignment and
+// returns the results indexed by move position. The base assignment is
+// only read; each evaluation applies its move to a private clone, which
+// the resulting schedule then owns. The deadline is checked before
+// every scheduling pass, so a sweep over many moves stops promptly when
+// the time limit expires (remaining entries report ok == false).
+//
+// With no deadline (or one that never expires mid-sweep) the result is
+// independent of the worker count: callers pick winners by (cost, move
+// index), and memoized entries are resolved before the fan-out so
+// cache state never influences scheduling order. A deadline expiring
+// mid-sweep cuts the evaluated subset at a speed-dependent point, so
+// only untimed runs are bit-reproducible across worker counts (see
+// Options.Workers).
+func (ev *evaluator) evalMoves(base policy.Assignment, moves []move, deadline time.Time) []moveEval {
+	out := make([]moveEval, len(moves))
+	if len(moves) == 0 {
+		return out
+	}
+
+	// Resolve memoized results first; only cache misses hit the pool.
+	keys := make([]fingerprint, len(moves))
+	evaluated := make([]bool, len(moves))
+	pending := make([]int, 0, len(moves))
+	for i := range moves {
+		keys[i] = ev.fingerprint(base, moves[i].proc, moves[i].pol)
+		if r, hit := ev.cache[keys[i]]; hit {
+			out[i] = moveEval{c: r.c, ok: r.ok}
+			ev.hits++
+		} else {
+			pending = append(pending, i)
+			ev.misses++
+		}
+	}
+	if len(pending) == 0 {
+		return out
+	}
+
+	evalOne := func(i int) {
+		m := &moves[i]
+		asgn := base.Clone()
+		asgn[m.proc] = m.pol.Clone()
+		s, c, err := ev.st.evaluate(asgn)
+		evaluated[i] = true
+		if err == nil {
+			out[i] = moveEval{s: s, c: c, ok: true}
+		}
+	}
+
+	if workers := min(ev.workers, len(pending)); workers <= 1 {
+		for _, i := range pending {
+			if expired(deadline) {
+				break
+			}
+			evalOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(pending) || expired(deadline) {
+						return
+					}
+					evalOne(pending[n])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Memoize everything that actually ran, including scheduler
+	// rejections (they are deterministic per assignment). Moves skipped
+	// by the deadline are not cached: they were never costed.
+	for _, i := range pending {
+		if evaluated[i] && len(ev.cache) < maxCacheEntries {
+			ev.cache[keys[i]] = cachedCost{c: out[i].c, ok: out[i].ok}
+		}
+	}
+	return out
+}
+
+// rebuild schedules the assignment with the move applied; used to
+// materialize the schedule of a winner whose cost was memoized. The
+// scheduler is deterministic, so the result matches the original
+// evaluation of the same assignment.
+func (ev *evaluator) rebuild(base policy.Assignment, m *move) (*sched.Schedule, error) {
+	s, _, err := ev.st.evaluate(m.applyTo(base))
+	return s, err
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// evalState builds a searchState plus an initial assignment and its
+// move neighborhood for evaluator tests.
+func evalState(t *testing.T, workers int) (*searchState, policy.Assignment, []move) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	p := randomProblem(rng, 10, 3, 2)
+	opts := DefaultOptions(MXR)
+	opts.Workers = workers
+	st, err := newSearchState(p, opts)
+	if err != nil {
+		t.Fatalf("newSearchState: %v", err)
+	}
+	asgn, err := st.initialMPA()
+	if err != nil {
+		t.Fatalf("initialMPA: %v", err)
+	}
+	moves := st.generateMoves(asgn, st.origins)
+	if len(moves) == 0 {
+		t.Fatal("no moves generated")
+	}
+	return st, asgn, moves
+}
+
+func TestEvaluatorFingerprintCanonical(t *testing.T) {
+	st, base, moves := evalState(t, 1)
+	ev := st.eval
+
+	// Substituting a move's policy must fingerprint identically to
+	// actually applying the move.
+	m := moves[0]
+	applied := m.applyTo(base)
+	want := ev.fingerprint(applied, m.proc, applied[m.proc])
+	if got := ev.fingerprint(base, m.proc, m.pol); got != want {
+		t.Errorf("substituted fingerprint %x != applied fingerprint %x", got, want)
+	}
+	// Different moves must not collide with the base fingerprint.
+	baseKey := ev.fingerprint(base, m.proc, base[m.proc])
+	for i := range moves {
+		if key := ev.fingerprint(base, moves[i].proc, moves[i].pol); key == baseKey {
+			t.Errorf("move %v fingerprints like the unchanged assignment", moves[i])
+		}
+	}
+}
+
+func TestEvaluatorMemoization(t *testing.T) {
+	st, base, moves := evalState(t, 1)
+	ev := st.eval
+
+	first := ev.evalMoves(base, moves, time.Time{})
+	misses := ev.misses
+	if ev.hits != 0 {
+		t.Fatalf("first sweep had %d cache hits, want 0", ev.hits)
+	}
+	second := ev.evalMoves(base, moves, time.Time{})
+	if ev.misses != misses {
+		t.Errorf("second sweep missed the cache %d times", ev.misses-misses)
+	}
+	if ev.hits != len(moves) {
+		t.Errorf("second sweep hit the cache %d times, want %d", ev.hits, len(moves))
+	}
+	for i := range first {
+		if first[i].ok != second[i].ok || first[i].c != second[i].c {
+			t.Errorf("move %d: memoized cost differs", i)
+		}
+		if second[i].s != nil {
+			t.Errorf("move %d: memoized result retains a schedule", i)
+		}
+	}
+
+	// A bus change invalidates the cache.
+	if err := st.rebuildStatic(); err != nil {
+		t.Fatalf("rebuildStatic: %v", err)
+	}
+	if len(ev.cache) != 0 {
+		t.Errorf("cache holds %d entries after bus rebuild, want 0", len(ev.cache))
+	}
+}
+
+func TestEvaluatorExpiredDeadline(t *testing.T) {
+	st, base, moves := evalState(t, 1)
+	ev := st.eval
+
+	past := time.Now().Add(-time.Second)
+	for i, r := range ev.evalMoves(base, moves, past) {
+		if r.ok {
+			t.Errorf("move %d evaluated despite expired deadline", i)
+		}
+	}
+	if len(ev.cache) != 0 {
+		t.Errorf("deadline-skipped moves were cached (%d entries)", len(ev.cache))
+	}
+}
+
+func TestEvaluatorWorkerCountsAgree(t *testing.T) {
+	st1, base1, moves := evalState(t, 1)
+	st8, base8, moves8 := evalState(t, 8)
+	if len(moves) != len(moves8) {
+		t.Fatalf("move sets differ: %d vs %d", len(moves), len(moves8))
+	}
+	seq := st1.eval.evalMoves(base1, moves, time.Time{})
+	par := st8.eval.evalMoves(base8, moves8, time.Time{})
+	for i := range seq {
+		if seq[i].ok != par[i].ok || seq[i].c != par[i].c {
+			t.Errorf("move %d: sequential %+v vs parallel %+v", i, seq[i].c, par[i].c)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core_test
+
+// External test package: gen imports core, so these end-to-end tests
+// of the parallel move evaluation live outside package core.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestWorkersProduceIdenticalResults asserts the evaluator's
+// determinism contract end to end: the same seeded instance optimized
+// with Workers=1 (the sequential seed behavior) and Workers=8 yields
+// the same assignment, cost and iteration count. Run with -race to
+// exercise the concurrent scheduling path.
+func TestWorkersProduceIdenticalResults(t *testing.T) {
+	cases := []struct {
+		spec  gen.Spec
+		k     int
+		strat core.Strategy
+	}{
+		{gen.Spec{Procs: 15, Nodes: 3, Seed: 42}, 2, core.MXR},
+		{gen.Spec{Procs: 20, Nodes: 2, Seed: 7, Shape: gen.Tree}, 3, core.MX},
+		{gen.Spec{Procs: 12, Nodes: 4, Seed: 11, Shape: gen.Chains}, 2, core.MR},
+	}
+	for _, tc := range cases {
+		prob := gen.Problem(tc.spec, fault.Model{K: tc.k, Mu: model.Ms(5)})
+		run := func(workers int) *core.Result {
+			t.Helper()
+			opts := core.DefaultOptions(tc.strat)
+			opts.MaxIterations = 25
+			opts.Workers = workers
+			res, err := core.Optimize(prob, opts)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", tc.strat, workers, err)
+			}
+			return res
+		}
+		seq := run(1)
+		par := run(8)
+		if !reflect.DeepEqual(seq.Assignment, par.Assignment) {
+			t.Errorf("%v seed %d: assignments differ between 1 and 8 workers\nseq: %v\npar: %v",
+				tc.strat, tc.spec.Seed, seq.Assignment, par.Assignment)
+		}
+		if seq.Cost != par.Cost {
+			t.Errorf("%v seed %d: cost %v (1 worker) != %v (8 workers)",
+				tc.strat, tc.spec.Seed, seq.Cost, par.Cost)
+		}
+		if seq.Iterations != par.Iterations {
+			t.Errorf("%v seed %d: %d iterations (1 worker) != %d (8 workers)",
+				tc.strat, tc.spec.Seed, seq.Iterations, par.Iterations)
+		}
+	}
+}
+
+// TestTimeLimitReturnsPromptly is the regression test for deadline
+// checks inside move sweeps: with a time limit far below one sweep of
+// the 60-process instance, Optimize must return shortly after the limit
+// (the seed only polled the deadline per outer iteration, overshooting
+// by a full sweep of scheduling passes) and still deliver a valid
+// best-so-far design.
+func TestTimeLimitReturnsPromptly(t *testing.T) {
+	prob := gen.Problem(gen.Spec{Procs: 60, Nodes: 4, Seed: 3}, fault.Model{K: 4, Mu: model.Ms(5)})
+	for _, workers := range []int{1, 0} {
+		opts := core.DefaultOptions(core.MXR)
+		opts.TimeLimit = 50 * time.Millisecond
+		opts.Workers = workers
+		start := time.Now()
+		res, err := core.Optimize(prob, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Generous bound: the limit may be overshot by the scheduling
+		// passes in flight, but never by a full sweep (~60 moves) or the
+		// default iteration budget (650 sweeps).
+		if elapsed > 5*time.Second {
+			t.Errorf("workers=%d: Optimize took %v with a 50ms limit", workers, elapsed)
+		}
+		if res.Schedule == nil || res.Cost.Makespan <= 0 {
+			t.Fatalf("workers=%d: no best-so-far result: %+v", workers, res)
+		}
+		if err := sched.ValidateSchedule(res.Schedule); err != nil {
+			t.Errorf("workers=%d: best-so-far schedule invalid: %v", workers, err)
+		}
+	}
+}

@@ -14,12 +14,17 @@ import (
 )
 
 // searchState carries the immutable context of one optimization run.
+// Everything except bus/static (swapped wholesale by the bus-access
+// optimization) and the evaluator's memoization cache is read-only
+// after construction, which is what allows the evaluator to fan
+// sched.Build calls out over concurrent workers.
 type searchState struct {
 	p      Problem
 	opts   Options
 	merged *model.Graph
 	bus    ttp.Config
 	static *sched.Static // precomputed for the current bus configuration
+	eval   *evaluator    // concurrent, memoizing move evaluation
 
 	// origins are the original (pre-merge) process IDs, sorted.
 	origins []model.ProcID
@@ -30,6 +35,8 @@ type searchState struct {
 
 // rebuildStatic revalidates and precomputes the scheduling context;
 // called at construction and whenever the bus configuration changes.
+// Memoized move evaluations are dropped: they are only valid for the
+// bus configuration they were costed under.
 func (st *searchState) rebuildStatic() error {
 	s, err := sched.NewStatic(sched.Input{
 		Graph:  st.merged,
@@ -42,6 +49,9 @@ func (st *searchState) rebuildStatic() error {
 		return err
 	}
 	st.static = s
+	if st.eval != nil {
+		st.eval.invalidate()
+	}
 	return nil
 }
 
@@ -69,6 +79,7 @@ func newSearchState(p Problem, opts Options) (*searchState, error) {
 		}
 	}
 	sort.Slice(st.origins, func(i, j int) bool { return st.origins[i] < st.origins[j] })
+	st.eval = newEvaluator(st, opts.Workers)
 	return st, nil
 }
 
@@ -177,6 +188,9 @@ func (st *searchState) pickNodes(id model.ProcID, allowed []arch.NodeID, r int, 
 
 // greedyMPA is the paper's step 2: repeatedly evaluate all moves on the
 // critical path and apply the best one while it improves the design.
+// Move evaluation is fanned out by the evaluator; the winner is the
+// lowest-index move of minimal cost, exactly as the sequential sweep
+// selected it.
 func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, curCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost, int) {
 	iters := 0
 	for !expired(deadline) {
@@ -185,21 +199,21 @@ func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, cu
 		var bestMove *move
 		var bestSched *sched.Schedule
 		bestCost := curCost
-		for i := range moves {
-			m := &moves[i]
-			prev := asgn[m.proc]
-			asgn[m.proc] = m.pol
-			s, c, err := st.evaluate(asgn)
-			asgn[m.proc] = prev
-			if err != nil {
-				continue
-			}
-			if c.Less(bestCost) {
-				bestMove, bestSched, bestCost = m, s, c
+		for i, r := range st.eval.evalMoves(asgn, moves, deadline) {
+			if r.ok && r.c.Less(bestCost) {
+				bestMove, bestSched, bestCost = &moves[i], r.s, r.c
 			}
 		}
 		if bestMove == nil {
 			break
+		}
+		if bestSched == nil {
+			// The winner's cost was memoized; materialize its schedule.
+			s, err := st.eval.rebuild(asgn, bestMove)
+			if err != nil {
+				break
+			}
+			bestSched = s
 		}
 		asgn = bestMove.applyTo(asgn)
 		cur, curCost = bestSched, bestCost
@@ -258,19 +272,14 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 			waits bool
 		}
 		var all []evaluated
-		for i := range moves {
-			m := &moves[i]
-			prev := xnow[m.proc]
-			xnow[m.proc] = m.pol
-			s, c, err := st.evaluate(xnow)
-			xnow[m.proc] = prev
-			if err != nil {
+		for i, r := range st.eval.evalMoves(xnow, moves, deadline) {
+			if !r.ok {
 				continue
 			}
 			all = append(all, evaluated{
 				m:     &moves[i],
-				s:     s,
-				c:     c,
+				s:     r.s,
+				c:     r.c,
 				isTab: tabu[moves[i].proc] > 0,
 				waits: wait[moves[i].proc] > diversifyAfter,
 			})
@@ -303,6 +312,15 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 			}
 		}
 
+		if chosen.s == nil {
+			// The chosen move's cost was memoized; materialize its
+			// schedule for the critical path of the next iteration.
+			s, err := st.eval.rebuild(xnow, chosen.m)
+			if err != nil {
+				break
+			}
+			chosen.s = s
+		}
 		xnow = chosen.m.applyTo(xnow)
 		snow = chosen.s
 		if chosen.c.Less(bestCost) {
@@ -334,7 +352,10 @@ func (st *searchState) optimizeBus(asgn policy.Assignment, best *sched.Schedule,
 	improved := true
 	for improved && !expired(deadline) {
 		improved = false
-		for i := 0; i+1 < n; i++ {
+		// The deadline is re-checked per swap: each probe is a full
+		// scheduling pass, and a round of n−1 swaps would otherwise
+		// overshoot a tight time limit by the whole round.
+		for i := 0; i+1 < n && !expired(deadline); i++ {
 			perm := make([]int, n)
 			for j := range perm {
 				perm[j] = j

@@ -70,6 +70,18 @@ type Options struct {
 	// The default (via DefaultOptions) is on.
 	SlackSharing bool
 
+	// Workers bounds the number of concurrent scheduling passes used to
+	// evaluate candidate moves; <= 0 selects runtime.GOMAXPROCS(0).
+	// Workers == 1 evaluates moves sequentially on the calling
+	// goroutine. Without a TimeLimit the search result is identical for
+	// every value: the winning move is selected by (cost, move index)
+	// regardless of the order in which workers finish. When a TimeLimit
+	// expires mid-sweep, the subset of moves costed before the cutoff
+	// depends on evaluation speed — and therefore on the worker count —
+	// so timed runs are best-effort anytime results, reproducible only
+	// when the budget is generous enough that the limit never strikes.
+	Workers int
+
 	// OptimizeBusAccess runs the final bus-access optimization step
 	// (slot order hill climbing) after the search.
 	OptimizeBusAccess bool

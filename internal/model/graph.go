@@ -55,6 +55,16 @@ func (g *Graph) invalidate() {
 	g.byID = nil
 }
 
+// Freeze eagerly builds the adjacency caches so that subsequent
+// read-only accessors (Process, Successors, Predecessors, Sources,
+// Sinks, …) never mutate the graph. Callers that share a graph across
+// goroutines — such as concurrent schedule builds over the same merged
+// graph — must call Freeze (or any cache-building accessor) before the
+// fan-out and must not add processes or edges afterwards.
+func (g *Graph) Freeze() {
+	g.buildAdjacency()
+}
+
 // Processes returns the processes of the graph in creation order.
 // The returned slice must not be modified.
 func (g *Graph) Processes() []*Process { return g.procs }

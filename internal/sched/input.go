@@ -55,6 +55,15 @@ type Input struct {
 	// recomputing priorities per call. It also implies that graph, WCET
 	// and bus were validated once up front, so Build skips revalidation
 	// (assignment-dependent errors are still caught during placement).
+	//
+	// A non-nil Static additionally licenses concurrent Build calls
+	// over the same input: NewStatic freezes the graph's lazy adjacency
+	// caches, Static itself is never written after construction, and
+	// Build allocates all mutable state (builder, timelines, bus
+	// allocator, schedule) per call. Callers must treat Graph, Arch,
+	// WCET, Bus and Static as strictly read-only for the duration of
+	// any concurrent builds; each concurrent call needs its own
+	// Assignment (the built Schedule retains it).
 	Static *Static
 }
 
@@ -73,6 +82,10 @@ func NewStatic(in Input) (*Static, error) {
 	if err := probe.validateStatic(); err != nil {
 		return nil, err
 	}
+	// Freeze the graph so concurrent Build calls sharing this Static
+	// only ever read it (the lazy adjacency caches are built once here,
+	// not under the fan-out).
+	in.Graph.Freeze()
 	st := &Static{
 		prio:    BottomLevels(in),
 		edgeIdx: make(map[[2]model.ProcID]int, len(in.Graph.Edges())),
