@@ -1,5 +1,6 @@
 // Package bench is the experiment harness that regenerates every table
-// and figure of the paper's evaluation (Section 6):
+// and figure of the paper's evaluation (Section 6) on top of the public
+// ftdse API:
 //
 //   - Table 1a: fault-tolerance overhead of MXR vs NFT over application
 //     size (20..100 processes on 2..6 nodes, k = 3..7, µ = 5 ms);
@@ -18,18 +19,19 @@
 // paper-protocol runs. Applications rotate through random, tree and
 // chain-group structures and uniform/exponential execution-time
 // distributions, as in the paper.
+//
+// Every experiment takes a context and stops early — returning the
+// rows accumulated so far alongside ctx.Err() — when it fires, so long
+// sweeps can be interrupted cleanly.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/ccapp"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/gen"
-	"repro/internal/model"
+	"repro/ftdse"
 )
 
 // Config tunes an experiment run.
@@ -42,7 +44,7 @@ type Config struct {
 	// TimeLimit bounds each optimization run (0 = none).
 	TimeLimit time.Duration
 	// Workers bounds the concurrent move evaluations inside each
-	// optimization run (core.Options.Workers); 0 uses all CPUs.
+	// optimization run (ftdse.WithWorkers); 0 uses all CPUs.
 	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
@@ -65,12 +67,22 @@ func PaperConfig() Config {
 	return Config{Seeds: 15, MaxIterations: 1000, TimeLimit: 2 * time.Minute}
 }
 
+// solver builds the configured solver for one strategy.
+func (c Config) solver(s ftdse.Strategy) *ftdse.Solver {
+	return ftdse.NewSolver(
+		ftdse.WithStrategy(s),
+		ftdse.WithMaxIterations(c.MaxIterations),
+		ftdse.WithTimeLimit(c.TimeLimit),
+		ftdse.WithWorkers(c.Workers),
+	)
+}
+
 // Dimension is one evaluation point.
 type Dimension struct {
 	Procs int
 	Nodes int
 	K     int
-	Mu    model.Time
+	Mu    ftdse.Time
 }
 
 func (d Dimension) String() string {
@@ -81,11 +93,11 @@ func (d Dimension) String() string {
 // Figure 10.
 func Table1aDims() []Dimension {
 	return []Dimension{
-		{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(5)},
-		{Procs: 40, Nodes: 3, K: 4, Mu: model.Ms(5)},
-		{Procs: 60, Nodes: 4, K: 5, Mu: model.Ms(5)},
-		{Procs: 80, Nodes: 5, K: 6, Mu: model.Ms(5)},
-		{Procs: 100, Nodes: 6, K: 7, Mu: model.Ms(5)},
+		{Procs: 20, Nodes: 2, K: 3, Mu: ftdse.Ms(5)},
+		{Procs: 40, Nodes: 3, K: 4, Mu: ftdse.Ms(5)},
+		{Procs: 60, Nodes: 4, K: 5, Mu: ftdse.Ms(5)},
+		{Procs: 80, Nodes: 5, K: 6, Mu: ftdse.Ms(5)},
+		{Procs: 100, Nodes: 6, K: 7, Mu: ftdse.Ms(5)},
 	}
 }
 
@@ -93,7 +105,7 @@ func Table1aDims() []Dimension {
 func Table1bDims() []Dimension {
 	var out []Dimension
 	for _, k := range []int{2, 4, 6, 8, 10} {
-		out = append(out, Dimension{Procs: 60, Nodes: 4, K: k, Mu: model.Ms(5)})
+		out = append(out, Dimension{Procs: 60, Nodes: 4, K: k, Mu: ftdse.Ms(5)})
 	}
 	return out
 }
@@ -102,7 +114,7 @@ func Table1bDims() []Dimension {
 func Table1cDims() []Dimension {
 	var out []Dimension
 	for _, mu := range []int64{1, 5, 10, 15, 20} {
-		out = append(out, Dimension{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(mu)})
+		out = append(out, Dimension{Procs: 20, Nodes: 2, K: 3, Mu: ftdse.Ms(mu)})
 	}
 	return out
 }
@@ -110,10 +122,10 @@ func Table1cDims() []Dimension {
 // spec builds the generator specification of one instance of a
 // dimension, rotating graph shapes and WCET distributions as the paper
 // does.
-func (d Dimension) spec(seed int) gen.Spec {
-	shapes := []gen.Shape{gen.Random, gen.Tree, gen.Chains}
-	dists := []gen.Dist{gen.Uniform, gen.Exponential}
-	return gen.Spec{
+func (d Dimension) spec(seed int) ftdse.GenSpec {
+	shapes := []ftdse.GraphShape{ftdse.ShapeRandom, ftdse.ShapeTree, ftdse.ShapeChains}
+	dists := []ftdse.WCETDist{ftdse.DistUniform, ftdse.DistExponential}
+	return ftdse.GenSpec{
 		Procs:    d.Procs,
 		Nodes:    d.Nodes,
 		Shape:    shapes[seed%len(shapes)],
@@ -122,20 +134,31 @@ func (d Dimension) spec(seed int) gen.Spec {
 	}
 }
 
+// Problem generates the application instance of one (dimension, seed)
+// evaluation point.
+func (d Dimension) Problem(seed int) ftdse.Problem {
+	return ftdse.GenerateProblem(d.spec(seed), ftdse.FaultModel{K: d.K, Mu: d.Mu})
+}
+
 // RunPoint optimizes one generated instance with each strategy and
 // returns the resulting costs.
-func (c Config) RunPoint(d Dimension, seed int, strategies []core.Strategy) (map[core.Strategy]core.Cost, error) {
-	prob := gen.Problem(d.spec(seed), fault.Model{K: d.K, Mu: d.Mu})
-	out := make(map[core.Strategy]core.Cost, len(strategies))
+func (c Config) RunPoint(ctx context.Context, d Dimension, seed int, strategies []ftdse.Strategy) (map[ftdse.Strategy]ftdse.Cost, error) {
+	prob := d.Problem(seed)
+	out := make(map[ftdse.Strategy]ftdse.Cost, len(strategies))
 	for _, s := range strategies {
-		opts := core.DefaultOptions(s)
-		opts.MaxIterations = c.MaxIterations
-		opts.TimeLimit = c.TimeLimit
-		opts.Workers = c.Workers
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
-		res, err := core.Optimize(prob, opts)
+		res, err := c.solver(s).Solve(ctx, prob)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %v seed %d strategy %v: %w", d, seed, s, err)
+		}
+		if res.Stopped == ftdse.StopCanceled {
+			// Canceled mid-solve: the cost is a half-optimized artifact,
+			// not a data point. (A configured TimeLimit expiring is the
+			// protocol's budget and stays a valid observation.)
+			return nil, ctx.Err()
 		}
 		out[s] = res.Cost
 		if c.Progress != nil {
@@ -181,17 +204,17 @@ type OverheadRow struct {
 
 // overheadTable runs MXR and NFT over the dimensions and accumulates
 // overheads.
-func (c Config) overheadTable(dims []Dimension) ([]OverheadRow, error) {
+func (c Config) overheadTable(ctx context.Context, dims []Dimension) ([]OverheadRow, error) {
 	rows := make([]OverheadRow, 0, len(dims))
 	for _, d := range dims {
 		row := OverheadRow{Dim: d}
 		for seed := 0; seed < c.Seeds; seed++ {
-			costs, err := c.RunPoint(d, seed, []core.Strategy{core.NFT, core.MXR})
+			costs, err := c.RunPoint(ctx, d, seed, []ftdse.Strategy{ftdse.NFT, ftdse.MXR})
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
-			nft := float64(costs[core.NFT].Makespan)
-			mxr := float64(costs[core.MXR].Makespan)
+			nft := float64(costs[ftdse.NFT].Makespan)
+			mxr := float64(costs[ftdse.MXR].Makespan)
 			if nft <= 0 {
 				continue
 			}
@@ -203,37 +226,43 @@ func (c Config) overheadTable(dims []Dimension) ([]OverheadRow, error) {
 }
 
 // Table1a reproduces Table 1a (overhead vs application size).
-func (c Config) Table1a() ([]OverheadRow, error) { return c.overheadTable(Table1aDims()) }
+func (c Config) Table1a(ctx context.Context) ([]OverheadRow, error) {
+	return c.overheadTable(ctx, Table1aDims())
+}
 
 // Table1b reproduces Table 1b (overhead vs number of faults).
-func (c Config) Table1b() ([]OverheadRow, error) { return c.overheadTable(Table1bDims()) }
+func (c Config) Table1b(ctx context.Context) ([]OverheadRow, error) {
+	return c.overheadTable(ctx, Table1bDims())
+}
 
 // Table1c reproduces Table 1c (overhead vs fault duration).
-func (c Config) Table1c() ([]OverheadRow, error) { return c.overheadTable(Table1cDims()) }
+func (c Config) Table1c(ctx context.Context) ([]OverheadRow, error) {
+	return c.overheadTable(ctx, Table1cDims())
+}
 
 // DeviationRow is one point of Figure 10: the average percentage
 // deviation of MR, SFX and MX from MXR for one application size.
 type DeviationRow struct {
 	Dim Dimension
-	Dev map[core.Strategy]Stat
+	Dev map[ftdse.Strategy]Stat
 }
 
 // Figure10 reproduces Figure 10 over the Table 1a dimensions.
-func (c Config) Figure10() ([]DeviationRow, error) {
-	strategies := []core.Strategy{core.MXR, core.MX, core.MR, core.SFX}
+func (c Config) Figure10(ctx context.Context) ([]DeviationRow, error) {
+	strategies := []ftdse.Strategy{ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX}
 	var rows []DeviationRow
 	for _, d := range Table1aDims() {
-		row := DeviationRow{Dim: d, Dev: map[core.Strategy]Stat{}}
+		row := DeviationRow{Dim: d, Dev: map[ftdse.Strategy]Stat{}}
 		for seed := 0; seed < c.Seeds; seed++ {
-			costs, err := c.RunPoint(d, seed, strategies)
+			costs, err := c.RunPoint(ctx, d, seed, strategies)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
-			mxr := float64(costs[core.MXR].Makespan)
+			mxr := float64(costs[ftdse.MXR].Makespan)
 			if mxr <= 0 {
 				continue
 			}
-			for _, s := range []core.Strategy{core.MR, core.SFX, core.MX} {
+			for _, s := range []ftdse.Strategy{ftdse.MR, ftdse.SFX, ftdse.MX} {
 				st := row.Dev[s]
 				st.Add(100 * (float64(costs[s].Makespan) - mxr) / mxr)
 				row.Dev[s] = st
@@ -246,8 +275,8 @@ func (c Config) Figure10() ([]DeviationRow, error) {
 
 // CCRow is one strategy's outcome on the cruise controller.
 type CCRow struct {
-	Strategy    core.Strategy
-	Makespan    model.Time
+	Strategy    ftdse.Strategy
+	Makespan    ftdse.Time
 	Schedulable bool
 	OverheadPct float64 // vs NFT
 }
@@ -255,22 +284,25 @@ type CCRow struct {
 // CruiseController reproduces the paper's real-life example. The search
 // budget comes from the configuration; the paper's protocol needs on
 // the order of 1500 iterations.
-func (c Config) CruiseController() ([]CCRow, error) {
-	prob := ccapp.New()
-	strategies := []core.Strategy{core.NFT, core.MXR, core.MX, core.MR, core.SFX}
+func (c Config) CruiseController(ctx context.Context) ([]CCRow, error) {
+	prob := ftdse.CruiseControl()
+	strategies := []ftdse.Strategy{ftdse.NFT, ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX}
 	var nft float64
 	var rows []CCRow
 	for _, s := range strategies {
-		opts := core.DefaultOptions(s)
-		opts.MaxIterations = c.MaxIterations
-		opts.TimeLimit = c.TimeLimit
-		opts.Workers = c.Workers
-		res, err := core.Optimize(prob, opts)
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		res, err := c.solver(s).Solve(ctx, prob)
 		if err != nil {
-			return nil, err
+			return rows, err
+		}
+		if res.Stopped == ftdse.StopCanceled {
+			// Drop the half-optimized observation, keep completed rows.
+			return rows, ctx.Err()
 		}
 		row := CCRow{Strategy: s, Makespan: res.Cost.Makespan, Schedulable: res.Cost.Schedulable()}
-		if s == core.NFT {
+		if s == ftdse.NFT {
 			nft = float64(res.Cost.Makespan)
 		}
 		if nft > 0 {

@@ -1,11 +1,11 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/model"
+	"repro/ftdse"
 )
 
 func TestDimensionsMatchPaper(t *testing.T) {
@@ -17,7 +17,7 @@ func TestDimensionsMatchPaper(t *testing.T) {
 	wantNodes := []int{2, 3, 4, 5, 6}
 	wantK := []int{3, 4, 5, 6, 7}
 	for i, d := range a {
-		if d.Procs != wantProcs[i] || d.Nodes != wantNodes[i] || d.K != wantK[i] || d.Mu != model.Ms(5) {
+		if d.Procs != wantProcs[i] || d.Nodes != wantNodes[i] || d.K != wantK[i] || d.Mu != ftdse.Ms(5) {
 			t.Errorf("Table1a dim %d = %v", i, d)
 		}
 	}
@@ -29,7 +29,7 @@ func TestDimensionsMatchPaper(t *testing.T) {
 	}
 	c := Table1cDims()
 	for i, mu := range []int64{1, 5, 10, 15, 20} {
-		if c[i].Procs != 20 || c[i].Nodes != 2 || c[i].K != 3 || c[i].Mu != model.Ms(mu) {
+		if c[i].Procs != 20 || c[i].Nodes != 2 || c[i].K != 3 || c[i].Mu != ftdse.Ms(mu) {
 			t.Errorf("Table1c dim %d = %v", i, c[i])
 		}
 	}
@@ -50,16 +50,16 @@ func TestStat(t *testing.T) {
 
 func TestRunPointSmoke(t *testing.T) {
 	cfg := SmokeConfig()
-	d := Dimension{Procs: 10, Nodes: 2, K: 2, Mu: model.Ms(5)}
-	costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR, core.MX, core.MR, core.SFX})
+	d := Dimension{Procs: 10, Nodes: 2, K: 2, Mu: ftdse.Ms(5)}
+	costs, err := cfg.RunPoint(context.Background(), d, 0, []ftdse.Strategy{ftdse.NFT, ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nft := costs[core.NFT].Makespan
+	nft := costs[ftdse.NFT].Makespan
 	if nft <= 0 {
 		t.Fatal("NFT makespan must be positive")
 	}
-	for _, s := range []core.Strategy{core.MXR, core.MX, core.MR, core.SFX} {
+	for _, s := range []ftdse.Strategy{ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX} {
 		if costs[s].Makespan < nft {
 			t.Errorf("%v makespan %v below NFT %v", s, costs[s].Makespan, nft)
 		}
@@ -68,7 +68,7 @@ func TestRunPointSmoke(t *testing.T) {
 
 func TestOverheadTableSmoke(t *testing.T) {
 	cfg := SmokeConfig()
-	rows, err := cfg.overheadTable([]Dimension{{Procs: 8, Nodes: 2, K: 1, Mu: model.Ms(5)}})
+	rows, err := cfg.overheadTable(context.Background(), []Dimension{{Procs: 8, Nodes: 2, K: 1, Mu: ftdse.Ms(5)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +87,10 @@ func TestOverheadTableSmoke(t *testing.T) {
 func TestFormatters(t *testing.T) {
 	rows := []DeviationRow{{
 		Dim: Dimension{Procs: 20},
-		Dev: map[core.Strategy]Stat{
-			core.MR:  {Min: 1, Max: 3, Sum: 4, N: 2},
-			core.SFX: {Min: 1, Max: 2, Sum: 3, N: 2},
-			core.MX:  {Min: 0, Max: 1, Sum: 1, N: 2},
+		Dev: map[ftdse.Strategy]Stat{
+			ftdse.MR:  {Min: 1, Max: 3, Sum: 4, N: 2},
+			ftdse.SFX: {Min: 1, Max: 2, Sum: 3, N: 2},
+			ftdse.MX:  {Min: 0, Max: 1, Sum: 1, N: 2},
 		},
 	}}
 	out := FormatDeviations(rows)
@@ -98,9 +98,9 @@ func TestFormatters(t *testing.T) {
 		t.Errorf("deviation table: %q", out)
 	}
 	cc := FormatCC([]CCRow{
-		{Strategy: core.NFT, Makespan: model.Ms(172), Schedulable: true},
-		{Strategy: core.MXR, Makespan: model.Ms(244), Schedulable: true, OverheadPct: 41.9},
-		{Strategy: core.MX, Makespan: model.Ms(274), Schedulable: false, OverheadPct: 59.3},
+		{Strategy: ftdse.NFT, Makespan: ftdse.Ms(172), Schedulable: true},
+		{Strategy: ftdse.MXR, Makespan: ftdse.Ms(244), Schedulable: true, OverheadPct: 41.9},
+		{Strategy: ftdse.MX, Makespan: ftdse.Ms(274), Schedulable: false, OverheadPct: 59.3},
 	})
 	if !strings.Contains(cc, "MISSED") || !strings.Contains(cc, "MET") {
 		t.Errorf("cc table: %q", cc)
@@ -111,7 +111,7 @@ func TestFormatters(t *testing.T) {
 }
 
 func TestLabels(t *testing.T) {
-	d := Dimension{Procs: 60, Nodes: 4, K: 6, Mu: model.Ms(15)}
+	d := Dimension{Procs: 60, Nodes: 4, K: 6, Mu: ftdse.Ms(15)}
 	if Table1aLabel(d) != "60 procs" || Table1bLabel(d) != "k=6" || Table1cLabel(d) != "µ=15ms" {
 		t.Error("labels wrong")
 	}
@@ -123,7 +123,7 @@ func TestLabels(t *testing.T) {
 func TestCSVWriters(t *testing.T) {
 	var buf strings.Builder
 	rows := []OverheadRow{{
-		Dim:  Dimension{Procs: 20, Nodes: 2, K: 3, Mu: model.Ms(5)},
+		Dim:  Dimension{Procs: 20, Nodes: 2, K: 3, Mu: ftdse.Ms(5)},
 		Stat: Stat{Min: 60, Max: 100, Sum: 240, N: 3},
 	}}
 	if err := WriteOverheadsCSV(&buf, rows); err != nil {
@@ -137,10 +137,10 @@ func TestCSVWriters(t *testing.T) {
 	buf.Reset()
 	dev := []DeviationRow{{
 		Dim: Dimension{Procs: 40},
-		Dev: map[core.Strategy]Stat{
-			core.MR:  {Min: 100, Max: 150, Sum: 250, N: 2},
-			core.SFX: {Min: 30, Max: 50, Sum: 80, N: 2},
-			core.MX:  {Min: 1, Max: 3, Sum: 4, N: 2},
+		Dev: map[ftdse.Strategy]Stat{
+			ftdse.MR:  {Min: 100, Max: 150, Sum: 250, N: 2},
+			ftdse.SFX: {Min: 30, Max: 50, Sum: 80, N: 2},
+			ftdse.MX:  {Min: 1, Max: 3, Sum: 4, N: 2},
 		},
 	}}
 	if err := WriteDeviationsCSV(&buf, dev); err != nil {
@@ -151,7 +151,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	buf.Reset()
-	cc := []CCRow{{Strategy: core.MXR, Makespan: model.Ms(244), Schedulable: true, OverheadPct: 41.9}}
+	cc := []CCRow{{Strategy: ftdse.MXR, Makespan: ftdse.Ms(244), Schedulable: true, OverheadPct: 41.9}}
 	if err := WriteCCCSV(&buf, cc); err != nil {
 		t.Fatal(err)
 	}

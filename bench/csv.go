@@ -6,7 +6,7 @@ import (
 	"io"
 	"strconv"
 
-	"repro/internal/core"
+	"repro/ftdse"
 )
 
 // WriteOverheadsCSV emits an overhead table as CSV with the columns
@@ -43,7 +43,7 @@ func WriteDeviationsCSV(w io.Writer, rows []DeviationRow) error {
 		return err
 	}
 	for _, r := range rows {
-		mr, sfx, mx := r.Dev[core.MR], r.Dev[core.SFX], r.Dev[core.MX]
+		mr, sfx, mx := r.Dev[ftdse.MR], r.Dev[ftdse.SFX], r.Dev[ftdse.MX]
 		rec := []string{
 			strconv.Itoa(r.Dim.Procs),
 			fmt.Sprintf("%.2f", mr.Avg()),

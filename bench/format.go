@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
+	"repro/ftdse"
 )
 
 // FormatOverheads renders an overhead table in the paper's layout
@@ -37,7 +37,7 @@ func FormatDeviations(rows []DeviationRow) string {
 	b.WriteString("Figure 10: average % deviation from MXR\n")
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "processes", "MR", "SFX", "MX")
 	for _, r := range rows {
-		mr, sfx, mx := r.Dev[core.MR], r.Dev[core.SFX], r.Dev[core.MX]
+		mr, sfx, mx := r.Dev[ftdse.MR], r.Dev[ftdse.SFX], r.Dev[ftdse.MX]
 		fmt.Fprintf(&b, "%-10d %10.2f %10.2f %10.2f\n", r.Dim.Procs, mr.Avg(), sfx.Avg(), mx.Avg())
 	}
 	return b.String()
@@ -54,7 +54,7 @@ func FormatCC(rows []CCRow) string {
 			verdict = "MISSED"
 		}
 		ovh := "-"
-		if r.Strategy != core.NFT {
+		if r.Strategy != ftdse.NFT {
 			ovh = fmt.Sprintf("%.1f%%", r.OverheadPct)
 		}
 		fmt.Fprintf(&b, "%-6v %12v %14s %12s\n", r.Strategy, r.Makespan, verdict, ovh)

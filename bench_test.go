@@ -1,33 +1,25 @@
-// Benchmarks regenerating the paper's evaluation (Section 6): one
-// benchmark per table and figure, plus ablations of the design choices
-// and micro-benchmarks of the scheduling substrate.
+// Benchmarks regenerating the paper's evaluation (Section 6) through
+// the public ftdse API: one benchmark per table and figure, plus
+// ablations of the design choices. Micro-benchmarks of the scheduling
+// substrate live next to it in internal/sched and internal/exact.
 //
 // The table/figure benchmarks report the paper's metrics (overhead and
 // deviation percentages, schedule lengths) via b.ReportMetric; the shape
 // to compare against the paper is recorded in EXPERIMENTS.md. Run with:
 //
 //	go test -bench=. -benchmem
-package repro
+package ftdse_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
 	"time"
 
-	"repro/internal/arch"
-	"repro/internal/bench"
-	"repro/internal/ccapp"
-	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/fault"
-	"repro/internal/gen"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/ttp"
+	"repro/ftdse"
+	"repro/ftdse/bench"
 )
 
 // benchConfig is the per-run search budget of the table benchmarks:
@@ -37,24 +29,28 @@ func benchConfig() bench.Config {
 	return bench.Config{Seeds: 1, MaxIterations: 40, TimeLimit: 60 * time.Second}
 }
 
+// overheadBenchmark runs the MXR-vs-NFT overhead measurement of one
+// dimension, the shared shape of the Table 1 benchmarks.
+func overheadBenchmark(b *testing.B, cfg bench.Config, d bench.Dimension) {
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		costs, err := cfg.RunPoint(context.Background(), d, 0, []ftdse.Strategy{ftdse.NFT, ftdse.MXR})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nft := float64(costs[ftdse.NFT].Makespan)
+		overhead = 100 * (float64(costs[ftdse.MXR].Makespan) - nft) / nft
+	}
+	b.ReportMetric(overhead, "overhead%")
+}
+
 // BenchmarkTable1a regenerates Table 1a: fault-tolerance overhead of
 // MXR vs NFT as the application grows from 20 to 100 processes.
 func BenchmarkTable1a(b *testing.B) {
 	cfg := benchConfig()
 	for _, d := range bench.Table1aDims() {
 		d := d
-		b.Run(bench.Table1aLabel(d), func(b *testing.B) {
-			var overhead float64
-			for i := 0; i < b.N; i++ {
-				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
-				if err != nil {
-					b.Fatal(err)
-				}
-				nft := float64(costs[core.NFT].Makespan)
-				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
-			}
-			b.ReportMetric(overhead, "overhead%")
-		})
+		b.Run(bench.Table1aLabel(d), func(b *testing.B) { overheadBenchmark(b, cfg, d) })
 	}
 }
 
@@ -64,18 +60,7 @@ func BenchmarkTable1b(b *testing.B) {
 	cfg := benchConfig()
 	for _, d := range bench.Table1bDims() {
 		d := d
-		b.Run(bench.Table1bLabel(d), func(b *testing.B) {
-			var overhead float64
-			for i := 0; i < b.N; i++ {
-				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
-				if err != nil {
-					b.Fatal(err)
-				}
-				nft := float64(costs[core.NFT].Makespan)
-				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
-			}
-			b.ReportMetric(overhead, "overhead%")
-		})
+		b.Run(bench.Table1bLabel(d), func(b *testing.B) { overheadBenchmark(b, cfg, d) })
 	}
 }
 
@@ -85,18 +70,7 @@ func BenchmarkTable1c(b *testing.B) {
 	cfg := benchConfig()
 	for _, d := range bench.Table1cDims() {
 		d := d
-		b.Run(bench.Table1cLabel(d), func(b *testing.B) {
-			var overhead float64
-			for i := 0; i < b.N; i++ {
-				costs, err := cfg.RunPoint(d, 0, []core.Strategy{core.NFT, core.MXR})
-				if err != nil {
-					b.Fatal(err)
-				}
-				nft := float64(costs[core.NFT].Makespan)
-				overhead = 100 * (float64(costs[core.MXR].Makespan) - nft) / nft
-			}
-			b.ReportMetric(overhead, "overhead%")
-		})
+		b.Run(bench.Table1cLabel(d), func(b *testing.B) { overheadBenchmark(b, cfg, d) })
 	}
 }
 
@@ -105,20 +79,20 @@ func BenchmarkTable1c(b *testing.B) {
 // from the combined MXR.
 func BenchmarkFigure10(b *testing.B) {
 	cfg := benchConfig()
-	strategies := []core.Strategy{core.MXR, core.MX, core.MR, core.SFX}
+	strategies := []ftdse.Strategy{ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX}
 	for _, d := range bench.Table1aDims() {
 		d := d
 		b.Run(bench.Table1aLabel(d), func(b *testing.B) {
 			var devMX, devMR, devSFX float64
 			for i := 0; i < b.N; i++ {
-				costs, err := cfg.RunPoint(d, 0, strategies)
+				costs, err := cfg.RunPoint(context.Background(), d, 0, strategies)
 				if err != nil {
 					b.Fatal(err)
 				}
-				mxr := float64(costs[core.MXR].Makespan)
-				devMX = 100 * (float64(costs[core.MX].Makespan) - mxr) / mxr
-				devMR = 100 * (float64(costs[core.MR].Makespan) - mxr) / mxr
-				devSFX = 100 * (float64(costs[core.SFX].Makespan) - mxr) / mxr
+				mxr := float64(costs[ftdse.MXR].Makespan)
+				devMX = 100 * (float64(costs[ftdse.MX].Makespan) - mxr) / mxr
+				devMR = 100 * (float64(costs[ftdse.MR].Makespan) - mxr) / mxr
+				devSFX = 100 * (float64(costs[ftdse.SFX].Makespan) - mxr) / mxr
 			}
 			b.ReportMetric(devMX, "devMX%")
 			b.ReportMetric(devMR, "devMR%")
@@ -135,7 +109,7 @@ func BenchmarkCruiseController(b *testing.B) {
 	var rows []bench.CCRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = cfg.CruiseController()
+		rows, err = cfg.CruiseController(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,22 +119,29 @@ func BenchmarkCruiseController(b *testing.B) {
 	}
 }
 
+// solveOnce runs one configured solve and returns the makespan.
+func solveOnce(b *testing.B, prob ftdse.Problem, opts ...ftdse.Option) ftdse.Time {
+	b.Helper()
+	res, err := ftdse.NewSolver(opts...).Solve(context.Background(), prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cost.Makespan
+}
+
 // BenchmarkAblationSlackSharing quantifies the shared re-execution slack
 // of [11] (Figure 3b2): scheduling the same re-execution design with
 // private per-process slack instead.
 func BenchmarkAblationSlackSharing(b *testing.B) {
-	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 2, Seed: 7}, fault.Model{K: 3, Mu: model.Ms(5)})
-	run := func(b *testing.B, sharing bool) model.Time {
-		opts := core.DefaultOptions(core.MX)
-		opts.MaxIterations = 60
-		opts.SlackSharing = sharing
-		var m model.Time
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 20, Nodes: 2, Seed: 7},
+		ftdse.FaultModel{K: 3, Mu: ftdse.Ms(5)})
+	run := func(b *testing.B, sharing bool) ftdse.Time {
+		var m ftdse.Time
 		for i := 0; i < b.N; i++ {
-			res, err := core.Optimize(prob, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m = res.Cost.Makespan
+			m = solveOnce(b, prob,
+				ftdse.WithStrategy(ftdse.MX),
+				ftdse.WithMaxIterations(60),
+				ftdse.WithSlackSharing(sharing))
 		}
 		return m
 	}
@@ -175,17 +156,12 @@ func BenchmarkAblationSlackSharing(b *testing.B) {
 // BenchmarkAblationTabu quantifies step 3 of the strategy: greedy-only
 // (tabu search capped at one iteration) against the full tabu search.
 func BenchmarkAblationTabu(b *testing.B) {
-	prob := gen.Problem(gen.Spec{Procs: 40, Nodes: 3, Seed: 3}, fault.Model{K: 4, Mu: model.Ms(5)})
-	run := func(b *testing.B, iters int) model.Time {
-		opts := core.DefaultOptions(core.MXR)
-		opts.MaxIterations = iters
-		var m model.Time
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 40, Nodes: 3, Seed: 3},
+		ftdse.FaultModel{K: 4, Mu: ftdse.Ms(5)})
+	run := func(b *testing.B, iters int) ftdse.Time {
+		var m ftdse.Time
 		for i := 0; i < b.N; i++ {
-			res, err := core.Optimize(prob, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m = res.Cost.Makespan
+			m = solveOnce(b, prob, ftdse.WithMaxIterations(iters))
 		}
 		return m
 	}
@@ -200,18 +176,14 @@ func BenchmarkAblationTabu(b *testing.B) {
 // BenchmarkAblationBusOpt quantifies the final bus-access optimization
 // step (slot-order hill climbing).
 func BenchmarkAblationBusOpt(b *testing.B) {
-	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 4, Seed: 11}, fault.Model{K: 2, Mu: model.Ms(5)})
-	run := func(b *testing.B, busOpt bool) model.Time {
-		opts := core.DefaultOptions(core.MXR)
-		opts.MaxIterations = 60
-		opts.OptimizeBusAccess = busOpt
-		var m model.Time
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 20, Nodes: 4, Seed: 11},
+		ftdse.FaultModel{K: 2, Mu: ftdse.Ms(5)})
+	run := func(b *testing.B, busOpt bool) ftdse.Time {
+		var m ftdse.Time
 		for i := 0; i < b.N; i++ {
-			res, err := core.Optimize(prob, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m = res.Cost.Makespan
+			m = solveOnce(b, prob,
+				ftdse.WithMaxIterations(60),
+				ftdse.WithBusOptimization(busOpt))
 		}
 		return m
 	}
@@ -230,100 +202,30 @@ func BenchmarkAblationBusOpt(b *testing.B) {
 // sub-benchmarks do identical scheduling work and the ratio is the
 // fan-out speedup.
 func BenchmarkParallelSearch(b *testing.B) {
-	prob := gen.Problem(gen.Spec{Procs: 100, Nodes: 6, Seed: 1},
-		fault.Model{K: 7, Mu: model.Ms(5)})
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 100, Nodes: 6, Seed: 1},
+		ftdse.FaultModel{K: 7, Mu: ftdse.Ms(5)})
 	run := func(b *testing.B, workers int) {
-		opts := core.DefaultOptions(core.MXR)
-		opts.MaxIterations = 10
-		opts.Workers = workers
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Optimize(prob, opts); err != nil {
-				b.Fatal(err)
-			}
+			solveOnce(b, prob, ftdse.WithMaxIterations(10), ftdse.WithWorkers(workers))
 		}
 	}
 	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
 	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0) })
 }
 
-// schedulerInput builds one representative scheduling input per size for
-// the micro-benchmarks: a deterministic mixed policy assignment (every
-// third process replicated over min(k+1, nodes) nodes, the rest
-// re-executed) on a generated application.
-func schedulerInput(b *testing.B, procs, nodes, k int) sched.Input {
-	b.Helper()
-	prob := gen.Problem(gen.Spec{Procs: procs, Nodes: nodes, Seed: 5},
-		fault.Model{K: k, Mu: model.Ms(5)})
-	merged, err := prob.App.Merge()
-	if err != nil {
-		b.Fatal(err)
-	}
-	asgn := policy.Assignment{}
-	for i, p := range prob.App.Processes() {
-		if i%3 == 0 {
-			r := k + 1
-			if nodes < r {
-				r = nodes
-			}
-			replicaNodes := make([]arch.NodeID, r)
-			for j := range replicaNodes {
-				replicaNodes[j] = arch.NodeID((i + j) % nodes)
-			}
-			asgn[p.ID] = policy.Distribute(replicaNodes, k)
-		} else {
-			asgn[p.ID] = policy.Reexecution(arch.NodeID(i%nodes), k)
-		}
-	}
-	in := sched.Input{
-		Graph:      merged,
-		Arch:       prob.Arch,
-		WCET:       prob.WCET,
-		Faults:     prob.Faults,
-		Assignment: asgn,
-		Bus:        ttp.InitialConfig(prob.Arch, merged.MaxMessageBytes(), ttp.DefaultPerByte),
-		Options:    sched.DefaultOptions(),
-	}
-	st, err := sched.NewStatic(in)
-	if err != nil {
-		b.Fatal(err)
-	}
-	in.Static = st
-	return in
-}
-
-// BenchmarkScheduler measures the throughput of one fault-tolerant list
-// scheduling + worst-case analysis pass, the inner loop of the
-// optimization.
-func BenchmarkScheduler(b *testing.B) {
-	for _, dim := range []struct{ procs, nodes, k int }{
-		{20, 2, 3}, {60, 4, 5}, {100, 6, 7},
-	} {
-		in := schedulerInput(b, dim.procs, dim.nodes, dim.k)
-		b.Run(bench.Table1aLabel(bench.Dimension{Procs: dim.procs}), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := sched.Build(in); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 // BenchmarkSimulator measures one simulated operation cycle of the
 // synthesized cruise controller under a random fault scenario.
 func BenchmarkSimulator(b *testing.B) {
-	prob := ccapp.New()
-	opts := core.DefaultOptions(core.MXR)
-	opts.MaxIterations = 50
-	res, err := core.Optimize(prob, opts)
+	res, err := ftdse.NewSolver(ftdse.WithMaxIterations(50)).
+		Solve(context.Background(), ftdse.CruiseControl())
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	sc := sim.RandomScenario(rng, res.Schedule)
+	sc := ftdse.RandomScenario(rng, res.Schedule)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := sim.Run(res.Schedule, sc)
+		r := ftdse.RunScenario(res.Schedule, sc)
 		if len(r.Finish) == 0 {
 			b.Fatal("empty simulation")
 		}
@@ -334,19 +236,15 @@ func BenchmarkSimulator(b *testing.B) {
 // (DESIGN.md §7): re-execution with cheap checkpoints (χ=1ms) against
 // plain re-execution under k=3 faults.
 func BenchmarkExtensionCheckpointing(b *testing.B) {
-	prob := gen.Problem(gen.Spec{Procs: 20, Nodes: 2, Seed: 13},
-		fault.Model{K: 3, Mu: model.Ms(5), Chi: model.Ms(1)})
-	run := func(b *testing.B, enable bool) model.Time {
-		opts := core.DefaultOptions(core.MX)
-		opts.MaxIterations = 60
-		opts.EnableCheckpointing = enable
-		var m model.Time
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 20, Nodes: 2, Seed: 13},
+		ftdse.FaultModel{K: 3, Mu: ftdse.Ms(5), Chi: ftdse.Ms(1)})
+	run := func(b *testing.B, enable bool) ftdse.Time {
+		var m ftdse.Time
 		for i := 0; i < b.N; i++ {
-			res, err := core.Optimize(prob, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			m = res.Cost.Makespan
+			m = solveOnce(b, prob,
+				ftdse.WithStrategy(ftdse.MX),
+				ftdse.WithMaxIterations(60),
+				ftdse.WithCheckpointing(enable))
 		}
 		return m
 	}
@@ -356,57 +254,4 @@ func BenchmarkExtensionCheckpointing(b *testing.B) {
 	b.Run("checkpointed", func(b *testing.B) {
 		b.ReportMetric(run(b, true).Milliseconds(), "δ_ms")
 	})
-}
-
-// BenchmarkOptimalityGap measures the tabu search against the exact
-// brute-force optimum on instances small enough to enumerate — an
-// evaluation the paper could not run. The reported metric is the average
-// percentage gap of MXR's schedule length over the optimum.
-func BenchmarkOptimalityGap(b *testing.B) {
-	var gap float64
-	for i := 0; i < b.N; i++ {
-		gap = 0
-		const seeds = 5
-		for seed := int64(0); seed < seeds; seed++ {
-			rng := rand.New(rand.NewSource(seed))
-			p := randomTinyProblem(rng)
-			ex, err := exact.Search(p, exact.Options{SlackSharing: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			opts := core.DefaultOptions(core.MXR)
-			opts.MaxIterations = 200
-			heur, err := core.Optimize(p, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			gap += 100 * (float64(heur.Cost.Makespan) - float64(ex.Cost.Makespan)) /
-				float64(ex.Cost.Makespan) / seeds
-		}
-	}
-	b.ReportMetric(gap, "gap%")
-}
-
-func randomTinyProblem(rng *rand.Rand) core.Problem {
-	app := model.NewApplication("tiny")
-	g := app.AddGraph("G", model.Ms(1000000), model.Ms(1000000))
-	procs := make([]*model.Process, 5)
-	for i := range procs {
-		procs[i] = app.AddProcess(g, "P")
-	}
-	for i := 0; i < len(procs); i++ {
-		for j := i + 1; j < len(procs); j++ {
-			if rng.Intn(3) == 0 {
-				g.AddEdge(procs[i], procs[j], 1+rng.Intn(4))
-			}
-		}
-	}
-	a := arch.New(2)
-	w := arch.NewWCET()
-	for _, p := range procs {
-		for n := 0; n < 2; n++ {
-			w.Set(p.ID, arch.NodeID(n), model.Ms(int64(10+rng.Intn(91))))
-		}
-	}
-	return core.Problem{App: app, Arch: a, WCET: w, Faults: fault.Model{K: 1, Mu: model.Ms(5)}}
 }

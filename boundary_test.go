@@ -1,0 +1,61 @@
+package ftdse_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsOutsideInternal enforces the facade boundary:
+// the command-line tools, the examples, the public bench harness, and
+// the module-root sources (the facade itself aside) must consume the
+// public ftdse API only — never repro/ftdse/internal/... paths. The
+// facade's own non-test sources are the single sanctioned bridge.
+func TestNoInternalImportsOutsideInternal(t *testing.T) {
+	var files []string
+	for _, dir := range []string{"cmd", "examples", "bench"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+	// Module-root test files (this package) must stay on the facade too.
+	rootGo, err := filepath.Glob("*_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, rootGo...)
+
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Errorf("parsing %s: %v", path, err)
+			continue
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if strings.Contains(p, "/internal/") {
+				t.Errorf("%s imports %s: only the ftdse facade may import internal packages", path, p)
+			}
+		}
+	}
+	if len(files) < 10 {
+		t.Fatalf("boundary check only saw %d files; the walk is broken", len(files))
+	}
+}

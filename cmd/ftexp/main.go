@@ -8,15 +8,20 @@
 //	ftexp -exp table1b -seeds 15    # paper-scale instance count
 //	ftexp -exp cc -iters 1500
 //	ftexp -exp table1a -workers 1   # sequential move evaluation
+//
+// Ctrl-C stops the sweep after the current optimization run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"repro/internal/bench"
+	"repro/ftdse/bench"
 )
 
 func main() {
@@ -55,47 +60,57 @@ func main() {
 		cfg.Progress = os.Stderr
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	run := func(name string) {
+	// run executes one experiment and reports whether it was
+	// interrupted. An interruption (Ctrl-C) is not fatal: the rows
+	// accumulated before it are still formatted, then the sweep stops.
+	run := func(name string) bool {
 		switch name {
 		case "table1a":
-			rows, err := cfg.Table1a()
-			check(err)
+			rows, err := cfg.Table1a(ctx)
+			interrupted := checkPartial(err)
 			if asCSV {
 				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return
+				return interrupted
 			}
 			fmt.Println(bench.FormatOverheads(
 				"Table 1a: % overhead of MXR vs NFT over application size",
 				"dimension", bench.Table1aLabel, rows))
+			return interrupted
 		case "table1b":
-			rows, err := cfg.Table1b()
-			check(err)
+			rows, err := cfg.Table1b(ctx)
+			interrupted := checkPartial(err)
 			if asCSV {
 				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return
+				return interrupted
 			}
 			fmt.Println(bench.FormatOverheads(
 				"Table 1b: % overhead over number of faults (60 procs, 4 nodes, µ=5ms)",
 				"faults", bench.Table1bLabel, rows))
+			return interrupted
 		case "table1c":
-			rows, err := cfg.Table1c()
-			check(err)
+			rows, err := cfg.Table1c(ctx)
+			interrupted := checkPartial(err)
 			if asCSV {
 				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return
+				return interrupted
 			}
 			fmt.Println(bench.FormatOverheads(
 				"Table 1c: % overhead over fault duration (20 procs, 2 nodes, k=3)",
 				"duration", bench.Table1cLabel, rows))
+			return interrupted
 		case "figure10":
-			rows, err := cfg.Figure10()
-			check(err)
+			rows, err := cfg.Figure10(ctx)
+			interrupted := checkPartial(err)
 			if asCSV {
 				check(bench.WriteDeviationsCSV(os.Stdout, rows))
-				return
+				return interrupted
 			}
 			fmt.Println(bench.FormatDeviations(rows))
+			return interrupted
 		case "cc":
 			ccCfg := cfg
 			if *iters <= 0 && !*paper {
@@ -103,26 +118,50 @@ func main() {
 				// paper's outcome (MXR schedulable, MX/MR not).
 				ccCfg.MaxIterations = 1500
 			}
-			rows, err := ccCfg.CruiseController()
-			check(err)
+			rows, err := ccCfg.CruiseController(ctx)
+			interrupted := checkPartial(err)
 			if asCSV {
 				check(bench.WriteCCCSV(os.Stdout, rows))
-				return
+				return interrupted
 			}
 			fmt.Println(bench.FormatCC(rows))
+			return interrupted
 		default:
 			fmt.Fprintf(os.Stderr, "ftexp: unknown experiment %q\n", name)
 			os.Exit(1)
+			return false
 		}
 	}
+	interrupted := false
 	if *exp == "all" {
 		for _, name := range []string{"table1a", "table1b", "table1c", "figure10", "cc"} {
-			run(name)
+			if run(name) {
+				interrupted = true
+				break
+			}
 		}
 	} else {
-		run(*exp)
+		interrupted = run(*exp)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ftexp: interrupted after %v — partial results above\n",
+			time.Since(start).Round(time.Second))
+		os.Exit(130)
 	}
 	fmt.Fprintf(os.Stderr, "ftexp: done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// checkPartial distinguishes an interruption (rows so far still get
+// printed) from a real error (fatal).
+func checkPartial(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	check(err)
+	return false
 }
 
 func check(err error) {

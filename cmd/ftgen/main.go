@@ -12,10 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/fault"
-	"repro/internal/gen"
-	"repro/internal/model"
-	"repro/internal/sysio"
+	"repro/ftdse"
 )
 
 func main() {
@@ -32,32 +29,22 @@ func main() {
 	)
 	flag.Parse()
 
-	spec := gen.Spec{
+	spec := ftdse.GenSpec{
 		Procs:    *procs,
 		Nodes:    *nodes,
 		Seed:     *seed,
-		Deadline: model.Time(*deadline * float64(model.Millisecond)),
+		Deadline: ftdse.Time(*deadline * float64(ftdse.Millisecond)),
 	}
-	switch *shape {
-	case "random":
-		spec.Shape = gen.Random
-	case "tree":
-		spec.Shape = gen.Tree
-	case "chains":
-		spec.Shape = gen.Chains
-	default:
-		fatalf("unknown shape %q (random, tree, chains)", *shape)
+	var err error
+	if spec.Shape, err = ftdse.ParseShape(*shape); err != nil {
+		fatalf("%v", err)
 	}
-	switch *dist {
-	case "uniform":
-		spec.WCETDist = gen.Uniform
-	case "exponential":
-		spec.WCETDist = gen.Exponential
-	default:
-		fatalf("unknown distribution %q (uniform, exponential)", *dist)
+	if spec.WCETDist, err = ftdse.ParseWCETDist(*dist); err != nil {
+		fatalf("%v", err)
 	}
 
-	prob := gen.Problem(spec, fault.Model{K: *k, Mu: model.Time(*muMs * float64(model.Millisecond))})
+	prob := ftdse.GenerateProblem(spec,
+		ftdse.FaultModel{K: *k, Mu: ftdse.Time(*muMs * float64(ftdse.Millisecond))})
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -67,7 +54,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := sysio.WriteProblem(w, prob); err != nil {
+	if err := ftdse.WriteProblem(w, prob); err != nil {
 		fatalf("%v", err)
 	}
 }

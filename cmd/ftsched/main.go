@@ -7,32 +7,37 @@
 // Usage:
 //
 //	ftsched -in app.json [-strategy mxr] [-iters 500] [-time 30s]
-//	        [-workers 0] [-stop-schedulable] [-gantt] [-width 100]
+//	        [-workers 0] [-stop-schedulable] [-progress] [-gantt] [-width 100]
+//
+// Exit status: 0 when the synthesized design meets all deadlines in the
+// worst case, 2 when the best design found is unschedulable, and 1 on
+// usage or input errors — so scripts can tell synthesis failure from
+// tool failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dot"
-	"repro/internal/gantt"
-	"repro/internal/sched"
-	"repro/internal/sysio"
+	"repro/ftdse"
 )
 
 func main() {
 	var (
 		in       = flag.String("in", "", "problem JSON file (required)")
-		strategy = flag.String("strategy", "mxr", "optimization strategy: mxr, mx, mr, sfx, nft")
+		strategy = flag.String("strategy", "mxr", "optimization strategy: "+strings.Join(ftdse.StrategyNames(), ", "))
 		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
 		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
 		stopSch  = flag.Bool("stop-schedulable", false, "stop at the first schedulable design")
 		busOpt   = flag.Bool("busopt", false, "run the final bus-access optimization")
 		ckpt     = flag.Bool("checkpointing", false, "enable checkpoint moves (extension)")
 		workers  = flag.Int("workers", 0, "concurrent move evaluations (0 = all CPUs, 1 = sequential)")
+		progress = flag.Bool("progress", false, "stream incumbent solutions to stderr as they are found")
 		showG    = flag.Bool("gantt", true, "print an ASCII Gantt chart")
 		width    = flag.Int("width", 100, "Gantt chart width")
 		export   = flag.String("export", "", "write the schedule tables + MEDL as JSON to this file")
@@ -46,41 +51,44 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	prob, err := sysio.ReadProblem(f)
+	prob, err := ftdse.ReadProblem(f)
 	f.Close()
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var strat core.Strategy
-	switch *strategy {
-	case "mxr":
-		strat = core.MXR
-	case "mx":
-		strat = core.MX
-	case "mr":
-		strat = core.MR
-	case "sfx":
-		strat = core.SFX
-	case "nft":
-		strat = core.NFT
-	default:
-		fatalf("unknown strategy %q (mxr, mx, mr, sfx, nft)", *strategy)
-	}
-
-	opts := core.DefaultOptions(strat)
-	opts.MaxIterations = *iters
-	opts.TimeLimit = *timeLim
-	opts.StopWhenSchedulable = *stopSch
-	opts.OptimizeBusAccess = *busOpt
-	opts.EnableCheckpointing = *ckpt
-	opts.Workers = *workers
-
-	res, err := core.Optimize(prob, opts)
+	strat, err := ftdse.ParseStrategy(*strategy)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := sched.ValidateSchedule(res.Schedule); err != nil {
+
+	opts := []ftdse.Option{
+		ftdse.WithStrategy(strat),
+		ftdse.WithMaxIterations(*iters),
+		ftdse.WithTimeLimit(*timeLim),
+		ftdse.WithStopWhenSchedulable(*stopSch),
+		ftdse.WithBusOptimization(*busOpt),
+		ftdse.WithCheckpointing(*ckpt),
+		ftdse.WithWorkers(*workers),
+	}
+	if *progress {
+		opts = append(opts, ftdse.WithProgress(func(imp ftdse.Improvement) {
+			fmt.Fprintf(os.Stderr, "ftsched: %-7s iter %-5d %v (%v)\n",
+				imp.Phase, imp.Iteration, imp.Cost, imp.Elapsed.Round(time.Millisecond))
+		}))
+	}
+
+	// Ctrl-C interrupts the search and keeps the best design so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := ftdse.NewSolver(opts...).Solve(ctx, prob)
+	// Restore default SIGINT handling for the reporting phase.
+	stop()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := ftdse.ValidateSchedule(res.Schedule); err != nil {
 		fatalf("internal: synthesized schedule failed validation: %v", err)
 	}
 	if *export != "" {
@@ -88,7 +96,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := sysio.WriteSchedule(f, res.Schedule); err != nil {
+		if err := ftdse.WriteSchedule(f, res.Schedule); err != nil {
 			fatalf("%v", err)
 		}
 		f.Close()
@@ -98,27 +106,29 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if err := dot.WriteDesign(f, res.Schedule); err != nil {
+		if err := ftdse.WriteDesignDOT(f, res.Schedule); err != nil {
 			fatalf("%v", err)
 		}
 		f.Close()
 	}
 
-	fmt.Printf("strategy %v: %v after %d iterations (%v)\n\n",
-		res.Strategy, res.Cost, res.Iterations, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("strategy %v: %v after %d iterations (%v, %v)\n\n",
+		res.Strategy, res.Cost, res.Iterations, res.Elapsed.Round(time.Millisecond), res.Stopped)
 	fmt.Println("fault-tolerance policy assignment:")
-	for _, p := range prob.App.Processes() {
-		fmt.Printf("  %-18s %v\n", p.Name, res.Assignment[p.ID])
+	for _, p := range prob.Processes() {
+		fmt.Printf("  %-18s %v\n", p.Name, res.Design[p.ID])
 	}
 	fmt.Println()
-	fmt.Println(gantt.Table(res.Schedule))
+	fmt.Println(ftdse.GanttTable(res.Schedule))
 	if *showG {
-		fmt.Println(gantt.Render(res.Schedule, *width))
+		fmt.Println(ftdse.GanttChart(res.Schedule, *width))
 	}
-	fmt.Println(gantt.Summary(res.Schedule))
-	tables := sched.CompileTables(res.Schedule)
+	fmt.Println(ftdse.GanttSummary(res.Schedule))
+	tables := ftdse.CompileTables(res.Schedule)
 	fmt.Printf("schedule-table memory: %d dispatch/MEDL rows\n", tables.TotalRows())
-	if !res.Cost.Schedulable() {
+	if !res.Schedulable() {
+		// Distinct exit status: the tool worked but the best design
+		// found misses deadlines.
 		os.Exit(2)
 	}
 }

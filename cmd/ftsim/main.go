@@ -10,21 +10,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/sysio"
+	"repro/ftdse"
 )
 
 func main() {
 	var (
 		in       = flag.String("in", "", "problem JSON file (required)")
-		strategy = flag.String("strategy", "mxr", "optimization strategy: mxr, mx, mr, sfx, nft")
+		strategy = flag.String("strategy", "mxr", "optimization strategy: "+strings.Join(ftdse.StrategyNames(), ", "))
 		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
 		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
 		samples  = flag.Int("samples", 10000, "random scenarios when enumeration is infeasible")
@@ -38,44 +38,43 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	prob, err := sysio.ReadProblem(f)
+	prob, err := ftdse.ReadProblem(f)
 	f.Close()
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	var strat core.Strategy
-	switch *strategy {
-	case "mxr":
-		strat = core.MXR
-	case "mx":
-		strat = core.MX
-	case "mr":
-		strat = core.MR
-	case "sfx":
-		strat = core.SFX
-	case "nft":
-		strat = core.NFT
-	default:
-		fatalf("unknown strategy %q", *strategy)
-	}
-	opts := core.DefaultOptions(strat)
-	opts.MaxIterations = *iters
-	opts.TimeLimit = *timeLim
-	res, err := core.Optimize(prob, opts)
+	strat, err := ftdse.ParseStrategy(*strategy)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := sched.ValidateSchedule(res.Schedule); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := ftdse.NewSolver(
+		ftdse.WithStrategy(strat),
+		ftdse.WithMaxIterations(*iters),
+		ftdse.WithTimeLimit(*timeLim),
+	).Solve(ctx, prob)
+	// Restore default SIGINT handling: a second Ctrl-C must be able to
+	// kill the campaign phase below.
+	stop()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if res.Stopped == ftdse.StopCanceled {
+		fmt.Fprintln(os.Stderr, "ftsim: optimization interrupted — skipping the fault-injection campaign")
+		os.Exit(130)
+	}
+	if err := ftdse.ValidateSchedule(res.Schedule); err != nil {
 		fatalf("internal: synthesized schedule failed validation: %v", err)
 	}
 	fmt.Printf("synthesized with %v: %v (%d processes, %v)\n\n",
-		res.Strategy, res.Cost, prob.App.NumProcesses(), prob.Faults)
+		res.Strategy, res.Cost, prob.NumProcesses(), prob.Faults())
 
-	campaign := sim.Campaign{Samples: *samples, Seed: *seed}
+	campaign := ftdse.Campaign{Samples: *samples, Seed: *seed}
 	cr := campaign.Run(res.Schedule)
 	fmt.Print(cr.Format(res.Schedule))
-	if cr.Violations > 0 && res.Cost.Schedulable() {
+	if cr.Violations > 0 && res.Schedulable() {
 		fmt.Fprintln(os.Stderr, "ftsim: violations despite schedulable analysis — this is a bug")
 		os.Exit(2)
 	}

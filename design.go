@@ -1,0 +1,23 @@
+package ftdse
+
+import (
+	"repro/ftdse/internal/policy"
+)
+
+// Reexecution is the pure time-redundancy policy: one replica on node
+// n, re-executed up to k times after faults (Figure 2a).
+func Reexecution(n NodeID, k int) Policy { return policy.Reexecution(n, k) }
+
+// Replication is the pure space-redundancy policy: one active replica
+// on each of the given nodes, none re-executed (Figure 2b). Tolerating
+// k faults requires k+1 replicas.
+func Replication(nodes ...NodeID) Policy { return policy.Replication(nodes...) }
+
+// ReplicatedReexecution combines both redundancies: one replica per
+// node with the k re-executions distributed over them (Figure 2c).
+func ReplicatedReexecution(nodes []NodeID, k int) Policy { return policy.Distribute(nodes, k) }
+
+// Checkpointed is re-execution with the given number of checkpoints
+// per execution (the reproduction's extension): a fault re-executes
+// only the segment it hit, at χ state-saving cost per checkpoint.
+func Checkpointed(n NodeID, k, checkpoints int) Policy { return policy.Checkpointed(n, k, checkpoints) }

@@ -8,68 +8,43 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/ttp"
+	"repro/ftdse"
 )
 
-func buildSystem() (core.Problem, []*model.Process) {
-	app := model.NewApplication("checkpointing")
-	g := app.AddGraph("pipeline", model.Ms(1000), model.Ms(500))
-	stages := make([]*model.Process, 4)
+func buildSystem() (ftdse.Problem, []ftdse.Proc) {
+	b := ftdse.NewProblem("checkpointing").Nodes(2)
+	g := b.Graph("pipeline", ftdse.Ms(1000), ftdse.Ms(500))
 	names := []string{"Acquire", "Estimate", "Control", "Actuate"}
+	stages := make([]ftdse.Proc, len(names))
 	for i, n := range names {
-		stages[i] = app.AddProcess(g, n)
+		stages[i] = g.Process(n, ftdse.Ms(60), ftdse.Ms(60))
 		if i > 0 {
-			g.AddEdge(stages[i-1], stages[i], 2)
+			g.Edge(stages[i-1], stages[i], 2)
 		}
 	}
-	a := arch.New(2)
-	w := arch.NewWCET()
-	for _, p := range stages {
-		w.Set(p.ID, 0, model.Ms(60))
-		w.Set(p.ID, 1, model.Ms(60))
-	}
-	prob := core.Problem{
-		App:  app,
-		Arch: a,
-		WCET: w,
-		// k=3 faults, µ=5ms recovery, χ=2ms per checkpoint.
-		Faults: fault.Model{K: 3, Mu: model.Ms(5), Chi: model.Ms(2)},
+	// k=3 faults, µ=5ms recovery, χ=2ms per checkpoint.
+	prob, err := b.Faults(3, ftdse.Ms(5)).CheckpointCost(ftdse.Ms(2)).Build()
+	if err != nil {
+		log.Fatal(err)
 	}
 	return prob, stages
 }
 
 func main() {
 	prob, stages := buildSystem()
-	merged, err := prob.App.Merge()
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	fmt.Println("pipeline of four 60ms stages on one node, k=3, µ=5ms, χ=2ms")
 	fmt.Println("worst-case schedule length by checkpoints per stage:")
 	for ck := 0; ck <= 5; ck++ {
-		asgn := policy.Assignment{}
+		design := ftdse.Design{}
 		for _, p := range stages {
-			asgn[p.ID] = policy.Checkpointed(0, prob.Faults.K, ck)
+			design[p.ID] = ftdse.Checkpointed(0, prob.Faults().K, ck)
 		}
-		s, err := sched.Build(sched.Input{
-			Graph:      merged,
-			Arch:       prob.Arch,
-			WCET:       prob.WCET,
-			Faults:     prob.Faults,
-			Assignment: asgn,
-			Bus:        ttp.InitialConfig(prob.Arch, 2, ttp.DefaultPerByte),
-			Options:    sched.DefaultOptions(),
-		})
+		s, err := prob.Evaluate(design)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,21 +56,23 @@ func main() {
 	}
 
 	fmt.Println("\nletting the optimizer choose mapping + checkpoints (MX + extension):")
-	opts := core.DefaultOptions(core.MX)
-	opts.MaxIterations = 300
-	opts.EnableCheckpointing = true
-	res, err := core.Optimize(prob, opts)
+	res, err := ftdse.NewSolver(
+		ftdse.WithStrategy(ftdse.MX),
+		ftdse.WithMaxIterations(300),
+		ftdse.WithCheckpointing(true),
+	).Solve(context.Background(), prob)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, p := range prob.App.Processes() {
-		fmt.Printf("  %-10s %v\n", p.Name, res.Assignment[p.ID])
+	for _, p := range prob.Processes() {
+		fmt.Printf("  %-10s %v\n", p.Name, res.Design[p.ID])
 	}
 	fmt.Printf("  optimized δ = %v\n", res.Cost.Makespan)
 
-	plain := core.DefaultOptions(core.MX)
-	plain.MaxIterations = 300
-	resPlain, err := core.Optimize(prob, plain)
+	resPlain, err := ftdse.NewSolver(
+		ftdse.WithStrategy(ftdse.MX),
+		ftdse.WithMaxIterations(300),
+	).Solve(context.Background(), prob)
 	if err != nil {
 		log.Fatal(err)
 	}

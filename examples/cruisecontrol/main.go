@@ -6,57 +6,58 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/ccapp"
-	"repro/internal/core"
-	"repro/internal/gantt"
+	"repro/ftdse"
 )
 
 func main() {
-	prob := ccapp.New()
+	prob := ftdse.CruiseControl()
 	fmt.Printf("cruise controller: %d processes on %d nodes, deadline %v, %v\n\n",
-		prob.App.NumProcesses(), prob.Arch.NumNodes(), ccapp.Deadline, prob.Faults)
+		prob.NumProcesses(), prob.NumNodes(), ftdse.CruiseControlDeadline, prob.Faults())
 
-	var nft, best *core.Result
-	for _, s := range []core.Strategy{core.NFT, core.MXR, core.MX, core.MR, core.SFX} {
-		opts := core.DefaultOptions(s)
-		opts.MaxIterations = 1500
-		opts.TimeLimit = 60 * time.Second
-		res, err := core.Optimize(prob, opts)
+	var nft, best *ftdse.Result
+	for _, s := range []ftdse.Strategy{ftdse.NFT, ftdse.MXR, ftdse.MX, ftdse.MR, ftdse.SFX} {
+		solver := ftdse.NewSolver(
+			ftdse.WithStrategy(s),
+			ftdse.WithMaxIterations(1500),
+			ftdse.WithTimeLimit(60*time.Second),
+		)
+		res, err := solver.Solve(context.Background(), prob)
 		if err != nil {
 			log.Fatalf("%v: %v", s, err)
 		}
 		verdict := "meets the deadline"
-		if !res.Cost.Schedulable() {
+		if !res.Schedulable() {
 			verdict = "MISSES the deadline"
 		}
 		overhead := ""
-		if s == core.NFT {
+		if s == ftdse.NFT {
 			nft = res
 		} else if nft != nil {
 			overhead = fmt.Sprintf(" (overhead vs NFT: %.0f%%)",
 				100*float64(res.Cost.Makespan-nft.Cost.Makespan)/float64(nft.Cost.Makespan))
 		}
 		fmt.Printf("%-4v δ=%-10v %s%s\n", s, res.Cost.Makespan, verdict, overhead)
-		if s == core.MXR {
+		if s == ftdse.MXR {
 			best = res
 		}
 	}
 
 	fmt.Println("\nMXR implementation:")
 	replicated := 0
-	for _, p := range prob.App.Processes() {
-		pol := best.Assignment[p.ID]
+	for _, p := range prob.Processes() {
+		pol := best.Design[p.ID]
 		if pol.ReplicaCount() > 1 {
 			replicated++
 			fmt.Printf("  %-18s replicated: %v\n", p.Name, pol)
 		}
 	}
 	fmt.Printf("  (%d of %d processes replicated, the rest re-executed)\n\n",
-		replicated, prob.App.NumProcesses())
-	fmt.Println(gantt.Render(best.Schedule, 110))
-	fmt.Println(gantt.Summary(best.Schedule))
+		replicated, prob.NumProcesses())
+	fmt.Println(ftdse.GanttChart(best.Schedule, 110))
+	fmt.Println(ftdse.GanttSummary(best.Schedule))
 }

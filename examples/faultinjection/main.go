@@ -1,9 +1,9 @@
-// Faultinjection synthesizes the replica-descendant system of the
-// paper's Figure 7, then executes the resulting schedule tables in the
-// runtime simulator under every fault scenario of the hypothesis,
-// demonstrating transparent recovery: the contingency switch after a
-// replica failure, and that every scenario stays within the worst-case
-// analysis bounds.
+// Faultinjection builds the replica-descendant system of the paper's
+// Figure 7 as a fixed design, then executes the resulting schedule
+// tables in the runtime simulator under every fault scenario of the
+// hypothesis, demonstrating transparent recovery: the contingency
+// switch after a replica failure, and that every scenario stays within
+// the worst-case analysis bounds.
 package main
 
 import (
@@ -11,60 +11,40 @@ import (
 	"log"
 	"sort"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/gantt"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/ttp"
+	"repro/ftdse"
 )
 
 func main() {
 	// Figure 7: P1 → P2 → P3; P2 actively replicated on both nodes, P1
 	// and P3 re-executed on N1; k=1 fault, µ=10 ms.
-	app := model.NewApplication("fig7")
-	g := app.AddGraph("G", model.Ms(1000), model.Ms(1000))
-	p1 := app.AddProcess(g, "P1")
-	p2 := app.AddProcess(g, "P2")
-	p3 := app.AddProcess(g, "P3")
-	g.AddEdge(p1, p2, 4)
-	g.AddEdge(p2, p3, 4)
-	a := arch.New(2)
-	w := arch.NewWCET()
-	for n := arch.NodeID(0); n < 2; n++ {
-		w.Set(p1.ID, n, model.Ms(40))
-		w.Set(p2.ID, n, model.Ms(80))
-		w.Set(p3.ID, n, model.Ms(50))
-	}
-	merged, err := app.Merge()
+	b := ftdse.NewProblem("fig7").Nodes(2)
+	g := b.Graph("G", ftdse.Ms(1000), ftdse.Ms(1000))
+	p1 := g.Process("P1", ftdse.Ms(40), ftdse.Ms(40))
+	p2 := g.Process("P2", ftdse.Ms(80), ftdse.Ms(80))
+	p3 := g.Process("P3", ftdse.Ms(50), ftdse.Ms(50))
+	g.Edge(p1, p2, 4)
+	g.Edge(p2, p3, 4)
+	prob, err := b.Faults(1, ftdse.Ms(10)).Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := sched.Build(sched.Input{
-		Graph: merged, Arch: a, WCET: w,
-		Faults: fault.Model{K: 1, Mu: model.Ms(10)},
-		Assignment: policy.Assignment{
-			p1.ID: policy.Reexecution(0, 1),
-			p2.ID: policy.Replication(0, 1),
-			p3.ID: policy.Reexecution(0, 1),
-		},
-		Bus:     ttp.InitialConfig(a, 4, ttp.DefaultPerByte),
-		Options: sched.DefaultOptions(),
+	s, err := prob.Evaluate(ftdse.Design{
+		p1.ID: ftdse.Reexecution(0, 1),
+		p2.ID: ftdse.Replication(0, 1),
+		p3.ID: ftdse.Reexecution(0, 1),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("synthesized schedule (Figure 7):")
-	fmt.Println(gantt.Table(s))
-	fmt.Println(gantt.Render(s, 90))
+	fmt.Println(ftdse.GanttTable(s))
+	fmt.Println(ftdse.GanttChart(s, 90))
 
 	fmt.Println("executing every fault scenario of the hypothesis (k=1):")
-	var scenarios []sim.Scenario
-	sim.ForEachScenario(s, func(sc sim.Scenario) bool {
-		cp := make(sim.Scenario, len(sc))
+	var scenarios []ftdse.Scenario
+	ftdse.ForEachScenario(s, func(sc ftdse.Scenario) bool {
+		cp := make(ftdse.Scenario, len(sc))
 		for id, f := range sc {
 			cp[id] = f
 		}
@@ -74,7 +54,7 @@ func main() {
 	sort.Slice(scenarios, func(i, j int) bool { return len(scenarios[i]) < len(scenarios[j]) })
 
 	for _, sc := range scenarios {
-		r := sim.Run(s, sc)
+		r := ftdse.RunScenario(s, sc)
 		label := "fault-free"
 		if len(sc) > 0 {
 			label = ""

@@ -8,12 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/ttp"
+	"repro/ftdse"
 )
 
 func main() {
@@ -25,35 +20,23 @@ func main() {
 // under k=2 faults (µ=10 ms) for the three policies of Figure 2.
 func figure2() {
 	fmt.Println("Figure 2: worst-case fault scenarios, P1 with C=30ms, k=2, µ=10ms")
-	fm := fault.Model{K: 2, Mu: model.Ms(10)}
 	for _, c := range []struct {
 		name string
-		pol  func() policy.Policy
+		pol  ftdse.Policy
 	}{
-		{"re-execution (P1, P1/2, P1/3 on N1)", func() policy.Policy { return policy.Reexecution(0, 2) }},
-		{"replication (replicas on N1,N2,N3)", func() policy.Policy { return policy.Replication(0, 1, 2) }},
-		{"re-executed replicas (N1 re-executes)", func() policy.Policy {
-			return policy.Distribute([]arch.NodeID{0, 1}, 2)
-		}},
+		{"re-execution (P1, P1/2, P1/3 on N1)", ftdse.Reexecution(0, 2)},
+		{"replication (replicas on N1,N2,N3)", ftdse.Replication(0, 1, 2)},
+		{"re-executed replicas (N1 re-executes)",
+			ftdse.ReplicatedReexecution([]ftdse.NodeID{0, 1}, 2)},
 	} {
-		app := model.NewApplication("fig2")
-		g := app.AddGraph("G", model.Ms(1000), model.Ms(1000))
-		p1 := app.AddProcess(g, "P1")
-		a := arch.New(3)
-		w := arch.NewWCET()
-		for n := arch.NodeID(0); n < 3; n++ {
-			w.Set(p1.ID, n, model.Ms(30))
-		}
-		merged, err := app.Merge()
+		b := ftdse.NewProblem("fig2").Nodes(3)
+		g := b.Graph("G", ftdse.Ms(1000), ftdse.Ms(1000))
+		p1 := g.Process("P1", ftdse.Ms(30), ftdse.Ms(30), ftdse.Ms(30))
+		prob, err := b.Faults(2, ftdse.Ms(10)).Build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := sched.Build(sched.Input{
-			Graph: merged, Arch: a, WCET: w, Faults: fm,
-			Assignment: policy.Assignment{p1.ID: c.pol()},
-			Bus:        ttp.InitialConfig(a, 4, ttp.DefaultPerByte),
-			Options:    sched.DefaultOptions(),
-		})
+		s, err := prob.Evaluate(ftdse.Design{p1.ID: c.pol})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +51,6 @@ func figure2() {
 // flips with the application structure.
 func figure3() {
 	fmt.Println("Figure 3: re-execution vs replication, deadline 160ms, k=1, µ=10ms")
-	fm := fault.Model{K: 1, Mu: model.Ms(10)}
 	for _, chain := range []bool{false, true} {
 		name := "A1 (P1→P2, P3 independent)"
 		if chain {
@@ -76,48 +58,35 @@ func figure3() {
 		}
 		fmt.Printf("  %s:\n", name)
 		for _, mode := range []string{"re-execution", "replication"} {
-			app := model.NewApplication("fig3")
-			g := app.AddGraph("G", model.Ms(1000), model.Ms(160))
-			p1 := app.AddProcess(g, "P1")
-			p2 := app.AddProcess(g, "P2")
-			p3 := app.AddProcess(g, "P3")
-			g.AddEdge(p1, p2, 4)
+			b := ftdse.NewProblem("fig3").Nodes(2)
+			g := b.Graph("G", ftdse.Ms(1000), ftdse.Ms(160))
+			p1 := g.Process("P1", ftdse.Ms(40), ftdse.Ms(50))
+			p2 := g.Process("P2", ftdse.Ms(40), ftdse.Ms(60))
+			p3 := g.Process("P3", ftdse.Ms(50), ftdse.Ms(70))
+			g.Edge(p1, p2, 4)
 			if chain {
-				g.AddEdge(p2, p3, 4)
+				g.Edge(p2, p3, 4)
 			}
-			a := arch.New(2)
-			w := arch.NewWCET()
-			w.Set(p1.ID, 0, model.Ms(40))
-			w.Set(p1.ID, 1, model.Ms(50))
-			w.Set(p2.ID, 0, model.Ms(40))
-			w.Set(p2.ID, 1, model.Ms(60))
-			w.Set(p3.ID, 0, model.Ms(50))
-			w.Set(p3.ID, 1, model.Ms(70))
-
-			asgn := policy.Assignment{}
-			if mode == "re-execution" {
-				asgn[p1.ID] = policy.Reexecution(0, 1)
-				asgn[p2.ID] = policy.Reexecution(0, 1)
-				if chain {
-					asgn[p3.ID] = policy.Reexecution(0, 1)
-				} else {
-					asgn[p3.ID] = policy.Reexecution(1, 1)
-				}
-			} else {
-				for _, p := range []*model.Process{p1, p2, p3} {
-					asgn[p.ID] = policy.Replication(0, 1)
-				}
-			}
-			merged, err := app.Merge()
+			prob, err := b.Faults(1, ftdse.Ms(10)).Build()
 			if err != nil {
 				log.Fatal(err)
 			}
-			s, err := sched.Build(sched.Input{
-				Graph: merged, Arch: a, WCET: w, Faults: fm,
-				Assignment: asgn,
-				Bus:        ttp.InitialConfig(a, 4, ttp.DefaultPerByte),
-				Options:    sched.DefaultOptions(),
-			})
+
+			design := ftdse.Design{}
+			if mode == "re-execution" {
+				design[p1.ID] = ftdse.Reexecution(0, 1)
+				design[p2.ID] = ftdse.Reexecution(0, 1)
+				if chain {
+					design[p3.ID] = ftdse.Reexecution(0, 1)
+				} else {
+					design[p3.ID] = ftdse.Reexecution(1, 1)
+				}
+			} else {
+				for _, p := range []ftdse.Proc{p1, p2, p3} {
+					design[p.ID] = ftdse.Replication(0, 1)
+				}
+			}
+			s, err := prob.Evaluate(design)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,75 +1,62 @@
-// Quickstart: build a small application in code, synthesize a
-// fault-tolerant implementation with the paper's MXR strategy, and print
-// the resulting policies, schedule tables and Gantt chart.
+// Quickstart: build a small application with the ftdse ProblemBuilder,
+// synthesize a fault-tolerant implementation with the paper's MXR
+// strategy — streaming incumbent solutions as they are found — and
+// print the resulting policies, schedule tables and Gantt chart.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/gantt"
-	"repro/internal/model"
+	"repro/ftdse"
 )
 
 func main() {
 	// Application: a sensor-filter-control-actuate chain plus a logger,
-	// running every 200 ms with a 150 ms deadline.
-	app := model.NewApplication("quickstart")
-	g := app.AddGraph("loop", model.Ms(200), model.Ms(150))
-	sensor := app.AddProcess(g, "Sensor")
-	filter := app.AddProcess(g, "Filter")
-	control := app.AddProcess(g, "Control")
-	actuate := app.AddProcess(g, "Actuate")
-	logger := app.AddProcess(g, "Logger")
-	g.AddEdge(sensor, filter, 2)
-	g.AddEdge(filter, control, 2)
-	g.AddEdge(control, actuate, 2)
-	g.AddEdge(control, logger, 1)
-
-	// Architecture: two nodes on a TTP bus; WCETs per node.
-	a := arch.New(2)
-	w := arch.NewWCET()
-	for _, row := range []struct {
-		p      *model.Process
-		n1, n2 int64
-	}{
-		{sensor, 8, 10},
-		{filter, 12, 14},
-		{control, 20, 22},
-		{actuate, 8, 10},
-		{logger, 6, 6},
-	} {
-		w.Set(row.p.ID, 0, model.Ms(row.n1))
-		w.Set(row.p.ID, 1, model.Ms(row.n2))
-	}
+	// running every 200 ms with a 150 ms deadline, on two nodes sharing
+	// a TTP bus. Process WCETs are listed per node (node 0, node 1).
+	b := ftdse.NewProblem("quickstart").Nodes(2)
+	g := b.Graph("loop", ftdse.Ms(200), ftdse.Ms(150))
+	sensor := g.Process("Sensor", ftdse.Ms(8), ftdse.Ms(10))
+	filter := g.Process("Filter", ftdse.Ms(12), ftdse.Ms(14))
+	control := g.Process("Control", ftdse.Ms(20), ftdse.Ms(22))
+	actuate := g.Process("Actuate", ftdse.Ms(8), ftdse.Ms(10))
+	logger := g.Process("Logger", ftdse.Ms(6), ftdse.Ms(6))
+	g.Edge(sensor, filter, 2)
+	g.Edge(filter, control, 2)
+	g.Edge(control, actuate, 2)
+	g.Edge(control, logger, 1)
 
 	// Tolerate k=1 transient fault per cycle with µ=5 ms recovery; the
-	// sensor must stay on node N1 (it owns the hardware).
-	prob := core.Problem{
-		App:          app,
-		Arch:         a,
-		WCET:         w,
-		Faults:       fault.Model{K: 1, Mu: model.Ms(5)},
-		FixedMapping: map[model.ProcID]arch.NodeID{sensor.ID: 0},
+	// sensor must stay on node N0 (it owns the hardware).
+	prob, err := b.Faults(1, ftdse.Ms(5)).Pin(sensor, 0).Build()
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	opts := core.DefaultOptions(core.MXR)
-	opts.MaxIterations = 300
-	res, err := core.Optimize(prob, opts)
+	solver := ftdse.NewSolver(
+		ftdse.WithStrategy(ftdse.MXR),
+		ftdse.WithMaxIterations(300),
+		ftdse.WithProgress(func(imp ftdse.Improvement) {
+			fmt.Fprintf(os.Stderr, "%-7s iter %-4d %v (%v)\n",
+				imp.Phase, imp.Iteration, imp.Cost, imp.Elapsed.Round(time.Millisecond))
+		}),
+	)
+	res, err := solver.Solve(context.Background(), prob)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("synthesized with %v in %d iterations: %v\n\n", res.Strategy, res.Iterations, res.Cost)
 	fmt.Println("policy assignment (node + re-executions per replica):")
-	for _, p := range app.Processes() {
-		fmt.Printf("  %-8s %v\n", p.Name, res.Assignment[p.ID])
+	for _, p := range prob.Processes() {
+		fmt.Printf("  %-8s %v\n", p.Name, res.Design[p.ID])
 	}
 	fmt.Println()
-	fmt.Println(gantt.Table(res.Schedule))
-	fmt.Println(gantt.Render(res.Schedule, 90))
-	fmt.Println(gantt.Summary(res.Schedule))
+	fmt.Println(ftdse.GanttTable(res.Schedule))
+	fmt.Println(ftdse.GanttChart(res.Schedule, 90))
+	fmt.Println(ftdse.GanttSummary(res.Schedule))
 }

@@ -1,3 +1,3 @@
-module repro
+module repro/ftdse
 
 go 1.22

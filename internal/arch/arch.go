@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 // NodeID identifies a computation node. IDs are dense, starting at 0.

@@ -3,7 +3,7 @@ package arch
 import (
 	"testing"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 func TestArchitectureBasics(t *testing.T) {

@@ -15,10 +15,10 @@ package ccapp
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
 )
 
 // Node indices of the CC architecture.

@@ -3,7 +3,7 @@ package ccapp
 import (
 	"testing"
 
-	"repro/internal/core"
+	"repro/ftdse/internal/core"
 )
 
 func TestCCStructure(t *testing.T) {

@@ -4,10 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // diamondProblem builds the 4-process diamond used by several tests:

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/model"
-	"repro/internal/sched"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/sched"
 )
 
 // Cost orders design alternatives lexicographically: first by the degree

@@ -1,21 +1,21 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
-	"time"
 
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
 )
 
 // moveEval is the outcome of evaluating one candidate move: the
 // schedule and cost of the assignment with the move applied. ok is
-// false when the scheduler rejected the move or the deadline expired
+// false when the scheduler rejected the move or the context fired
 // before the move could be evaluated. s is nil when the cost came from
 // the memo cache — the cache keeps only costs, not schedules, so that
 // long tabu runs do not retain thousands of full schedule tables;
@@ -111,18 +111,18 @@ func (ev *evaluator) fingerprint(base policy.Assignment, proc model.ProcID, pol 
 // evalMoves evaluates every move against the base assignment and
 // returns the results indexed by move position. The base assignment is
 // only read; each evaluation applies its move to a private clone, which
-// the resulting schedule then owns. The deadline is checked before
+// the resulting schedule then owns. The context is checked before
 // every scheduling pass, so a sweep over many moves stops promptly when
-// the time limit expires (remaining entries report ok == false).
+// it is canceled or its deadline expires (remaining entries report
+// ok == false).
 //
-// With no deadline (or one that never expires mid-sweep) the result is
-// independent of the worker count: callers pick winners by (cost, move
-// index), and memoized entries are resolved before the fan-out so
-// cache state never influences scheduling order. A deadline expiring
-// mid-sweep cuts the evaluated subset at a speed-dependent point, so
-// only untimed runs are bit-reproducible across worker counts (see
-// Options.Workers).
-func (ev *evaluator) evalMoves(base policy.Assignment, moves []move, deadline time.Time) []moveEval {
+// With a context that never fires mid-sweep the result is independent
+// of the worker count: callers pick winners by (cost, move index), and
+// memoized entries are resolved before the fan-out so cache state never
+// influences scheduling order. A context firing mid-sweep cuts the
+// evaluated subset at a speed-dependent point, so only uninterrupted
+// runs are bit-reproducible across worker counts (see Options.Workers).
+func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, moves []move) []moveEval {
 	out := make([]moveEval, len(moves))
 	if len(moves) == 0 {
 		return out
@@ -159,7 +159,7 @@ func (ev *evaluator) evalMoves(base policy.Assignment, moves []move, deadline ti
 
 	if workers := min(ev.workers, len(pending)); workers <= 1 {
 		for _, i := range pending {
-			if expired(deadline) {
+			if stopped(ctx) {
 				break
 			}
 			evalOne(i)
@@ -173,7 +173,7 @@ func (ev *evaluator) evalMoves(base policy.Assignment, moves []move, deadline ti
 				defer wg.Done()
 				for {
 					n := int(next.Add(1)) - 1
-					if n >= len(pending) || expired(deadline) {
+					if n >= len(pending) || stopped(ctx) {
 						return
 					}
 					evalOne(pending[n])
@@ -185,7 +185,7 @@ func (ev *evaluator) evalMoves(base policy.Assignment, moves []move, deadline ti
 
 	// Memoize everything that actually ran, including scheduler
 	// rejections (they are deterministic per assignment). Moves skipped
-	// by the deadline are not cached: they were never costed.
+	// by a fired context are not cached: they were never costed.
 	for _, i := range pending {
 		if evaluated[i] && len(ev.cache) < maxCacheEntries {
 			ev.cache[keys[i]] = cachedCost{c: out[i].c, ok: out[i].ok}

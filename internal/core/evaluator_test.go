@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
-	"time"
 
-	"repro/internal/policy"
+	"repro/ftdse/internal/policy"
 )
 
 // evalState builds a searchState plus an initial assignment and its
@@ -56,12 +56,12 @@ func TestEvaluatorMemoization(t *testing.T) {
 	st, base, moves := evalState(t, 1)
 	ev := st.eval
 
-	first := ev.evalMoves(base, moves, time.Time{})
+	first := ev.evalMoves(context.Background(), base, moves)
 	misses := ev.misses
 	if ev.hits != 0 {
 		t.Fatalf("first sweep had %d cache hits, want 0", ev.hits)
 	}
-	second := ev.evalMoves(base, moves, time.Time{})
+	second := ev.evalMoves(context.Background(), base, moves)
 	if ev.misses != misses {
 		t.Errorf("second sweep missed the cache %d times", ev.misses-misses)
 	}
@@ -86,18 +86,19 @@ func TestEvaluatorMemoization(t *testing.T) {
 	}
 }
 
-func TestEvaluatorExpiredDeadline(t *testing.T) {
+func TestEvaluatorCanceledContext(t *testing.T) {
 	st, base, moves := evalState(t, 1)
 	ev := st.eval
 
-	past := time.Now().Add(-time.Second)
-	for i, r := range ev.evalMoves(base, moves, past) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range ev.evalMoves(ctx, base, moves) {
 		if r.ok {
-			t.Errorf("move %d evaluated despite expired deadline", i)
+			t.Errorf("move %d evaluated despite canceled context", i)
 		}
 	}
 	if len(ev.cache) != 0 {
-		t.Errorf("deadline-skipped moves were cached (%d entries)", len(ev.cache))
+		t.Errorf("context-skipped moves were cached (%d entries)", len(ev.cache))
 	}
 }
 
@@ -107,8 +108,8 @@ func TestEvaluatorWorkerCountsAgree(t *testing.T) {
 	if len(moves) != len(moves8) {
 		t.Fatalf("move sets differ: %d vs %d", len(moves), len(moves8))
 	}
-	seq := st1.eval.evalMoves(base1, moves, time.Time{})
-	par := st8.eval.evalMoves(base8, moves8, time.Time{})
+	seq := st1.eval.evalMoves(context.Background(), base1, moves)
+	par := st8.eval.evalMoves(context.Background(), base8, moves8)
 	for i := range seq {
 		if seq[i].ok != par[i].ok || seq[i].c != par[i].c {
 			t.Errorf("move %d: sequential %+v vs parallel %+v", i, seq[i].c, par[i].c)

@@ -4,10 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/sim"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/sim"
 )
 
 // TestEndToEndAllStrategiesSimulated is the deepest integration test:

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // move is one design transformation (Figure 8 of the paper): it replaces

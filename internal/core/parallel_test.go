@@ -8,11 +8,11 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/gen"
-	"repro/internal/model"
-	"repro/internal/sched"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/gen"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/sched"
 )
 
 // TestWorkersProduceIdenticalResults asserts the evaluator's

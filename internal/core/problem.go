@@ -17,9 +17,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
 )
 
 // Problem is a design-optimization instance: the application, the

@@ -1,16 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/ttp"
 )
 
 // searchState carries the immutable context of one optimization run.
@@ -31,6 +32,27 @@ type searchState struct {
 	// prio is the priority of each origin: the maximum bottom level over
 	// its merged instances. Used for the initial mapping order.
 	prio map[model.ProcID]model.Time
+
+	// start anchors Improvement.Elapsed; iter is the global improvement-
+	// loop iteration across greedy and tabu, reported to the observer.
+	start time.Time
+	iter  int
+}
+
+// improved reports a new incumbent to the observer, if any. The
+// callback only observes — it never feeds back into the search, so
+// runs are deterministic with or without it.
+func (st *searchState) improved(phase string, c Cost) {
+	if st.opts.OnImprovement == nil {
+		return
+	}
+	st.opts.OnImprovement(Improvement{
+		Phase:       phase,
+		Iteration:   st.iter,
+		Cost:        c,
+		Schedulable: c.Schedulable(),
+		Elapsed:     time.Since(st.start),
+	})
 }
 
 // rebuildStatic revalidates and precomputes the scheduling context;
@@ -191,15 +213,16 @@ func (st *searchState) pickNodes(id model.ProcID, allowed []arch.NodeID, r int, 
 // Move evaluation is fanned out by the evaluator; the winner is the
 // lowest-index move of minimal cost, exactly as the sequential sweep
 // selected it.
-func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, curCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost, int) {
+func (st *searchState) greedyMPA(ctx context.Context, asgn policy.Assignment, cur *sched.Schedule, curCost Cost) (policy.Assignment, *sched.Schedule, Cost, int) {
 	iters := 0
-	for !expired(deadline) {
+	for !stopped(ctx) {
 		iters++
+		st.iter++
 		moves := st.generateMoves(asgn, cur.CriticalPath())
 		var bestMove *move
 		var bestSched *sched.Schedule
 		bestCost := curCost
-		for i, r := range st.eval.evalMoves(asgn, moves, deadline) {
+		for i, r := range st.eval.evalMoves(ctx, asgn, moves) {
 			if r.ok && r.c.Less(bestCost) {
 				bestMove, bestSched, bestCost = &moves[i], r.s, r.c
 			}
@@ -217,6 +240,7 @@ func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, cu
 		}
 		asgn = bestMove.applyTo(asgn)
 		cur, curCost = bestSched, bestCost
+		st.improved("greedy", curCost)
 		if st.opts.StopWhenSchedulable && curCost.Schedulable() {
 			break
 		}
@@ -229,7 +253,7 @@ func (st *searchState) greedyMPA(asgn policy.Assignment, cur *sched.Schedule, cu
 // counters, aspiration (tabu moves better than the best-so-far are
 // accepted) and diversification (processes that waited longer than |Γ|
 // iterations).
-func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedule, bestCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost, int) {
+func (st *searchState) tabuSearchMPA(ctx context.Context, asgn policy.Assignment, xbest *sched.Schedule, bestCost Cost) (policy.Assignment, *sched.Schedule, Cost, int) {
 	n := len(st.origins)
 	tenure := st.opts.TabuTenure
 	if tenure <= 0 {
@@ -249,11 +273,12 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 	bestAsgn := asgn.Clone()
 
 	iters := 0
-	for iters < maxIters && !expired(deadline) {
+	for iters < maxIters && !stopped(ctx) {
 		if st.opts.StopWhenSchedulable && bestCost.Schedulable() {
 			break
 		}
 		iters++
+		st.iter++
 
 		cp := snow.CriticalPath()
 		moves := st.generateMoves(xnow, cp)
@@ -272,7 +297,7 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 			waits bool
 		}
 		var all []evaluated
-		for i, r := range st.eval.evalMoves(xnow, moves, deadline) {
+		for i, r := range st.eval.evalMoves(ctx, xnow, moves) {
 			if !r.ok {
 				continue
 			}
@@ -325,6 +350,7 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 		snow = chosen.s
 		if chosen.c.Less(bestCost) {
 			bestAsgn, xbest, bestCost = xnow.Clone(), chosen.s, chosen.c
+			st.improved("tabu", bestCost)
 		}
 
 		// Update the selective history (line 25).
@@ -344,18 +370,18 @@ func (st *searchState) tabuSearchMPA(asgn policy.Assignment, xbest *sched.Schedu
 // Figure 6; the paper defers the full treatment to [19]). Adjacent slot
 // swaps are evaluated against the current best assignment until no swap
 // improves the cost.
-func (st *searchState) optimizeBus(asgn policy.Assignment, best *sched.Schedule, bestCost Cost, deadline time.Time) (policy.Assignment, *sched.Schedule, Cost) {
+func (st *searchState) optimizeBus(ctx context.Context, asgn policy.Assignment, best *sched.Schedule, bestCost Cost) (policy.Assignment, *sched.Schedule, Cost) {
 	n := len(st.bus.Slots)
 	if n < 2 {
 		return asgn, best, bestCost
 	}
 	improved := true
-	for improved && !expired(deadline) {
+	for improved && !stopped(ctx) {
 		improved = false
-		// The deadline is re-checked per swap: each probe is a full
+		// The context is re-checked per swap: each probe is a full
 		// scheduling pass, and a round of n−1 swaps would otherwise
 		// overshoot a tight time limit by the whole round.
-		for i := 0; i+1 < n && !expired(deadline); i++ {
+		for i := 0; i+1 < n && !stopped(ctx); i++ {
 			perm := make([]int, n)
 			for j := range perm {
 				perm[j] = j
@@ -373,12 +399,22 @@ func (st *searchState) optimizeBus(asgn policy.Assignment, best *sched.Schedule,
 				continue
 			}
 			best, bestCost = s, c
+			st.improved("bus", bestCost)
 			improved = true
 		}
 	}
 	return asgn, best, bestCost
 }
 
-func expired(deadline time.Time) bool {
-	return !deadline.IsZero() && time.Now().After(deadline)
+// stopped reports whether the run should end: the context was canceled
+// or its deadline (including Options.TimeLimit) expired. For a context
+// that never fires this is a nil-channel select — effectively free —
+// which preserves the untimed path's determinism and speed.
+func stopped(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }

@@ -1,12 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"repro/internal/fault"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
 )
 
 // Strategy selects the optimization approach evaluated in Section 6 of
@@ -95,6 +96,70 @@ type Options struct {
 
 	// MaxCheckpoints caps the checkpoints per replica; <= 0 selects 4.
 	MaxCheckpoints int
+
+	// OnImprovement, when non-nil, is called synchronously from the
+	// search goroutine every time a new incumbent (best-so-far) design
+	// is found, including the initial solution. The callback must be
+	// fast; it observes the search but must not mutate the problem. It
+	// never influences the search trajectory, so untimed runs stay
+	// deterministic with or without an observer.
+	OnImprovement func(Improvement)
+}
+
+// Improvement is one incumbent solution reported through
+// Options.OnImprovement: the anytime signal of the search.
+type Improvement struct {
+	// Phase is the strategy step that produced the incumbent:
+	// "initial", "greedy", "tabu", "bus" or "sfx".
+	Phase string
+	// Iteration is the global improvement-loop iteration (greedy and
+	// tabu iterations accumulate; 0 for the initial solution).
+	Iteration int
+	// Cost is the incumbent's cost.
+	Cost Cost
+	// Schedulable reports whether the incumbent meets all deadlines.
+	Schedulable bool
+	// Elapsed is the time since the optimization started.
+	Elapsed time.Duration
+}
+
+// StopCause reports why an optimization run ended.
+type StopCause int
+
+const (
+	// StopCompleted: the search exhausted its iteration budget or
+	// converged (including StopWhenSchedulable hits).
+	StopCompleted StopCause = iota
+	// StopTimeLimit: the context deadline (Options.TimeLimit or a
+	// caller-supplied deadline) expired; the result is the best design
+	// found so far.
+	StopTimeLimit
+	// StopCanceled: the caller canceled the context; the result is the
+	// best design found so far.
+	StopCanceled
+)
+
+func (c StopCause) String() string {
+	switch c {
+	case StopCompleted:
+		return "completed"
+	case StopTimeLimit:
+		return "time limit"
+	case StopCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("StopCause(%d)", int(c))
+}
+
+// stopCause maps the context state at the end of a run to a cause.
+func stopCause(ctx context.Context) StopCause {
+	switch ctx.Err() {
+	case context.Canceled:
+		return StopCanceled
+	case context.DeadlineExceeded:
+		return StopTimeLimit
+	}
+	return StopCompleted
 }
 
 // DefaultOptions returns the paper's configuration for a strategy.
@@ -115,6 +180,11 @@ type Result struct {
 	Cost       Cost
 	Iterations int
 	Elapsed    time.Duration
+
+	// Stopped records why the run ended: a completed search, an expired
+	// time limit, or caller cancellation (the design is then the best
+	// found before the interruption).
+	Stopped StopCause
 }
 
 // Optimize runs the paper's OptimizationStrategy (Figure 6) for the
@@ -128,19 +198,42 @@ type Result struct {
 // With StopWhenSchedulable the run returns at the first step that yields
 // a schedulable design; otherwise it uses the full budget to minimize
 // the worst-case schedule length.
+//
+// Optimize is the untimed-by-default entry point; it is equivalent to
+// OptimizeContext with context.Background().
 func Optimize(p Problem, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, opts)
+}
+
+// OptimizeContext runs the optimization strategy under a context. The
+// context is polled before every scheduling pass — the unit of work of
+// the search — so cancellation and deadlines take effect within one
+// sched.Build call. A positive Options.TimeLimit is merged into the
+// context as a deadline relative to the start of the run.
+//
+// Cancellation is an anytime interruption, not a failure: once the
+// initial solution exists, OptimizeContext returns the best design
+// found so far with Result.Stopped recording the cause, and a nil
+// error. An error is returned only when the problem is invalid or no
+// design could be constructed at all.
+//
+// With a context that never fires (and no TimeLimit), the run takes
+// exactly the legacy untimed path: the result is bit-for-bit
+// deterministic and independent of Options.Workers.
+func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(opts.TimeLimit))
+		defer cancel()
 	}
 
 	// SFX is a two-phase pipeline rather than a search of its own.
 	if opts.Strategy == SFX {
-		return optimizeSFX(p, opts, start, deadline)
+		return optimizeSFX(ctx, p, opts, start)
 	}
 
 	eff := p
@@ -152,6 +245,7 @@ func Optimize(p Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.start = start
 
 	// Step 1: initial bus access, mapping and policy assignment.
 	asgn, err := st.initialMPA()
@@ -162,20 +256,21 @@ func Optimize(p Problem, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.improved("initial", bestCost)
 	iters := 0
 	if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
 		// Step 2: greedy improvement.
-		asgn, best, bestCost, iters = st.greedyMPA(asgn, best, bestCost, deadline)
+		asgn, best, bestCost, iters = st.greedyMPA(ctx, asgn, best, bestCost)
 		if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
 			// Step 3: tabu search.
 			var tIters int
-			asgn, best, bestCost, tIters = st.tabuSearchMPA(asgn, best, bestCost, deadline)
+			asgn, best, bestCost, tIters = st.tabuSearchMPA(ctx, asgn, best, bestCost)
 			iters += tIters
 		}
 	}
 
 	if opts.OptimizeBusAccess {
-		asgn2, best2, cost2 := st.optimizeBus(asgn, best, bestCost, deadline)
+		asgn2, best2, cost2 := st.optimizeBus(ctx, asgn, best, bestCost)
 		asgn, best, bestCost = asgn2, best2, cost2
 	}
 
@@ -186,17 +281,21 @@ func Optimize(p Problem, opts Options) (*Result, error) {
 		Cost:       bestCost,
 		Iterations: iters,
 		Elapsed:    time.Since(start),
+		Stopped:    stopCause(ctx),
 	}, nil
 }
 
 // optimizeSFX implements the straightforward baseline: derive the best
 // mapping while ignoring fault tolerance (an NFT run), then assign
 // re-execution to every process on that mapping and schedule once.
-func optimizeSFX(p Problem, opts Options, start time.Time, deadline time.Time) (*Result, error) {
+func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) (*Result, error) {
 	nftOpts := opts
 	nftOpts.Strategy = NFT
 	nftOpts.StopWhenSchedulable = false
-	nft, err := Optimize(p, nftOpts)
+	// The caller already merged TimeLimit into ctx; clearing it here
+	// avoids stacking a second (later, and therefore inert) deadline.
+	nftOpts.TimeLimit = 0
+	nft, err := OptimizeContext(ctx, p, nftOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -210,10 +309,12 @@ func optimizeSFX(p Problem, opts Options, start time.Time, deadline time.Time) (
 	if err != nil {
 		return nil, err
 	}
+	st.start = start
 	s, cost, err := st.evaluate(asgn)
 	if err != nil {
 		return nil, err
 	}
+	st.improved("sfx", cost)
 	return &Result{
 		Strategy:   SFX,
 		Assignment: asgn,
@@ -221,5 +322,6 @@ func optimizeSFX(p Problem, opts Options, start time.Time, deadline time.Time) (
 		Cost:       cost,
 		Iterations: nft.Iterations,
 		Elapsed:    time.Since(start),
+		Stopped:    stopCause(ctx),
 	}, nil
 }

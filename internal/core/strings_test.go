@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 func TestStrategyString(t *testing.T) {

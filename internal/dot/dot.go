@@ -7,9 +7,9 @@ import (
 	"io"
 	"strings"
 
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
 )
 
 // WriteGraph emits a process graph: processes as nodes (annotated with

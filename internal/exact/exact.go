@@ -11,12 +11,12 @@ package exact
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/ttp"
 )
 
 // Options bound the enumeration.

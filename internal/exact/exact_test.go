@@ -4,10 +4,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
 )
 
 func randomProblem(rng *rand.Rand, nProcs, nNodes, k int) core.Problem {

@@ -1,0 +1,68 @@
+// Benchmark of the tabu search against the exact brute-force optimum on
+// instances small enough to enumerate — an evaluation the paper could
+// not run. Lives next to the exact optimizer because it is a substrate
+// measurement; the experiment benchmarks at the module root use the
+// public ftdse API.
+package exact_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/exact"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+)
+
+// BenchmarkOptimalityGap reports the average percentage gap of MXR's
+// schedule length over the enumerated optimum.
+func BenchmarkOptimalityGap(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		gap = 0
+		const seeds = 5
+		for seed := int64(0); seed < seeds; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			p := randomTinyProblem(rng)
+			ex, err := exact.Search(p, exact.Options{SlackSharing: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.DefaultOptions(core.MXR)
+			opts.MaxIterations = 200
+			heur, err := core.Optimize(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap += 100 * (float64(heur.Cost.Makespan) - float64(ex.Cost.Makespan)) /
+				float64(ex.Cost.Makespan) / seeds
+		}
+	}
+	b.ReportMetric(gap, "gap%")
+}
+
+func randomTinyProblem(rng *rand.Rand) core.Problem {
+	app := model.NewApplication("tiny")
+	g := app.AddGraph("G", model.Ms(1000000), model.Ms(1000000))
+	procs := make([]*model.Process, 5)
+	for i := range procs {
+		procs[i] = app.AddProcess(g, "P")
+	}
+	for i := 0; i < len(procs); i++ {
+		for j := i + 1; j < len(procs); j++ {
+			if rng.Intn(3) == 0 {
+				g.AddEdge(procs[i], procs[j], 1+rng.Intn(4))
+			}
+		}
+	}
+	a := arch.New(2)
+	w := arch.NewWCET()
+	for _, p := range procs {
+		for n := 0; n < 2; n++ {
+			w.Set(p.ID, arch.NodeID(n), model.Ms(int64(10+rng.Intn(91))))
+		}
+	}
+	return core.Problem{App: app, Arch: a, WCET: w, Faults: fault.Model{K: 1, Mu: model.Ms(5)}}
+}

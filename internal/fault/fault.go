@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 // Model is the fault hypothesis (k, µ) plus the checkpointing overhead χ

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 func TestModelValidate(t *testing.T) {

@@ -7,8 +7,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/model"
-	"repro/internal/sched"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/sched"
 )
 
 // Render draws the fault-free (nominal) schedule of every node plus the

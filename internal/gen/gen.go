@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/arch"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
 )
 
 // Shape selects the graph structure.

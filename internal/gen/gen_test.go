@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/fault"
-	"repro/internal/model"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
 )
 
 func TestGenerateDeterministic(t *testing.T) {

@@ -3,8 +3,8 @@ package policy
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
 )
 
 // InstID identifies one replica instance in the expanded fault-tolerant

@@ -18,8 +18,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/arch"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
 )
 
 // Replica is one active replica of a process: a node plus the number of

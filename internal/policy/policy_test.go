@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/arch"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
 )
 
 func testWCET(procs int, nodes int) *arch.WCET {

@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/sim"
 )
 
 func TestDebugMismatch(t *testing.T) {

@@ -18,11 +18,11 @@ import (
 	"container/heap"
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/sim"
 )
 
 // Result mirrors sim.Result for cross-validation.

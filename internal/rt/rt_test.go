@@ -5,13 +5,13 @@ import (
 	"sort"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/sim"
+	"repro/ftdse/internal/ttp"
 )
 
 // randomSystem mirrors the sim test helper.

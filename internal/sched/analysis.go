@@ -1,8 +1,8 @@
 package sched
 
 import (
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // candidate is one source that can deliver a datum at a fixed time (a

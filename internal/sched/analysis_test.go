@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 func TestGuaranteedFirstValid(t *testing.T) {

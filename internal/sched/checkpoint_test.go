@@ -3,9 +3,9 @@ package sched
 import (
 	"testing"
 
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // TestCheckpointedAnalysis checks the exact worst-case arithmetic of the

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // TestExhaustiveTinySystems systematically sweeps small systems: three

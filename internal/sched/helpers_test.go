@@ -3,11 +3,11 @@ package sched
 import (
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // sys bundles a single-graph test system.

@@ -19,11 +19,11 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // Options tune scheduler behaviour; the zero value is NOT the default,

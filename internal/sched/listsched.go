@@ -3,10 +3,10 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // Build runs the list scheduler (Section 5.1 of the paper) and returns

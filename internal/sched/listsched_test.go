@@ -5,11 +5,11 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // randomSystem builds a random DAG application with a random valid

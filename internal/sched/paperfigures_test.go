@@ -3,10 +3,10 @@ package sched
 import (
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // TestFigure2 reproduces the worst-case fault scenarios of the paper's

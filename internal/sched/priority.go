@@ -1,8 +1,8 @@
 package sched
 
 import (
-	"repro/internal/model"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/ttp"
 )
 
 // BottomLevels computes the modified partial-critical-path priority of

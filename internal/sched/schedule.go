@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
 )
 
 // NoInst is the sentinel instance ID used in bindings.

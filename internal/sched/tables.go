@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 // The paper's Section 4 lists "the size of the schedule tables" among

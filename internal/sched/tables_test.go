@@ -4,9 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
 )
 
 func buildTableSystem(t *testing.T, k int) (*Schedule, *sys) {

@@ -3,7 +3,7 @@ package sched
 import (
 	"fmt"
 
-	"repro/internal/model"
+	"repro/ftdse/internal/model"
 )
 
 // ValidateSchedule re-checks the structural and timing invariants of a

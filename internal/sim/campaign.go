@@ -6,8 +6,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/model"
-	"repro/internal/sched"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/sched"
 )
 
 // Campaign configures a fault-injection campaign over a synthesized

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/sched"
+	"repro/ftdse/internal/sched"
 )
 
 func TestCampaignExhaustive(t *testing.T) {

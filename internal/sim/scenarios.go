@@ -3,9 +3,9 @@ package sim
 import (
 	"math/rand"
 
-	"repro/internal/fault"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
 )
 
 // ForEachScenario enumerates every fault scenario with at most k faults

@@ -23,10 +23,10 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arch"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
 )
 
 // Scenario assigns a number of transient faults to replica instances;

@@ -5,12 +5,12 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/arch"
-	"repro/internal/fault"
-	"repro/internal/model"
-	"repro/internal/policy"
-	"repro/internal/sched"
-	"repro/internal/ttp"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/ttp"
 )
 
 // buildFigure7 reconstructs the paper's Figure 7 system: P1→P2→P3, P2

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
-	"repro/internal/sched"
+	"repro/ftdse/internal/sched"
 )
 
 // The schedule export is the deployment artifact of the synthesis: the

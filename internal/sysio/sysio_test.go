@@ -6,12 +6,12 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/arch"
-	"repro/internal/ccapp"
-	"repro/internal/core"
-	"repro/internal/fault"
-	"repro/internal/gen"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/ccapp"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/gen"
+	"repro/ftdse/internal/model"
 )
 
 func TestRoundTripGenerated(t *testing.T) {

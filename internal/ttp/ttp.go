@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/arch"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
 )
 
 // DefaultPerByte is the default transmission time for one byte of

@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/arch"
-	"repro/internal/model"
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
 )
 
 func twoNodeConfig() (*arch.Architecture, Config) {

@@ -1,0 +1,39 @@
+package ftdse
+
+import (
+	"io"
+
+	"repro/ftdse/internal/dot"
+	"repro/ftdse/internal/sysio"
+)
+
+// ReadProblem parses a problem from its JSON document: application
+// graphs, architecture, WCET table, fault hypothesis and designer
+// constraints. The format is written by WriteProblem and by the ftgen
+// tool.
+func ReadProblem(r io.Reader) (Problem, error) {
+	p, err := sysio.ReadProblem(r)
+	if err != nil {
+		return Problem{}, err
+	}
+	return Problem{core: p}, nil
+}
+
+// WriteProblem serializes a problem as a human-editable JSON document.
+// Process names must be unique across the application (they key the
+// WCET table).
+func WriteProblem(w io.Writer, p Problem) error {
+	return sysio.WriteProblem(w, p.core)
+}
+
+// WriteSchedule serializes a built schedule — the per-node schedule
+// tables, the bus MEDL and the worst-case analysis — as JSON.
+func WriteSchedule(w io.Writer, s *Schedule) error {
+	return sysio.WriteSchedule(w, s)
+}
+
+// WriteDesignDOT renders a synthesized design (mapping, policies and
+// messages) as a Graphviz DOT document.
+func WriteDesignDOT(w io.Writer, s *Schedule) error {
+	return dot.WriteDesign(w, s)
+}

@@ -1,0 +1,93 @@
+package ftdse
+
+import (
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/sched"
+	"repro/ftdse/internal/ttp"
+)
+
+// Proc is a lightweight handle to a process of a problem, returned by
+// the builder and by Problem.Processes. It is used to reference
+// processes in WCET entries, constraints and designs.
+type Proc struct {
+	ID   ProcID
+	Name string
+}
+
+func (p Proc) String() string { return p.Name }
+
+// Problem is a complete design-optimization instance: the application,
+// the architecture with its WCET table, the fault hypothesis, and the
+// designer-imposed constraints (the paper's sets P_X, P_R and P_M).
+// Problems are built with a ProblemBuilder, loaded with ReadProblem,
+// generated with GenerateProblem, or obtained from CruiseControl.
+type Problem struct {
+	core core.Problem
+}
+
+// Name returns the application name.
+func (p Problem) Name() string {
+	if p.core.App == nil {
+		return ""
+	}
+	return p.core.App.Name
+}
+
+// Processes lists the application's processes in ID order.
+func (p Problem) Processes() []Proc {
+	if p.core.App == nil {
+		return nil
+	}
+	procs := p.core.App.Processes()
+	out := make([]Proc, 0, len(procs))
+	for _, pr := range procs {
+		out = append(out, Proc{ID: pr.ID, Name: pr.Name})
+	}
+	return out
+}
+
+// NumProcesses returns the number of processes in the application.
+func (p Problem) NumProcesses() int {
+	if p.core.App == nil {
+		return 0
+	}
+	return p.core.App.NumProcesses()
+}
+
+// NumNodes returns the number of computation nodes.
+func (p Problem) NumNodes() int {
+	if p.core.Arch == nil {
+		return 0
+	}
+	return p.core.Arch.NumNodes()
+}
+
+// Faults returns the fault hypothesis.
+func (p Problem) Faults() FaultModel { return p.core.Faults }
+
+// Validate checks the problem for consistency.
+func (p Problem) Validate() error { return p.core.Validate() }
+
+// Evaluate builds the worst-case schedule of a fixed design — an
+// explicit policy assignment for every process — without running any
+// optimization. The bus uses the default initial slot configuration.
+// Use it to study hand-crafted designs; the Solver constructs designs
+// automatically.
+func (p Problem) Evaluate(d Design) (*Schedule, error) {
+	if err := p.core.Validate(); err != nil {
+		return nil, err
+	}
+	merged, err := p.core.App.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return sched.Build(sched.Input{
+		Graph:      merged,
+		Arch:       p.core.Arch,
+		WCET:       p.core.WCET,
+		Faults:     p.core.Faults,
+		Assignment: d,
+		Bus:        ttp.InitialConfig(p.core.Arch, merged.MaxMessageBytes(), ttp.DefaultPerByte),
+		Options:    sched.DefaultOptions(),
+	})
+}

@@ -1,0 +1,17 @@
+package ftdse
+
+import (
+	"repro/ftdse/internal/gantt"
+)
+
+// GanttTable lists every scheduled item of a schedule — start, node,
+// worst-case windows — as an aligned text table.
+func GanttTable(s *Schedule) string { return gantt.Table(s) }
+
+// GanttChart renders the schedule as an ASCII Gantt chart of the given
+// character width: one lane per node plus the bus.
+func GanttChart(s *Schedule, width int) string { return gantt.Render(s, width) }
+
+// GanttSummary condenses the schedule's worst-case metrics (makespan,
+// tardiness, utilization) into a few lines.
+func GanttSummary(s *Schedule) string { return gantt.Summary(s) }

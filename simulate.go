@@ -1,0 +1,47 @@
+package ftdse
+
+import (
+	"math/rand"
+
+	"repro/ftdse/internal/sim"
+)
+
+// Scenario assigns a number of transient faults to schedule items; the
+// total never exceeds the fault hypothesis' k. The zero scenario is
+// fault-free.
+type Scenario = sim.Scenario
+
+// SimResult is the outcome of executing a schedule under one fault
+// scenario: observed completion times and any deadline violations.
+type SimResult = sim.Result
+
+// Campaign is a fault-injection campaign over a synthesized schedule:
+// every scenario of the hypothesis when enumerable, otherwise all
+// adversarial scenarios plus Samples random ones.
+type Campaign = sim.Campaign
+
+// CampaignResult aggregates a campaign: scenarios run, worst observed
+// completion, and violations of the analysis bound.
+type CampaignResult = sim.CampaignResult
+
+// RunScenario executes the schedule tables under one fault scenario,
+// reproducing the runtime behavior (contingency switches, re-execution
+// slack) and checking the observed completions against the worst-case
+// analysis.
+func RunScenario(s *Schedule, sc Scenario) *SimResult { return sim.Run(s, sc) }
+
+// ForEachScenario enumerates every fault scenario of the hypothesis in
+// deterministic order until yield returns false. The scenario passed to
+// yield is reused across calls; copy it to retain it.
+func ForEachScenario(s *Schedule, yield func(Scenario) bool) { sim.ForEachScenario(s, yield) }
+
+// ScenarioCount returns the number of distinct fault scenarios of the
+// hypothesis for this schedule.
+func ScenarioCount(s *Schedule) int64 { return sim.ScenarioCount(s) }
+
+// RandomScenario draws a random scenario of exactly k faults.
+func RandomScenario(rng *rand.Rand, s *Schedule) Scenario { return sim.RandomScenario(rng, s) }
+
+// AdversarialScenarios returns the heuristically worst scenarios
+// (fault mass concentrated on critical items).
+func AdversarialScenarios(s *Schedule) []Scenario { return sim.AdversarialScenarios(s) }

@@ -1,0 +1,160 @@
+package ftdse
+
+import (
+	"context"
+	"time"
+
+	"repro/ftdse/internal/core"
+)
+
+// Solver runs the paper's optimization strategy (initial mapping →
+// greedy improvement → tabu search, Figure 6) over a Problem. A Solver
+// is configured once with functional options and is safe to reuse for
+// any number of sequential Solve calls; the zero configuration
+// (NewSolver with no options) runs MXR with the paper's defaults.
+type Solver struct {
+	opts core.Options
+}
+
+// Option configures a Solver.
+type Option func(*Solver)
+
+// NewSolver returns a solver with the paper's default configuration
+// for MXR, adjusted by the given options.
+func NewSolver(opts ...Option) *Solver {
+	s := &Solver{opts: core.DefaultOptions(core.MXR)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithStrategy selects the optimization strategy (default MXR).
+func WithStrategy(strat Strategy) Option {
+	return func(s *Solver) { s.opts.Strategy = strat }
+}
+
+// WithTimeLimit bounds each Solve call; it is merged into the Solve
+// context as a deadline relative to the start of the run. A limit <= 0
+// (the default) means no time limit. Timed runs are best-effort anytime
+// results; see WithWorkers for the determinism contract.
+func WithTimeLimit(d time.Duration) Option {
+	return func(s *Solver) { s.opts.TimeLimit = d }
+}
+
+// WithMaxIterations bounds the tabu-search iterations; <= 0 selects a
+// problem-size-dependent default.
+func WithMaxIterations(n int) Option {
+	return func(s *Solver) { s.opts.MaxIterations = n }
+}
+
+// WithWorkers bounds the concurrent scheduling passes used to evaluate
+// candidate moves; 0 (the default) uses all CPUs, 1 evaluates
+// sequentially. Uninterrupted runs return bit-identical designs for
+// every worker count; only a time limit or cancellation striking
+// mid-run makes the outcome speed-dependent.
+func WithWorkers(n int) Option {
+	return func(s *Solver) { s.opts.Workers = n }
+}
+
+// WithBusOptimization toggles the final bus-access optimization step
+// (TDMA slot-order hill climbing) after the search.
+func WithBusOptimization(on bool) Option {
+	return func(s *Solver) { s.opts.OptimizeBusAccess = on }
+}
+
+// WithCheckpointing toggles checkpoint-count moves, the reproduction's
+// documented extension beyond the paper: re-executed replicas may save
+// state at up to WithMaxCheckpoints points (cost χ each, from
+// ProblemBuilder.CheckpointCost) so a fault re-executes only the hit
+// segment.
+func WithCheckpointing(on bool) Option {
+	return func(s *Solver) { s.opts.EnableCheckpointing = on }
+}
+
+// WithMaxCheckpoints caps the checkpoints per replica considered by
+// WithCheckpointing; <= 0 selects 4.
+func WithMaxCheckpoints(n int) Option {
+	return func(s *Solver) { s.opts.MaxCheckpoints = n }
+}
+
+// WithStopWhenSchedulable stops at the first design meeting all
+// deadlines (the synthesis goal) instead of minimizing the schedule
+// length with the full budget (the evaluation protocol; the default).
+func WithStopWhenSchedulable(on bool) Option {
+	return func(s *Solver) { s.opts.StopWhenSchedulable = on }
+}
+
+// WithSlackSharing toggles the shared re-execution slack of the
+// schedule analysis (on by default; disable for ablations).
+func WithSlackSharing(on bool) Option {
+	return func(s *Solver) { s.opts.SlackSharing = on }
+}
+
+// WithTabuTenure sets the number of iterations a moved process stays
+// tabu; <= 0 selects a problem-size-dependent default.
+func WithTabuTenure(n int) Option {
+	return func(s *Solver) { s.opts.TabuTenure = n }
+}
+
+// WithProgress registers an observer that is called synchronously from
+// the search goroutine for every new incumbent solution, including the
+// initial one — the solver's anytime interface. The callback must be
+// fast and must not mutate the problem; it never influences the search
+// trajectory, so observed runs stay deterministic.
+func WithProgress(fn func(Improvement)) Option {
+	return func(s *Solver) { s.opts.OnImprovement = fn }
+}
+
+// Solve runs the optimization strategy on the problem under the given
+// context.
+//
+// The context is honored end-to-end: the search polls it before every
+// scheduling pass (its unit of work), so cancellation or an expired
+// deadline takes effect within one pass. Interruption is not an error —
+// once an initial design exists, Solve returns the best design found so
+// far with Result.Stopped set to StopCanceled or StopTimeLimit. An
+// error is returned only for invalid problems.
+//
+// With context.Background() and no WithTimeLimit, Solve is bit-for-bit
+// deterministic and independent of WithWorkers.
+func (s *Solver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	res, err := core.OptimizeContext(ctx, p.core, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Strategy:   res.Strategy,
+		Design:     res.Assignment,
+		Schedule:   res.Schedule,
+		Cost:       res.Cost,
+		Iterations: res.Iterations,
+		Elapsed:    res.Elapsed,
+		Stopped:    res.Stopped,
+	}, nil
+}
+
+// Result is the outcome of one Solve run.
+type Result struct {
+	// Strategy that produced the design.
+	Strategy Strategy
+	// Design is the synthesized mapping and fault-tolerance policy
+	// assignment — the best found within the budget.
+	Design Design
+	// Schedule is the design's implementation: static schedule tables,
+	// bus MEDL, and the worst-case analysis.
+	Schedule *Schedule
+	// Cost is the design's cost (tardiness, then schedule length).
+	Cost Cost
+	// Iterations is the number of improvement-loop iterations run.
+	Iterations int
+	// Elapsed is the wall-clock optimization time.
+	Elapsed time.Duration
+	// Stopped records why the run ended (completed, time limit, or
+	// canceled).
+	Stopped StopCause
+}
+
+// Schedulable reports whether the synthesized design meets all
+// deadlines in the worst case.
+func (r *Result) Schedulable() bool { return r.Cost.Schedulable() }

@@ -1,0 +1,252 @@
+package ftdse_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/ftdse"
+)
+
+// testProblem generates a deterministic synthetic instance large enough
+// that a full solve takes many scheduling passes.
+func testProblem(procs, nodes, k int) ftdse.Problem {
+	return ftdse.GenerateProblem(
+		ftdse.GenSpec{Procs: procs, Nodes: nodes, Seed: 42},
+		ftdse.FaultModel{K: k, Mu: ftdse.Ms(5)})
+}
+
+// cancelReturnBudget bounds how long Solve may take to return after the
+// context fires: the contract is "within one scheduling pass", which
+// for these instances is far below the budget. Kept well above the
+// ~100ms target to absorb CI scheduling noise.
+const cancelReturnBudget = 250 * time.Millisecond
+
+// assertPromptCancel verifies the anytime contract after a cancellation:
+// Solve returned quickly, with a best-so-far design, marked canceled.
+func assertPromptCancel(t *testing.T, res *ftdse.Result, err error, canceledAt time.Time) {
+	t.Helper()
+	took := time.Since(canceledAt)
+	if took > cancelReturnBudget {
+		t.Fatalf("Solve returned %v after cancellation, want < %v", took, cancelReturnBudget)
+	}
+	if err != nil {
+		t.Fatalf("canceled Solve returned error %v, want best-so-far result", err)
+	}
+	if res == nil || res.Schedule == nil || len(res.Design) == 0 {
+		t.Fatalf("canceled Solve returned no design: %+v", res)
+	}
+	if res.Stopped != ftdse.StopCanceled {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, ftdse.StopCanceled)
+	}
+	if err := ftdse.ValidateSchedule(res.Schedule); err != nil {
+		t.Errorf("best-so-far schedule invalid: %v", err)
+	}
+}
+
+// TestCancelMidGreedy cancels as soon as the greedy phase reports its
+// first incumbent, so the cancellation strikes inside the greedy
+// improvement loop.
+func TestCancelMidGreedy(t *testing.T) {
+	prob := testProblem(60, 4, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var canceledAt time.Time
+	solver := ftdse.NewSolver(
+		ftdse.WithMaxIterations(10000),
+		ftdse.WithProgress(func(imp ftdse.Improvement) {
+			if imp.Phase == "greedy" && canceledAt.IsZero() {
+				canceledAt = time.Now()
+				cancel()
+			}
+		}),
+	)
+	res, err := solver.Solve(ctx, prob)
+	if canceledAt.IsZero() {
+		t.Skip("greedy phase produced no improvement to cancel on")
+	}
+	assertPromptCancel(t, res, err, canceledAt)
+}
+
+// TestCancelMidTabu drives the search into the tabu phase and cancels
+// on its first improvement; if the instance yields none, it cancels on
+// a timer that lands mid-search.
+func TestCancelMidTabu(t *testing.T) {
+	prob := testProblem(40, 3, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var canceledAt time.Time
+	sawTabu := false
+	solver := ftdse.NewSolver(
+		ftdse.WithMaxIterations(10000),
+		ftdse.WithProgress(func(imp ftdse.Improvement) {
+			if imp.Phase == "tabu" && canceledAt.IsZero() {
+				sawTabu = true
+				canceledAt = time.Now()
+				cancel()
+			}
+		}),
+	)
+	done := make(chan struct{})
+	var res *ftdse.Result
+	var err error
+	go func() {
+		res, err = solver.Solve(ctx, prob)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		// No tabu improvement surfaced: cancel anyway, mid-search.
+		canceledAt = time.Now()
+		cancel()
+		<-done
+	}
+	if !sawTabu {
+		t.Log("cancellation fired on the fallback timer, not a tabu improvement")
+	}
+	assertPromptCancel(t, res, err, canceledAt)
+}
+
+// TestCancelMidEvaluatorFanOut cancels while the parallel evaluator has
+// a sweep of candidate moves in flight across workers.
+func TestCancelMidEvaluatorFanOut(t *testing.T) {
+	prob := testProblem(100, 6, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solver := ftdse.NewSolver(
+		ftdse.WithMaxIterations(10000),
+		ftdse.WithWorkers(8),
+	)
+	done := make(chan struct{})
+	var res *ftdse.Result
+	var err error
+	go func() {
+		res, err = solver.Solve(ctx, prob)
+		close(done)
+	}()
+	// A 100-process MXR search runs for seconds; 50ms lands inside the
+	// first move sweeps.
+	time.Sleep(50 * time.Millisecond)
+	canceledAt := time.Now()
+	cancel()
+	<-done
+	assertPromptCancel(t, res, err, canceledAt)
+}
+
+// TestCancelBeforeStart still yields the initial design: cancellation
+// is an anytime interruption, never a failure, once a design exists.
+func TestCancelBeforeStart(t *testing.T) {
+	prob := testProblem(12, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ftdse.NewSolver().Solve(ctx, prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Stopped != ftdse.StopCanceled {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, ftdse.StopCanceled)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("pre-canceled run iterated %d times", res.Iterations)
+	}
+	if len(res.Design) != prob.NumProcesses() {
+		t.Errorf("initial design covers %d of %d processes", len(res.Design), prob.NumProcesses())
+	}
+}
+
+// TestTimeLimitStopCause distinguishes deadline expiry from
+// cancellation in Result.Stopped.
+func TestTimeLimitStopCause(t *testing.T) {
+	prob := testProblem(60, 4, 5)
+	res, err := ftdse.NewSolver(
+		ftdse.WithMaxIterations(10000),
+		ftdse.WithTimeLimit(30*time.Millisecond),
+	).Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Stopped != ftdse.StopTimeLimit {
+		t.Errorf("Stopped = %v, want %v", res.Stopped, ftdse.StopTimeLimit)
+	}
+}
+
+// TestSolveDeterministicAcrossWorkers is the facade-level determinism
+// regression: an uninterrupted Solve(context.Background(), …) must be
+// bit-for-bit identical for every worker count (the legacy untimed
+// path).
+func TestSolveDeterministicAcrossWorkers(t *testing.T) {
+	prob := testProblem(20, 3, 2)
+	var ref *ftdse.Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := ftdse.NewSolver(
+			ftdse.WithMaxIterations(40),
+			ftdse.WithWorkers(workers),
+		).Solve(context.Background(), prob)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Stopped != ftdse.StopCompleted {
+			t.Fatalf("workers=%d: Stopped = %v, want %v", workers, res.Stopped, ftdse.StopCompleted)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Cost != ref.Cost {
+			t.Errorf("workers=%d: cost %v != reference %v", workers, res.Cost, ref.Cost)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Errorf("workers=%d: iterations %d != reference %d", workers, res.Iterations, ref.Iterations)
+		}
+		if !reflect.DeepEqual(res.Design, ref.Design) {
+			t.Errorf("workers=%d: design differs from reference", workers)
+		}
+	}
+}
+
+// TestProgressStreamsIncumbents checks the observer contract: the
+// initial solution is always reported, costs never regress, elapsed
+// never decreases, and the last incumbent is the returned design.
+func TestProgressStreamsIncumbents(t *testing.T) {
+	prob := testProblem(20, 3, 2)
+	var imps []ftdse.Improvement
+	res, err := ftdse.NewSolver(
+		ftdse.WithMaxIterations(40),
+		ftdse.WithProgress(func(imp ftdse.Improvement) { imps = append(imps, imp) }),
+	).Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(imps) == 0 {
+		t.Fatal("no improvements observed")
+	}
+	if imps[0].Phase != "initial" || imps[0].Iteration != 0 {
+		t.Errorf("first improvement = %+v, want the initial solution", imps[0])
+	}
+	for i := 1; i < len(imps); i++ {
+		if imps[i].Cost.Less(imps[i-1].Cost) == false {
+			t.Errorf("improvement %d (%v) does not improve on %v", i, imps[i].Cost, imps[i-1].Cost)
+		}
+		if imps[i].Elapsed < imps[i-1].Elapsed {
+			t.Errorf("improvement %d: elapsed went backwards", i)
+		}
+		if imps[i].Schedulable != imps[i].Cost.Schedulable() {
+			t.Errorf("improvement %d: schedulable flag inconsistent with cost", i)
+		}
+	}
+	if last := imps[len(imps)-1]; last.Cost != res.Cost {
+		t.Errorf("last incumbent %v != final cost %v", last.Cost, res.Cost)
+	}
+
+	// The observer must not change the outcome.
+	unobserved, err := ftdse.NewSolver(ftdse.WithMaxIterations(40)).
+		Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if unobserved.Cost != res.Cost || !reflect.DeepEqual(unobserved.Design, res.Design) {
+		t.Error("observed and unobserved runs diverge")
+	}
+}

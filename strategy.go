@@ -1,0 +1,54 @@
+package ftdse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/ftdse/internal/core"
+)
+
+// Strategy selects the optimization approach. The zero value is MXR,
+// the paper's contribution; the others are the evaluation baselines.
+type Strategy = core.Strategy
+
+const (
+	// MXR optimizes mapping and policy assignment together, mixing
+	// re-execution and replication (the paper's approach).
+	MXR Strategy = core.MXR
+	// MX considers only re-execution (plus mapping moves).
+	MX Strategy = core.MX
+	// MR considers only active replication (plus replica remaps).
+	MR Strategy = core.MR
+	// SFX derives a fault-oblivious mapping first, then applies
+	// re-execution on top of it (the "straightforward" baseline).
+	SFX Strategy = core.SFX
+	// NFT is the optimized non-fault-tolerant reference (k = 0).
+	NFT Strategy = core.NFT
+)
+
+// Strategies returns all strategies in the paper's evaluation order.
+func Strategies() []Strategy { return []Strategy{MXR, MX, MR, SFX, NFT} }
+
+// ParseStrategy converts a strategy name ("mxr", "mx", "mr", "sfx",
+// "nft", case-insensitive) to its Strategy. It is the inverse of
+// Strategy.String, so ParseStrategy(s.String()) round-trips for every
+// strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+	}
+	return MXR, fmt.Errorf("ftdse: unknown strategy %q (want one of %s)",
+		name, strings.Join(StrategyNames(), ", "))
+}
+
+// StrategyNames returns the canonical lower-case names accepted by
+// ParseStrategy, for flag usage strings.
+func StrategyNames() []string {
+	out := make([]string, 0, len(Strategies()))
+	for _, s := range Strategies() {
+		out = append(out, strings.ToLower(s.String()))
+	}
+	return out
+}

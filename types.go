@@ -1,0 +1,85 @@
+package ftdse
+
+import (
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/sched"
+)
+
+// Time is the discrete time base of the model (microsecond resolution).
+type Time = model.Time
+
+// Millisecond is one millisecond in the model's time base.
+const Millisecond = model.Millisecond
+
+// Ms converts milliseconds to model time.
+func Ms(ms int64) Time { return model.Ms(ms) }
+
+// Us converts microseconds to model time.
+func Us(us int64) Time { return model.Us(us) }
+
+// ProcID identifies a process within an application.
+type ProcID = model.ProcID
+
+// NodeID identifies a computation node of the architecture.
+type NodeID = arch.NodeID
+
+// FaultModel is the fault hypothesis: at most K transient faults per
+// operation cycle, each with recovery overhead Mu (and, for the
+// checkpointing extension, state-saving cost Chi per checkpoint).
+type FaultModel = fault.Model
+
+// Policy is the fault-tolerance policy of one process: its replicas,
+// their nodes, and the re-executions and checkpoints of each replica.
+type Policy = policy.Policy
+
+// Design is a complete design alternative: the policy (and thereby the
+// mapping) of every process. It is the decision variable of the
+// optimization and the first half of a Result.
+type Design = policy.Assignment
+
+// Schedule is a fully built design implementation: the static schedule
+// tables of every node, the bus MEDL, and the worst-case completion
+// analysis under the fault hypothesis. Key methods include Schedulable,
+// MEDL, Items, CriticalPath and Violations; the exported fields
+// Makespan and Tardiness carry the worst-case metrics.
+type Schedule = sched.Schedule
+
+// Tables is the compiled dispatch-table representation of a Schedule
+// (per-node rows plus the MEDL), as a TTP runtime would store it.
+type Tables = sched.Tables
+
+// Cost orders design alternatives: first by tardiness (the sum of
+// worst-case deadline violations), then by the worst-case schedule
+// length δ (Makespan).
+type Cost = core.Cost
+
+// Improvement is one incumbent solution streamed to a WithProgress
+// observer: the phase that found it, the iteration, its cost and
+// schedulability, and the elapsed wall-clock time.
+type Improvement = core.Improvement
+
+// StopCause reports why a Solve run ended.
+type StopCause = core.StopCause
+
+// Stop causes recorded in Result.Stopped.
+const (
+	// StopCompleted: the search exhausted its budget or converged.
+	StopCompleted = core.StopCompleted
+	// StopTimeLimit: WithTimeLimit or the context deadline expired.
+	StopTimeLimit = core.StopTimeLimit
+	// StopCanceled: the caller canceled the context.
+	StopCanceled = core.StopCanceled
+)
+
+// CompileTables compiles a schedule into its dispatch-table
+// representation.
+func CompileTables(s *Schedule) Tables { return sched.CompileTables(s) }
+
+// ValidateSchedule cross-checks a built schedule against the structural
+// and timing invariants of the model (precedences, bus slots, fault
+// slack). It is a defense-in-depth check for synthesized designs.
+func ValidateSchedule(s *Schedule) error { return sched.ValidateSchedule(s) }
