@@ -1,0 +1,270 @@
+// Package client is the typed Go client of the ftdsed solve service.
+// It shares the wire types of the service package, so a Go consumer
+// submits ftdse.Problem values and receives service.JobStatus /
+// service.JobResult documents without hand-rolled JSON.
+//
+// The client maps the service's backpressure onto a typed error:
+// submissions rejected by a full queue return a *QueueFullError
+// carrying the server's Retry-After hint.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/ftdse"
+	"repro/ftdse/service"
+)
+
+// Client talks to one ftdsed instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8385"). A nil httpClient uses http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// QueueFullError reports a submission rejected by the service's
+// backpressure (HTTP 429).
+type QueueFullError struct {
+	// RetryAfter is the server's estimate of when queue space frees up.
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("ftdsed queue full (retry after %v)", e.RetryAfter)
+}
+
+// StatusError reports any other non-2xx answer.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("ftdsed: HTTP %d: %s", e.Code, e.Message)
+}
+
+// apiError converts a non-2xx response to a typed error.
+func apiError(resp *http.Response) error {
+	var body service.ErrorResponse
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Duration(body.RetryAfterS) * time.Second
+		if after <= 0 {
+			after = time.Second
+		}
+		return &QueueFullError{RetryAfter: after}
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// do runs one JSON request/response exchange.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// request encodes a problem into a SubmitRequest.
+func request(p ftdse.Problem, opts service.SolveOptions) (service.SubmitRequest, error) {
+	var doc bytes.Buffer
+	if err := ftdse.WriteProblem(&doc, p); err != nil {
+		return service.SubmitRequest{}, err
+	}
+	return service.SubmitRequest{Problem: doc.Bytes(), Options: opts}, nil
+}
+
+// Submit enqueues one problem and returns immediately with the job's
+// status — StateQueued, or StateDone when the result cache answered.
+func (c *Client) Submit(ctx context.Context, p ftdse.Problem, opts service.SolveOptions) (service.JobStatus, error) {
+	return c.submit(ctx, p, opts, "/solve")
+}
+
+// SubmitWait submits one problem and blocks until the job is terminal.
+// Canceling ctx cancels the job on the server (cancel-on-disconnect);
+// the call then reports the context error.
+func (c *Client) SubmitWait(ctx context.Context, p ftdse.Problem, opts service.SolveOptions) (service.JobStatus, error) {
+	return c.submit(ctx, p, opts, "/solve?wait=1")
+}
+
+func (c *Client) submit(ctx context.Context, p ftdse.Problem, opts service.SolveOptions, path string) (service.JobStatus, error) {
+	req, err := request(p, opts)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodPost, path, req, &st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// SubmitBatch submits several problems atomically: either every job is
+// admitted (or served from cache) or the whole batch fails, typically
+// with *QueueFullError.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []service.SubmitRequest) ([]service.JobStatus, error) {
+	var resp service.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/solve/batch", service.BatchRequest{Jobs: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// NewRequest packages a problem and options for SubmitBatch.
+func NewRequest(p ftdse.Problem, opts service.SolveOptions) (service.SubmitRequest, error) {
+	return request(p, opts)
+}
+
+// Job fetches a job's status; the result document is embedded once the
+// job is terminal.
+func (c *Client) Job(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a job. A running solve stops within one scheduling
+// pass and keeps its best-so-far design in the returned status.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result decodes a terminal status's embedded result document.
+func Result(st service.JobStatus) (service.JobResult, error) {
+	var res service.JobResult
+	if len(st.Result) == 0 {
+		return res, fmt.Errorf("job %s (%s) carries no result", st.ID, st.State)
+	}
+	err := json.Unmarshal(st.Result, &res)
+	return res, err
+}
+
+// Stream subscribes to a job's SSE event stream, invoking onEvent for
+// every incumbent solution as the search finds it (onEvent may be nil),
+// and returns the final status delivered by the closing "done" event.
+// The stream replays the full improvement history first, so late
+// subscribers see every event.
+func (c *Client) Stream(ctx context.Context, id string, onEvent func(service.ProgressEvent)) (service.JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return service.JobStatus{}, apiError(resp)
+	}
+
+	var event string
+	var data bytes.Buffer
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			switch event {
+			case "improvement":
+				var ev service.ProgressEvent
+				if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+					return service.JobStatus{}, fmt.Errorf("decoding improvement event: %w", err)
+				}
+				if onEvent != nil {
+					onEvent(ev)
+				}
+			case "done":
+				var st service.JobStatus
+				if err := json.Unmarshal(data.Bytes(), &st); err != nil {
+					return service.JobStatus{}, fmt.Errorf("decoding done event: %w", err)
+				}
+				return st, nil
+			}
+			event, data = "", bytes.Buffer{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return service.JobStatus{}, ctx.Err()
+		}
+		return service.JobStatus{}, err
+	}
+	return service.JobStatus{}, errors.New("event stream ended without a done event")
+}
+
+// Metrics fetches the service's metrics document as flat name → value
+// pairs (counters and gauges are numbers).
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	var raw map[string]json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		var f float64
+		if err := json.Unmarshal(v, &f); err == nil {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// Healthy reports whether the service answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return err == nil
+}

@@ -1,0 +1,85 @@
+// ftdsed is the ftdse solve daemon: it serves the optimizer over HTTP
+// with a bounded job queue, a worker pool, an LRU result cache keyed by
+// canonical problem fingerprints, and SSE streaming of incumbent
+// solutions (anytime results) while the tabu search runs.
+//
+// Usage:
+//
+//	ftdsed [-addr :8385] [-queue 64] [-pool N] [-cache 128]
+//	       [-max-time-limit 0] [-drain 30s]
+//
+// Endpoints: POST /solve (?wait=1), POST /solve/batch, GET /jobs/{id},
+// DELETE /jobs/{id}, GET /jobs/{id}/events (SSE), GET /metrics,
+// GET /healthz, plus the process-wide expvar page at /debug/vars with
+// the service metrics published as "ftdsed".
+//
+// On SIGINT/SIGTERM the daemon drains: it stops admitting work, cancels
+// running solves — each returns its best-so-far design within one
+// scheduling pass — and exits once every job reached a terminal state
+// or the drain timeout fires.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/ftdse/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8385", "listen address")
+	queue := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+	pool := flag.Int("pool", runtime.GOMAXPROCS(0), "concurrent solves (worker pool size)")
+	cache := flag.Int("cache", 128, "result cache entries (negative disables)")
+	maxLimit := flag.Duration("max-time-limit", 0, "cap on per-request time limits (0 = uncapped)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain timeout on shutdown")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		QueueSize:    *queue,
+		PoolWorkers:  *pool,
+		CacheSize:    *cache,
+		MaxTimeLimit: *maxLimit,
+	})
+	expvar.Publish("ftdsed", svc.Vars())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ftdsed listening on %s (queue %d, pool %d, cache %d)", *addr, *queue, *pool, *cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("ftdsed: %v", err)
+	case s := <-sig:
+		log.Printf("ftdsed: %v — draining (timeout %v)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ftdsed: drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "ftdsed: server shutdown: %v\n", err)
+	}
+	log.Printf("ftdsed: stopped")
+}

@@ -1,0 +1,95 @@
+// serviceclient is the smoke test of the ftdsed service path, run by CI
+// against a freshly started daemon: it submits a generated problem,
+// streams the incumbent solutions while the search runs, fetches the
+// final result, then resubmits the identical problem and verifies the
+// answer comes from the result cache (the solve-count metric must not
+// move) with a byte-identical result document.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/ftdse"
+	"repro/ftdse/client"
+	"repro/ftdse/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8385", "ftdsed base URL")
+	flag.Parse()
+	log.SetFlags(0)
+
+	c := client.New(*addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The daemon may still be starting (CI launches it in the
+	// background); wait for the liveness probe.
+	deadline := time.Now().Add(15 * time.Second)
+	for !c.Healthy(ctx) {
+		if time.Now().After(deadline) {
+			log.Fatalf("serviceclient: %s did not become healthy within 15s", *addr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	prob := ftdse.GenerateProblem(
+		ftdse.GenSpec{Procs: 12, Nodes: 3, Seed: 11},
+		ftdse.FaultModel{K: 2, Mu: ftdse.Ms(5)})
+	opts := service.SolveOptions{MaxIterations: 40, Workers: 1}
+
+	st, err := c.Submit(ctx, prob, opts)
+	if err != nil {
+		log.Fatalf("serviceclient: submit: %v", err)
+	}
+	fmt.Printf("submitted %s (fingerprint %.24s…)\n", st.ID, st.Fingerprint)
+
+	final, err := c.Stream(ctx, st.ID, func(ev service.ProgressEvent) {
+		fmt.Printf("  %-8s iter %3d  δ=%.3fms  schedulable=%v\n",
+			ev.Phase, ev.Iteration, ev.MakespanMs, ev.Schedulable)
+	})
+	if err != nil {
+		log.Fatalf("serviceclient: stream: %v", err)
+	}
+	if final.State != service.StateDone {
+		log.Fatalf("serviceclient: job ended %s (%s)", final.State, final.Error)
+	}
+	res, err := client.Result(final)
+	if err != nil {
+		log.Fatalf("serviceclient: result: %v", err)
+	}
+	fmt.Printf("done: %s δ=%.3fms schedulable=%v after %d iterations\n",
+		res.Strategy, res.MakespanMs, res.Schedulable, res.Iterations)
+
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("serviceclient: metrics: %v", err)
+	}
+	again, err := c.SubmitWait(ctx, prob, opts)
+	if err != nil {
+		log.Fatalf("serviceclient: resubmit: %v", err)
+	}
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("serviceclient: metrics: %v", err)
+	}
+	if !again.Cached {
+		log.Fatalf("serviceclient: resubmission was not served from cache")
+	}
+	if after["solves_total"] != before["solves_total"] {
+		log.Fatalf("serviceclient: cache hit re-solved (solves_total %v → %v)",
+			before["solves_total"], after["solves_total"])
+	}
+	if !bytes.Equal(final.Result, again.Result) {
+		log.Fatalf("serviceclient: cached result differs from the original")
+	}
+	fmt.Printf("cache hit confirmed: identical result, solves_total steady at %v\n",
+		after["solves_total"])
+	os.Exit(0)
+}

@@ -1,0 +1,39 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/ftdse"
+)
+
+// Fingerprint computes the canonical identity of one solve request: a
+// SHA-256 over the canonical ftdse.WriteProblem encoding of the problem
+// and the fixed-order rendering of the normalized solver options. It is
+// the key of the service's result cache.
+//
+// The scheme leans on two guarantees pinned by tests elsewhere in the
+// module: the problem encoding is canonical (WriteProblem → ReadProblem
+// → WriteProblem is byte-identical, so re-submissions of a document and
+// of its round-tripped form hash alike), and untimed solves are
+// deterministic (so a cached result is exactly what a re-solve would
+// produce). Options are part of the key because they change the
+// answer; the worker count is excluded for untimed requests, which are
+// worker-independent by the solver's determinism contract.
+func Fingerprint(p ftdse.Problem, o SolveOptions) (string, error) {
+	no, err := o.normalized()
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if err := ftdse.WriteProblem(&buf, p); err != nil {
+		return "", fmt.Errorf("service: fingerprinting problem: %w", err)
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	io.WriteString(h, "\x00"+no.canonical())
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"repro/ftdse"
+)
+
+// job is one submitted solve. Its lifecycle is queued → running →
+// {done, failed, canceled}; cache hits are born terminal. All mutable
+// state is guarded by mu; terminality is additionally signaled by the
+// done channel so waiters need not poll.
+type job struct {
+	id          string
+	fingerprint string
+	opts        SolveOptions // normalized
+	problem     ftdse.Problem
+	submitted   time.Time
+
+	// ctx governs the solve; cancel fires on DELETE /jobs/{id}, on
+	// wait-mode client disconnect, and on drain.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	cached   bool
+	refs     int // submissions attached to this job (coalescing)
+	started  *time.Time
+	finished *time.Time
+	events   []ProgressEvent
+	notify   chan struct{} // closed and replaced on every event/transition
+	done     chan struct{} // closed once, on reaching a terminal state
+	result   []byte        // encoded JobResult, set at terminality when available
+	errMsg   string
+}
+
+func newJob(id, fp string, opts SolveOptions, p ftdse.Problem) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:          id,
+		fingerprint: fp,
+		opts:        opts,
+		problem:     p,
+		submitted:   time.Now(),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       StateQueued,
+		notify:      make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+}
+
+// newCachedJob creates a job already completed from a cached result.
+func newCachedJob(id, fp string, opts SolveOptions, body []byte) *job {
+	j := newJob(id, fp, opts, ftdse.Problem{})
+	j.cancel()
+	now := time.Now()
+	j.mu.Lock()
+	j.state = StateDone
+	j.cached = true
+	j.finished = &now
+	j.result = body
+	close(j.done)
+	j.mu.Unlock()
+	return j
+}
+
+// attach records one more submission sharing this job (identical
+// in-flight submissions coalesce onto one solve).
+func (j *job) attach() {
+	j.mu.Lock()
+	j.refs++
+	j.mu.Unlock()
+}
+
+// release drops one submission's interest — a ?wait=1 client that
+// disconnected — and reports whether no interest remains, in which case
+// the caller should cancel the solve.
+func (j *job) release() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.refs--
+	return j.refs <= 0
+}
+
+// wake closes and replaces the notify channel; callers hold mu.
+func (j *job) wakeLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// run marks the job running; it reports false when the job already left
+// the queued state (e.g. canceled while queued).
+func (j *job) run() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	now := time.Now()
+	j.state = StateRunning
+	j.started = &now
+	j.wakeLocked()
+	return true
+}
+
+// publish appends one incumbent to the event history and wakes
+// subscribers. It runs synchronously on the search goroutine (the
+// WithProgress contract), so it only appends and signals.
+func (j *job) publish(imp ftdse.Improvement) {
+	ev := ProgressEvent{
+		Phase:       imp.Phase,
+		Iteration:   imp.Iteration,
+		MakespanMs:  imp.Cost.Makespan.Milliseconds(),
+		TardinessMs: imp.Cost.Tardiness.Milliseconds(),
+		Schedulable: imp.Schedulable,
+		ElapsedMs:   float64(imp.Elapsed) / float64(time.Millisecond),
+	}
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state exactly once, reporting
+// whether this call made the transition; later calls are no-ops (e.g. a
+// cancel racing the worker's own completion).
+func (j *job) finish(state string, result []byte, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if TerminalState(j.state) {
+		return false
+	}
+	now := time.Now()
+	j.state = state
+	j.finished = &now
+	j.result = result
+	j.errMsg = errMsg
+	// The solve has consumed the problem; drop it so retained terminal
+	// jobs (up to Config.MaxJobs) hold only their result bytes.
+	j.problem = ftdse.Problem{}
+	close(j.done)
+	j.wakeLocked()
+	return true
+}
+
+// terminal reports whether the job reached a terminal state.
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// status snapshots the public view.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Fingerprint:  j.fingerprint,
+		Cached:       j.cached,
+		Improvements: len(j.events),
+		SubmittedAt:  j.submitted,
+		StartedAt:    j.started,
+		FinishedAt:   j.finished,
+		Error:        j.errMsg,
+		Result:       json.RawMessage(j.result),
+	}
+}
+
+// follow snapshots the events not yet seen by a subscriber positioned
+// at from, together with the channel that will signal the next change
+// and whether the job is already terminal.
+func (j *job) follow(from int) (news []ProgressEvent, next chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		news = append(news, j.events[from:]...)
+	}
+	return news, j.notify, TerminalState(j.state)
+}

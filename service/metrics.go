@@ -1,0 +1,90 @@
+package service
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+)
+
+// metrics aggregates the service's operational counters. Each Service
+// owns its own set (nothing is registered in the process-global expvar
+// namespace, so tests can build many services), exposed as an
+// expvar.Map: GET /metrics serves its JSON rendering, and a daemon may
+// additionally expvar.Publish the map under /debug/vars.
+type metrics struct {
+	solvesTotal    expvar.Int // solves actually executed (cache hits excluded)
+	solvesInFlight expvar.Int
+	cacheHits      expvar.Int
+	cacheMisses    expvar.Int
+	jobsSubmitted  expvar.Int
+	jobsRejected   expvar.Int // backpressure 429s
+	jobsCoalesced  expvar.Int // submissions attached to an identical in-flight solve
+
+	mu  sync.Mutex
+	lat []float64 // sliding window of solve latencies in ms
+	idx int
+}
+
+// latencyWindow bounds the quantile estimation window.
+const latencyWindow = 512
+
+// observeLatency records one completed solve's wall-clock latency.
+func (m *metrics) observeLatency(ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, ms)
+		return
+	}
+	m.lat[m.idx] = ms
+	m.idx = (m.idx + 1) % latencyWindow
+}
+
+// quantile returns the nearest-rank q-quantile (0..1) of the latency
+// window in ms, 0 when empty. Nearest-rank (ceiling) keeps upper
+// quantiles honest on small windows: the p99 of two samples is the
+// larger one, not the minimum a floored index would select.
+func (m *metrics) quantile(q float64) float64 {
+	m.mu.Lock()
+	window := append([]float64(nil), m.lat...)
+	m.mu.Unlock()
+	if len(window) == 0 {
+		return 0
+	}
+	sort.Float64s(window)
+	i := int(math.Ceil(q*float64(len(window)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(window) {
+		i = len(window) - 1
+	}
+	return window[i]
+}
+
+// expvarMap builds the exported view. queueDepth and cacheLen are read
+// live on every render.
+func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func() int) *expvar.Map {
+	out := new(expvar.Map).Init()
+	out.Set("solves_total", &m.solvesTotal)
+	out.Set("solves_in_flight", &m.solvesInFlight)
+	out.Set("cache_hits", &m.cacheHits)
+	out.Set("cache_misses", &m.cacheMisses)
+	out.Set("jobs_submitted", &m.jobsSubmitted)
+	out.Set("jobs_rejected", &m.jobsRejected)
+	out.Set("jobs_coalesced", &m.jobsCoalesced)
+	out.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
+	out.Set("queue_capacity", expvar.Func(func() any { return queueCap }))
+	out.Set("cache_len", expvar.Func(func() any { return cacheLen() }))
+	out.Set("cache_hit_rate", expvar.Func(func() any {
+		h, miss := m.cacheHits.Value(), m.cacheMisses.Value()
+		if h+miss == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+miss)
+	}))
+	out.Set("solve_latency_p50_ms", expvar.Func(func() any { return m.quantile(0.50) }))
+	out.Set("solve_latency_p99_ms", expvar.Func(func() any { return m.quantile(0.99) }))
+	return out
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/ftdse"
+)
+
+// This file defines the wire format of the ftdsed HTTP API. The types
+// are shared verbatim by the server and the typed client package, so
+// the two cannot drift apart.
+
+// SolveOptions is the per-request solver configuration. The zero value
+// selects the solver defaults (MXR, size-dependent budget, slack
+// sharing on). All durations are given in milliseconds, matching the
+// problem document's convention.
+type SolveOptions struct {
+	// Strategy names the optimization strategy ("mxr", "mx", "mr",
+	// "sfx", "nft", case-insensitive); empty selects "mxr".
+	Strategy string `json:"strategy,omitempty"`
+	// MaxIterations bounds the tabu search; <= 0 selects a
+	// problem-size-dependent default.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// TimeLimitMs bounds the solve; <= 0 means no limit. It doubles as
+	// the client deadline: the job's context expires when it elapses and
+	// the job completes with its best-so-far design.
+	TimeLimitMs float64 `json:"time_limit_ms,omitempty"`
+	// Workers bounds the concurrent move evaluations inside the solve;
+	// 0 uses all CPUs. Untimed results are identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// BusOptimization enables the final TDMA slot-order hill climbing.
+	BusOptimization bool `json:"bus_optimization,omitempty"`
+	// Checkpointing enables checkpoint-count moves (the reproduction's
+	// extension); MaxCheckpoints caps checkpoints per replica.
+	Checkpointing  bool `json:"checkpointing,omitempty"`
+	MaxCheckpoints int  `json:"max_checkpoints,omitempty"`
+	// StopWhenSchedulable stops at the first design meeting all
+	// deadlines instead of minimizing the schedule length.
+	StopWhenSchedulable bool `json:"stop_when_schedulable,omitempty"`
+	// SlackSharing toggles the shared re-execution slack; nil means the
+	// default (on).
+	SlackSharing *bool `json:"slack_sharing,omitempty"`
+	// TabuTenure sets the tabu tenure; <= 0 selects the default.
+	TabuTenure int `json:"tabu_tenure,omitempty"`
+}
+
+// normalized returns the options with defaults applied and negative
+// knobs clamped, validating the strategy name. Normalization runs
+// before fingerprinting, so equivalent spellings of a request ("",
+// "mxr" and "MXR"; -1 and 0 iterations) share one cache entry.
+func (o SolveOptions) normalized() (SolveOptions, error) {
+	if o.Strategy == "" {
+		o.Strategy = "mxr"
+	}
+	s, err := ftdse.ParseStrategy(o.Strategy)
+	if err != nil {
+		return o, err
+	}
+	o.Strategy = strings.ToLower(s.String())
+	if o.MaxIterations < 0 {
+		o.MaxIterations = 0
+	}
+	if o.TimeLimitMs < 0 {
+		o.TimeLimitMs = 0
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	if o.MaxCheckpoints < 0 {
+		o.MaxCheckpoints = 0
+	}
+	if o.TabuTenure < 0 {
+		o.TabuTenure = 0
+	}
+	if o.SlackSharing == nil {
+		on := true
+		o.SlackSharing = &on
+	}
+	return o, nil
+}
+
+// timeLimit converts TimeLimitMs to a duration.
+func (o SolveOptions) timeLimit() time.Duration {
+	return time.Duration(o.TimeLimitMs * float64(time.Millisecond))
+}
+
+// solverOptions lowers normalized options to ftdse functional options.
+func (o SolveOptions) solverOptions() []ftdse.Option {
+	strat, _ := ftdse.ParseStrategy(o.Strategy)
+	return []ftdse.Option{
+		ftdse.WithStrategy(strat),
+		ftdse.WithMaxIterations(o.MaxIterations),
+		ftdse.WithTimeLimit(o.timeLimit()),
+		ftdse.WithWorkers(o.Workers),
+		ftdse.WithBusOptimization(o.BusOptimization),
+		ftdse.WithCheckpointing(o.Checkpointing),
+		ftdse.WithMaxCheckpoints(o.MaxCheckpoints),
+		ftdse.WithStopWhenSchedulable(o.StopWhenSchedulable),
+		ftdse.WithSlackSharing(*o.SlackSharing),
+		ftdse.WithTabuTenure(o.TabuTenure),
+	}
+}
+
+// canonical renders normalized options as the fixed-order string mixed
+// into the problem fingerprint. Workers is normalized to 0 for untimed
+// requests: without a time limit the result is identical for every
+// worker count (the solver's determinism contract), so those requests
+// share a cache entry.
+func (o SolveOptions) canonical() string {
+	w := o.Workers
+	if o.TimeLimitMs == 0 {
+		w = 0
+	}
+	return fmt.Sprintf(
+		"strategy=%s;iters=%d;limit_us=%d;workers=%d;bus=%t;ckpt=%t;maxckpt=%d;stopsched=%t;slack=%t;tenure=%d",
+		o.Strategy, o.MaxIterations, o.timeLimit().Microseconds(), w,
+		o.BusOptimization, o.Checkpointing, o.MaxCheckpoints,
+		o.StopWhenSchedulable, *o.SlackSharing, o.TabuTenure)
+}
+
+// SubmitRequest is the body of POST /solve: the problem document (the
+// ftdse.WriteProblem JSON format) plus the solver configuration.
+type SubmitRequest struct {
+	Problem json.RawMessage `json:"problem"`
+	Options SolveOptions    `json:"options"`
+}
+
+// BatchRequest is the body of POST /solve/batch.
+type BatchRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchResponse answers a batch submission; Jobs aligns 1:1 with the
+// request.
+type BatchResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// Job states reported in JobStatus.State. Done, failed and canceled are
+// terminal.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// TerminalState reports whether a job state is terminal.
+func TerminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobStatus is the public view of a job, returned by submissions,
+// GET /jobs/{id}, DELETE /jobs/{id} and the closing SSE event.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Cached marks a submission answered from the result cache without
+	// re-solving.
+	Cached bool `json:"cached,omitempty"`
+	// Improvements counts the incumbent solutions found so far (the
+	// events delivered on the job's SSE stream).
+	Improvements int        `json:"improvements"`
+	SubmittedAt  time.Time  `json:"submitted_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	Error        string     `json:"error,omitempty"`
+	// Result carries the JobResult document once the job is terminal.
+	// For canceled jobs it holds the best-so-far design when one exists.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobResult is the outcome document of a solved job. Cache hits return
+// the stored document byte-for-byte.
+type JobResult struct {
+	Strategy    string  `json:"strategy"`
+	Schedulable bool    `json:"schedulable"`
+	MakespanMs  float64 `json:"makespan_ms"`
+	TardinessMs float64 `json:"tardiness_ms,omitempty"`
+	Iterations  int     `json:"iterations"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	// Stopped records why the solve ended: "completed", "time limit" or
+	// "canceled".
+	Stopped string `json:"stopped"`
+	// Schedule is the deployment artifact (the ftdse.WriteSchedule JSON
+	// format, compacted).
+	Schedule json.RawMessage `json:"schedule"`
+}
+
+// ProgressEvent is one incumbent solution streamed on
+// GET /jobs/{id}/events as an SSE "improvement" event.
+type ProgressEvent struct {
+	Phase       string  `json:"phase"`
+	Iteration   int     `json:"iteration"`
+	MakespanMs  float64 `json:"makespan_ms"`
+	TardinessMs float64 `json:"tardiness_ms"`
+	Schedulable bool    `json:"schedulable"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterS mirrors the Retry-After header on 429 answers.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}

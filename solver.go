@@ -9,9 +9,13 @@ import (
 
 // Solver runs the paper's optimization strategy (initial mapping →
 // greedy improvement → tabu search, Figure 6) over a Problem. A Solver
-// is configured once with functional options and is safe to reuse for
-// any number of sequential Solve calls; the zero configuration
-// (NewSolver with no options) runs MXR with the paper's defaults.
+// is configured once with functional options and is immutable
+// afterwards: Solve never mutates the solver, every call works on a
+// private copy of the configuration, so one Solver is safe for any
+// number of concurrent Solve calls from multiple goroutines. Derive
+// per-call variants (for example a per-job progress observer) with
+// With. The zero configuration (NewSolver with no options) runs MXR
+// with the paper's defaults.
 type Solver struct {
 	opts core.Options
 }
@@ -27,6 +31,18 @@ func NewSolver(opts ...Option) *Solver {
 		o(s)
 	}
 	return s
+}
+
+// With returns a copy of the solver with the given options applied on
+// top of the receiver's configuration; the receiver is unchanged. It is
+// the concurrency-friendly way to derive per-call configuration — e.g.
+// a per-job WithProgress observer — from a shared base solver.
+func (s *Solver) With(opts ...Option) *Solver {
+	d := &Solver{opts: s.opts}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
 }
 
 // WithStrategy selects the optimization strategy (default MXR).
@@ -107,7 +123,9 @@ func WithProgress(fn func(Improvement)) Option {
 }
 
 // Solve runs the optimization strategy on the problem under the given
-// context.
+// context. Solve is read-only on the Solver: the configuration is
+// copied into the run, so concurrent Solve calls on one Solver (even on
+// the same Problem) are safe and independent.
 //
 // The context is honored end-to-end: the search polls it before every
 // scheduling pass (its unit of work), so cancellation or an expired

@@ -1,0 +1,89 @@
+package ftdse_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/ftdse"
+)
+
+// TestSolverConcurrentSolve hammers one shared Solver from many
+// goroutines (run under -race in CI): concurrent Solve calls must not
+// interfere, and untimed runs of the same problem must stay bit-for-bit
+// deterministic no matter how many run at once.
+func TestSolverConcurrentSolve(t *testing.T) {
+	shared := ftdse.NewSolver(ftdse.WithMaxIterations(6), ftdse.WithWorkers(1))
+	probs := make([]ftdse.Problem, 4)
+	for i := range probs {
+		probs[i] = ftdse.GenerateProblem(
+			ftdse.GenSpec{Procs: 6, Nodes: 2, Seed: int64(i + 1)},
+			ftdse.FaultModel{K: 1, Mu: ftdse.Ms(5)})
+	}
+	// Reference results from sequential runs.
+	want := make([]ftdse.Cost, len(probs))
+	for i, p := range probs {
+		res, err := shared.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatalf("sequential Solve(%d): %v", i, err)
+		}
+		want[i] = res.Cost
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, p := range probs {
+				// Derive a per-call observer to prove With does not
+				// mutate the shared base solver.
+				var seen int
+				s := shared.With(ftdse.WithProgress(func(ftdse.Improvement) { seen++ }))
+				res, err := s.Solve(context.Background(), p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Cost != want[i] {
+					t.Errorf("goroutine %d problem %d: cost %v, want %v", g, i, res.Cost, want[i])
+				}
+				if seen == 0 {
+					t.Errorf("goroutine %d problem %d: observer never called", g, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Solve: %v", err)
+	}
+}
+
+// TestSolverWithDoesNotMutateBase pins the clone semantics of With.
+func TestSolverWithDoesNotMutateBase(t *testing.T) {
+	base := ftdse.NewSolver(ftdse.WithMaxIterations(5), ftdse.WithWorkers(1))
+	derived := base.With(ftdse.WithStrategy(ftdse.NFT))
+	if derived == base {
+		t.Fatal("With returned the receiver instead of a copy")
+	}
+	prob := ftdse.GenerateProblem(ftdse.GenSpec{Procs: 5, Nodes: 2, Seed: 9},
+		ftdse.FaultModel{K: 1, Mu: ftdse.Ms(5)})
+	res, err := base.Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("base Solve: %v", err)
+	}
+	if res.Strategy != ftdse.MXR {
+		t.Errorf("base solver strategy changed to %v after With", res.Strategy)
+	}
+	dres, err := derived.Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("derived Solve: %v", err)
+	}
+	if dres.Strategy != ftdse.NFT {
+		t.Errorf("derived solver strategy = %v, want NFT", dres.Strategy)
+	}
+}
