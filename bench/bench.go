@@ -46,6 +46,9 @@ type Config struct {
 	// Workers bounds the concurrent move evaluations inside each
 	// optimization run (ftdse.WithWorkers); 0 uses all CPUs.
 	Workers int
+	// Engine selects the search engine of every run (ftdse.WithEngine);
+	// nil uses the paper's default greedy→tabu pipeline.
+	Engine ftdse.Engine
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -69,12 +72,16 @@ func PaperConfig() Config {
 
 // solver builds the configured solver for one strategy.
 func (c Config) solver(s ftdse.Strategy) *ftdse.Solver {
-	return ftdse.NewSolver(
+	opts := []ftdse.Option{
 		ftdse.WithStrategy(s),
 		ftdse.WithMaxIterations(c.MaxIterations),
 		ftdse.WithTimeLimit(c.TimeLimit),
 		ftdse.WithWorkers(c.Workers),
-	)
+	}
+	if c.Engine != nil {
+		opts = append(opts, ftdse.WithEngine(c.Engine))
+	}
+	return ftdse.NewSolver(opts...)
 }
 
 // Dimension is one evaluation point.

@@ -1,0 +1,59 @@
+package client_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/ftdse"
+	"repro/ftdse/client"
+	"repro/ftdse/service"
+)
+
+// TestClientEngineAndStopCause drives an engine-selecting, time-limited
+// submission through the typed client: the result names the engine and
+// the typed stop cause distinguishes truncation from convergence.
+func TestClientEngineAndStopCause(t *testing.T) {
+	c := newService(t, service.Config{QueueSize: 8, PoolWorkers: 2})
+	prob := genProblem(8, 42)
+
+	// A converged portfolio solve.
+	st, err := c.SubmitWait(context.Background(), prob, service.SolveOptions{
+		Engine:        "portfolio",
+		MaxIterations: 10,
+	})
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	res, err := client.Result(st)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if res.Engine != "portfolio" {
+		t.Errorf("result engine %q, want portfolio", res.Engine)
+	}
+	cause, err := res.StopCause()
+	if err != nil || cause != ftdse.StopCompleted {
+		t.Errorf("stop cause %v (%v), want completed", cause, err)
+	}
+
+	// A deadline-truncated solve reports StopTimeLimit.
+	st, err = c.SubmitWait(context.Background(), genProblem(20, 7), service.SolveOptions{
+		MaxIterations: 1_000_000,
+		TimeLimitMs:   50,
+		Workers:       1,
+	})
+	if err != nil {
+		t.Fatalf("SubmitWait (timed): %v", err)
+	}
+	res, err = client.Result(st)
+	if err != nil {
+		t.Fatalf("Result (timed): %v", err)
+	}
+	cause, err = res.StopCause()
+	if err != nil {
+		t.Fatalf("StopCause: %v", err)
+	}
+	if cause != ftdse.StopTimeLimit {
+		t.Errorf("stop cause %v, want time limit", cause)
+	}
+}

@@ -8,6 +8,7 @@
 //	ftexp -exp table1b -seeds 15    # paper-scale instance count
 //	ftexp -exp cc -iters 1500
 //	ftexp -exp table1a -workers 1   # sequential move evaluation
+//	ftexp -exp table1c -engine portfolio  # race tabu vs simulated annealing
 //
 // Ctrl-C stops the sweep after the current optimization run.
 package main
@@ -19,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"repro/ftdse"
 	"repro/ftdse/bench"
 )
 
@@ -31,6 +34,7 @@ func main() {
 		iters   = flag.Int("iters", 0, "tabu iterations per run (0 = default)")
 		timeLim = flag.Duration("time", 0, "time limit per optimization run (0 = default)")
 		workers = flag.Int("workers", 0, "concurrent move evaluations per run (0 = all CPUs, 1 = sequential)")
+		engine  = flag.String("engine", "default", "search engine per run: "+strings.Join(ftdse.Engines(), ", "))
 		paper   = flag.Bool("paper", false, "use the paper-protocol configuration (15 seeds, long runs)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress on stderr")
 		format  = flag.String("format", "text", "output format: text, csv")
@@ -56,6 +60,12 @@ func main() {
 		cfg.TimeLimit = *timeLim
 	}
 	cfg.Workers = *workers
+	eng, err := ftdse.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftexp: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.Engine = eng
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/ftdse"
 )
@@ -21,8 +22,8 @@ func main() {
 		nodes    = flag.Int("nodes", 2, "number of computation nodes")
 		k        = flag.Int("k", 2, "number of transient faults to tolerate per cycle")
 		muMs     = flag.Float64("mu", 5, "fault recovery overhead µ in milliseconds")
-		shape    = flag.String("shape", "random", "graph structure: random, tree, chains")
-		dist     = flag.String("dist", "uniform", "WCET distribution: uniform, exponential")
+		shape    = flag.String("shape", "random", "graph structure: "+strings.Join(ftdse.ShapeNames(), ", "))
+		dist     = flag.String("dist", "uniform", "WCET distribution: "+strings.Join(ftdse.WCETDistNames(), ", "))
 		seed     = flag.Int64("seed", 1, "random seed")
 		deadline = flag.Float64("deadline", 0, "graph deadline in milliseconds (0 = none)")
 		out      = flag.String("o", "", "output file (default stdout)")

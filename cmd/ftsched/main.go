@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	ftsched -in app.json [-strategy mxr] [-iters 500] [-time 30s]
-//	        [-workers 0] [-stop-schedulable] [-progress] [-gantt] [-width 100]
+//	ftsched -in app.json [-strategy mxr] [-engine default] [-iters 500]
+//	        [-time 30s] [-workers 0] [-stop-schedulable] [-progress]
+//	        [-gantt] [-width 100]
 //
 // Exit status: 0 when the synthesized design meets all deadlines in the
 // worst case, 2 when the best design found is unschedulable, and 1 on
@@ -31,6 +32,8 @@ func main() {
 	var (
 		in       = flag.String("in", "", "problem JSON file (required)")
 		strategy = flag.String("strategy", "mxr", "optimization strategy: "+strings.Join(ftdse.StrategyNames(), ", "))
+		engine   = flag.String("engine", "default", "search engine: "+strings.Join(ftdse.Engines(), ", "))
+		seed     = flag.Int64("seed", 0, "seed for stochastic engines (0 = fixed default)")
 		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
 		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
 		stopSch  = flag.Bool("stop-schedulable", false, "stop at the first schedulable design")
@@ -61,9 +64,15 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	eng, err := ftdse.ParseEngine(*engine)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	opts := []ftdse.Option{
 		ftdse.WithStrategy(strat),
+		ftdse.WithEngine(eng),
+		ftdse.WithSeed(*seed),
 		ftdse.WithMaxIterations(*iters),
 		ftdse.WithTimeLimit(*timeLim),
 		ftdse.WithStopWhenSchedulable(*stopSch),
@@ -112,8 +121,8 @@ func main() {
 		f.Close()
 	}
 
-	fmt.Printf("strategy %v: %v after %d iterations (%v, %v)\n\n",
-		res.Strategy, res.Cost, res.Iterations, res.Elapsed.Round(time.Millisecond), res.Stopped)
+	fmt.Printf("strategy %v, engine %s: %v after %d iterations (%v, %v)\n\n",
+		res.Strategy, res.Engine, res.Cost, res.Iterations, res.Elapsed.Round(time.Millisecond), res.Stopped)
 	fmt.Println("fault-tolerance policy assignment:")
 	for _, p := range prob.Processes() {
 		fmt.Printf("  %-18s %v\n", p.Name, res.Design[p.ID])

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	ftsim -in app.json [-strategy mxr] [-iters 500] [-samples 20000]
+//	ftsim -in app.json [-strategy mxr] [-engine default] [-iters 500]
+//	      [-samples 20000]
 package main
 
 import (
@@ -25,10 +26,12 @@ func main() {
 	var (
 		in       = flag.String("in", "", "problem JSON file (required)")
 		strategy = flag.String("strategy", "mxr", "optimization strategy: "+strings.Join(ftdse.StrategyNames(), ", "))
+		engine   = flag.String("engine", "default", "search engine: "+strings.Join(ftdse.Engines(), ", "))
 		iters    = flag.Int("iters", 500, "maximum tabu-search iterations")
 		timeLim  = flag.Duration("time", 60*time.Second, "optimization time limit")
 		samples  = flag.Int("samples", 10000, "random scenarios when enumeration is infeasible")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		engSeed  = flag.Int64("engine-seed", 0, "seed for stochastic engines (0 = fixed default)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -48,10 +51,16 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	eng, err := ftdse.ParseEngine(*engine)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := ftdse.NewSolver(
 		ftdse.WithStrategy(strat),
+		ftdse.WithEngine(eng),
+		ftdse.WithSeed(*engSeed),
 		ftdse.WithMaxIterations(*iters),
 		ftdse.WithTimeLimit(*timeLim),
 	).Solve(ctx, prob)

@@ -47,13 +47,29 @@
 // WithProgress streams every incumbent solution as it is found, making
 // the solver usable as an anytime optimizer.
 //
+// # Search engines
+//
+// The algorithm that explores the design space is pluggable: WithEngine
+// selects among the paper's greedy→tabu pipeline (the default), its
+// phases alone, seeded simulated annealing, and a portfolio that races
+// engines concurrently and keeps the best design — or any
+// caller-supplied Engine written against the Search handle. ParseEngine
+// and Engines map the canonical names used by flags and the service
+// wire format.
+//
+//	eng, _ := ftdse.ParseEngine("portfolio") // Portfolio(tabu, sa)
+//	res, err := ftdse.NewSolver(ftdse.WithEngine(eng)).Solve(ctx, prob)
+//
 // # Determinism
 //
 // An uninterrupted run — context.Background() and no WithTimeLimit —
 // is bit-for-bit deterministic: the same problem and options produce
 // the same design regardless of WithWorkers, because candidate moves
 // are ranked by (cost, move index) rather than by completion order.
-// Timed or canceled runs are best-effort anytime results.
+// This holds for every engine: stochastic engines derive all
+// randomness from WithSeed, and a portfolio selects its winner by
+// (cost, racer order) after the race. Timed or canceled runs are
+// best-effort anytime results.
 //
 // Fixed designs can be evaluated without searching via
 // Problem.Evaluate, simulated under fault scenarios with RunScenario

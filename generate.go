@@ -41,6 +41,16 @@ func GenerateProblem(spec GenSpec, fm FaultModel) Problem {
 	return Problem{core: gen.Problem(spec, fm)}
 }
 
+// ShapeNames returns the canonical lower-case names accepted by
+// ParseShape, for flag usage strings.
+func ShapeNames() []string {
+	out := make([]string, 0, 3)
+	for _, s := range []GraphShape{ShapeRandom, ShapeTree, ShapeChains} {
+		out = append(out, strings.ToLower(s.String()))
+	}
+	return out
+}
+
 // ParseShape converts a shape name ("random", "tree", "chains") to its
 // GraphShape; the inverse of GraphShape.String.
 func ParseShape(name string) (GraphShape, error) {
@@ -49,7 +59,18 @@ func ParseShape(name string) (GraphShape, error) {
 			return s, nil
 		}
 	}
-	return ShapeRandom, fmt.Errorf("ftdse: unknown graph shape %q (random, tree, chains)", name)
+	return ShapeRandom, fmt.Errorf("ftdse: unknown graph shape %q (want one of %s)",
+		name, strings.Join(ShapeNames(), ", "))
+}
+
+// WCETDistNames returns the canonical lower-case names accepted by
+// ParseWCETDist, for flag usage strings.
+func WCETDistNames() []string {
+	out := make([]string, 0, 2)
+	for _, d := range []WCETDist{DistUniform, DistExponential} {
+		out = append(out, strings.ToLower(d.String()))
+	}
+	return out
 }
 
 // ParseWCETDist converts a distribution name ("uniform", "exponential")
@@ -60,5 +81,6 @@ func ParseWCETDist(name string) (WCETDist, error) {
 			return d, nil
 		}
 	}
-	return DistUniform, fmt.Errorf("ftdse: unknown WCET distribution %q (uniform, exponential)", name)
+	return DistUniform, fmt.Errorf("ftdse: unknown WCET distribution %q (want one of %s)",
+		name, strings.Join(WCETDistNames(), ", "))
 }

@@ -13,20 +13,21 @@ import (
 	"repro/ftdse/internal/sched"
 )
 
-// moveEval is the outcome of evaluating one candidate move: the
-// schedule and cost of the assignment with the move applied. ok is
+// MoveEval is the outcome of evaluating one candidate move: the
+// schedule and cost of the assignment with the move applied. OK is
 // false when the scheduler rejected the move or the context fired
-// before the move could be evaluated. s is nil when the cost came from
-// the memo cache — the cache keeps only costs, not schedules, so that
-// long tabu runs do not retain thousands of full schedule tables;
-// callers rebuild the schedule of the (rare) memoized winner.
-type moveEval struct {
-	s  *sched.Schedule
-	c  Cost
-	ok bool
+// before the move could be evaluated. Schedule is nil when the cost
+// came from the memo cache — the cache keeps only costs, not schedules,
+// so that long runs do not retain thousands of full schedule tables;
+// callers materialize the schedule of the (rare) memoized winner with
+// Search.Materialize.
+type MoveEval struct {
+	Schedule *sched.Schedule
+	Cost     Cost
+	OK       bool
 }
 
-// cachedCost is the memoized part of a moveEval.
+// cachedCost is the memoized part of a MoveEval.
 type cachedCost struct {
 	c  Cost
 	ok bool
@@ -44,10 +45,10 @@ type fingerprint [sha256.Size]byte
 // 2^20 entries (~40 MB) is far above any configured search budget.
 const maxCacheEntries = 1 << 20
 
-// evaluator runs the per-move scheduling passes shared by greedyMPA and
-// tabuSearchMPA. Moves are fanned out over a bounded worker pool and
-// results are memoized by assignment fingerprint, so the tabu loop
-// never re-schedules an assignment it has already costed.
+// evaluator runs the per-move scheduling passes shared by every engine.
+// Moves are fanned out over a bounded worker pool and results are
+// memoized by assignment fingerprint, so a search loop never
+// re-schedules an assignment it has already costed.
 //
 // Concurrent evaluation relies on the read-only invariants of the
 // scheduling context: the merged graph (frozen by sched.NewStatic), the
@@ -114,7 +115,7 @@ func (ev *evaluator) fingerprint(base policy.Assignment, proc model.ProcID, pol 
 // the resulting schedule then owns. The context is checked before
 // every scheduling pass, so a sweep over many moves stops promptly when
 // it is canceled or its deadline expires (remaining entries report
-// ok == false).
+// OK == false).
 //
 // With a context that never fires mid-sweep the result is independent
 // of the worker count: callers pick winners by (cost, move index), and
@@ -122,8 +123,8 @@ func (ev *evaluator) fingerprint(base policy.Assignment, proc model.ProcID, pol 
 // influences scheduling order. A context firing mid-sweep cuts the
 // evaluated subset at a speed-dependent point, so only uninterrupted
 // runs are bit-reproducible across worker counts (see Options.Workers).
-func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, moves []move) []moveEval {
-	out := make([]moveEval, len(moves))
+func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, moves []Move) []MoveEval {
+	out := make([]MoveEval, len(moves))
 	if len(moves) == 0 {
 		return out
 	}
@@ -135,7 +136,7 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 	for i := range moves {
 		keys[i] = ev.fingerprint(base, moves[i].proc, moves[i].pol)
 		if r, hit := ev.cache[keys[i]]; hit {
-			out[i] = moveEval{c: r.c, ok: r.ok}
+			out[i] = MoveEval{Cost: r.c, OK: r.ok}
 			ev.hits++
 		} else {
 			pending = append(pending, i)
@@ -153,7 +154,7 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 		s, c, err := ev.st.evaluate(asgn)
 		evaluated[i] = true
 		if err == nil {
-			out[i] = moveEval{s: s, c: c, ok: true}
+			out[i] = MoveEval{Schedule: s, Cost: c, OK: true}
 		}
 	}
 
@@ -188,7 +189,7 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 	// by a fired context are not cached: they were never costed.
 	for _, i := range pending {
 		if evaluated[i] && len(ev.cache) < maxCacheEntries {
-			ev.cache[keys[i]] = cachedCost{c: out[i].c, ok: out[i].ok}
+			ev.cache[keys[i]] = cachedCost{c: out[i].Cost, ok: out[i].OK}
 		}
 	}
 	return out
@@ -198,7 +199,7 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 // materialize the schedule of a winner whose cost was memoized. The
 // scheduler is deterministic, so the result matches the original
 // evaluation of the same assignment.
-func (ev *evaluator) rebuild(base policy.Assignment, m *move) (*sched.Schedule, error) {
-	s, _, err := ev.st.evaluate(m.applyTo(base))
+func (ev *evaluator) rebuild(base policy.Assignment, m Move) (*sched.Schedule, error) {
+	s, _, err := ev.st.evaluate(m.ApplyTo(base))
 	return s, err
 }

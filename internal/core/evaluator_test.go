@@ -10,7 +10,7 @@ import (
 
 // evalState builds a searchState plus an initial assignment and its
 // move neighborhood for evaluator tests.
-func evalState(t *testing.T, workers int) (*searchState, policy.Assignment, []move) {
+func evalState(t *testing.T, workers int) (*searchState, policy.Assignment, []Move) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(9))
 	p := randomProblem(rng, 10, 3, 2)
@@ -38,7 +38,7 @@ func TestEvaluatorFingerprintCanonical(t *testing.T) {
 	// Substituting a move's policy must fingerprint identically to
 	// actually applying the move.
 	m := moves[0]
-	applied := m.applyTo(base)
+	applied := m.ApplyTo(base)
 	want := ev.fingerprint(applied, m.proc, applied[m.proc])
 	if got := ev.fingerprint(base, m.proc, m.pol); got != want {
 		t.Errorf("substituted fingerprint %x != applied fingerprint %x", got, want)
@@ -69,10 +69,10 @@ func TestEvaluatorMemoization(t *testing.T) {
 		t.Errorf("second sweep hit the cache %d times, want %d", ev.hits, len(moves))
 	}
 	for i := range first {
-		if first[i].ok != second[i].ok || first[i].c != second[i].c {
+		if first[i].OK != second[i].OK || first[i].Cost != second[i].Cost {
 			t.Errorf("move %d: memoized cost differs", i)
 		}
-		if second[i].s != nil {
+		if second[i].Schedule != nil {
 			t.Errorf("move %d: memoized result retains a schedule", i)
 		}
 	}
@@ -93,7 +93,7 @@ func TestEvaluatorCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	for i, r := range ev.evalMoves(ctx, base, moves) {
-		if r.ok {
+		if r.OK {
 			t.Errorf("move %d evaluated despite canceled context", i)
 		}
 	}
@@ -111,8 +111,8 @@ func TestEvaluatorWorkerCountsAgree(t *testing.T) {
 	seq := st1.eval.evalMoves(context.Background(), base1, moves)
 	par := st8.eval.evalMoves(context.Background(), base8, moves8)
 	for i := range seq {
-		if seq[i].ok != par[i].ok || seq[i].c != par[i].c {
-			t.Errorf("move %d: sequential %+v vs parallel %+v", i, seq[i].c, par[i].c)
+		if seq[i].OK != par[i].OK || seq[i].Cost != par[i].Cost {
+			t.Errorf("move %d: sequential %+v vs parallel %+v", i, seq[i].Cost, par[i].Cost)
 		}
 	}
 }

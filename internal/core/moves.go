@@ -8,21 +8,30 @@ import (
 	"repro/ftdse/internal/policy"
 )
 
-// move is one design transformation (Figure 8 of the paper): it replaces
-// the policy (and thereby the mapping) of a single process.
-type move struct {
+// Move is one design transformation (Figure 8 of the paper): it replaces
+// the policy (and thereby the mapping) of a single process. Moves are
+// produced by Search.Moves; the fields stay unexported so engines can
+// only explore the problem's legal neighborhood.
+type Move struct {
 	proc model.ProcID
 	pol  policy.Policy
 }
 
-// applyTo returns a copy of the assignment with the move applied.
-func (m *move) applyTo(asgn policy.Assignment) policy.Assignment {
+// Proc is the process whose policy the move replaces.
+func (m Move) Proc() model.ProcID { return m.proc }
+
+// Policy is the policy the move assigns to its process.
+func (m Move) Policy() policy.Policy { return m.pol }
+
+// ApplyTo returns a copy of the assignment with the move applied; the
+// input assignment is not modified.
+func (m Move) ApplyTo(asgn policy.Assignment) policy.Assignment {
 	out := asgn.Clone()
 	out[m.proc] = m.pol.Clone()
 	return out
 }
 
-func (m *move) String() string {
+func (m Move) String() string {
 	return fmt.Sprintf("P%d→%v", m.proc, m.pol)
 }
 
@@ -36,9 +45,9 @@ func (m *move) String() string {
 //
 // Processes whose first replica is pinned by P_M keep that node; forced
 // policies (P_X, P_R, or the strategy itself) suppress policy moves.
-func (st *searchState) generateMoves(asgn policy.Assignment, procs []model.ProcID) []move {
+func (st *searchState) generateMoves(asgn policy.Assignment, procs []model.ProcID) []Move {
 	k := st.p.Faults.K
-	var out []move
+	var out []Move
 	for _, id := range procs {
 		cur, ok := asgn[id]
 		if !ok {
@@ -57,7 +66,7 @@ func (st *searchState) generateMoves(asgn policy.Assignment, procs []model.ProcI
 			if pol.Equal(cur) {
 				return
 			}
-			out = append(out, move{proc: id, pol: pol})
+			out = append(out, Move{proc: id, pol: pol})
 		}
 
 		// Remap moves: each replica to each unused allowed node.

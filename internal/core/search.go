@@ -3,9 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
-	"time"
 
 	"repro/ftdse/internal/arch"
 	"repro/ftdse/internal/model"
@@ -18,7 +16,9 @@ import (
 // Everything except bus/static (swapped wholesale by the bus-access
 // optimization) and the evaluator's memoization cache is read-only
 // after construction, which is what allows the evaluator to fan
-// sched.Build calls out over concurrent workers.
+// sched.Build calls out over concurrent workers. Engines reach it
+// through the Search handle; portfolio racers get a private state each
+// (Search.Fork), so no searchState is ever shared between goroutines.
 type searchState struct {
 	p      Problem
 	opts   Options
@@ -32,27 +32,6 @@ type searchState struct {
 	// prio is the priority of each origin: the maximum bottom level over
 	// its merged instances. Used for the initial mapping order.
 	prio map[model.ProcID]model.Time
-
-	// start anchors Improvement.Elapsed; iter is the global improvement-
-	// loop iteration across greedy and tabu, reported to the observer.
-	start time.Time
-	iter  int
-}
-
-// improved reports a new incumbent to the observer, if any. The
-// callback only observes — it never feeds back into the search, so
-// runs are deterministic with or without it.
-func (st *searchState) improved(phase string, c Cost) {
-	if st.opts.OnImprovement == nil {
-		return
-	}
-	st.opts.OnImprovement(Improvement{
-		Phase:       phase,
-		Iteration:   st.iter,
-		Cost:        c,
-		Schedulable: c.Schedulable(),
-		Elapsed:     time.Since(st.start),
-	})
 }
 
 // rebuildStatic revalidates and precomputes the scheduling context;
@@ -206,204 +185,6 @@ func (st *searchState) pickNodes(id model.ProcID, allowed []arch.NodeID, r int, 
 		nodes = append(nodes, n)
 	}
 	return nodes
-}
-
-// greedyMPA is the paper's step 2: repeatedly evaluate all moves on the
-// critical path and apply the best one while it improves the design.
-// Move evaluation is fanned out by the evaluator; the winner is the
-// lowest-index move of minimal cost, exactly as the sequential sweep
-// selected it.
-func (st *searchState) greedyMPA(ctx context.Context, asgn policy.Assignment, cur *sched.Schedule, curCost Cost) (policy.Assignment, *sched.Schedule, Cost, int) {
-	iters := 0
-	for !stopped(ctx) {
-		iters++
-		st.iter++
-		moves := st.generateMoves(asgn, cur.CriticalPath())
-		var bestMove *move
-		var bestSched *sched.Schedule
-		bestCost := curCost
-		for i, r := range st.eval.evalMoves(ctx, asgn, moves) {
-			if r.ok && r.c.Less(bestCost) {
-				bestMove, bestSched, bestCost = &moves[i], r.s, r.c
-			}
-		}
-		if bestMove == nil {
-			break
-		}
-		if bestSched == nil {
-			// The winner's cost was memoized; materialize its schedule.
-			s, err := st.eval.rebuild(asgn, bestMove)
-			if err != nil {
-				break
-			}
-			bestSched = s
-		}
-		asgn = bestMove.applyTo(asgn)
-		cur, curCost = bestSched, bestCost
-		st.improved("greedy", curCost)
-		if st.opts.StopWhenSchedulable && curCost.Schedulable() {
-			break
-		}
-	}
-	return asgn, cur, curCost, iters
-}
-
-// tabuSearchMPA is the paper's step 3 (Figure 9): a tabu search over the
-// critical-path moves with a selective history of Tabu and Wait
-// counters, aspiration (tabu moves better than the best-so-far are
-// accepted) and diversification (processes that waited longer than |Γ|
-// iterations).
-func (st *searchState) tabuSearchMPA(ctx context.Context, asgn policy.Assignment, xbest *sched.Schedule, bestCost Cost) (policy.Assignment, *sched.Schedule, Cost, int) {
-	n := len(st.origins)
-	tenure := st.opts.TabuTenure
-	if tenure <= 0 {
-		tenure = int(math.Sqrt(float64(n))) + 2
-	}
-	maxIters := st.opts.MaxIterations
-	if maxIters <= 0 {
-		maxIters = 50 + 10*n
-	}
-	diversifyAfter := st.merged.NumProcesses() // |Γ|
-
-	tabu := make(map[model.ProcID]int, n)
-	wait := make(map[model.ProcID]int, n)
-
-	xnow := asgn.Clone()
-	snow := xbest
-	bestAsgn := asgn.Clone()
-
-	iters := 0
-	for iters < maxIters && !stopped(ctx) {
-		if st.opts.StopWhenSchedulable && bestCost.Schedulable() {
-			break
-		}
-		iters++
-		st.iter++
-
-		cp := snow.CriticalPath()
-		moves := st.generateMoves(xnow, cp)
-		if len(moves) == 0 {
-			moves = st.generateMoves(xnow, st.origins)
-		}
-		if len(moves) == 0 {
-			break
-		}
-
-		type evaluated struct {
-			m     *move
-			s     *sched.Schedule
-			c     Cost
-			isTab bool
-			waits bool
-		}
-		var all []evaluated
-		for i, r := range st.eval.evalMoves(ctx, xnow, moves) {
-			if !r.ok {
-				continue
-			}
-			all = append(all, evaluated{
-				m:     &moves[i],
-				s:     r.s,
-				c:     r.c,
-				isTab: tabu[moves[i].proc] > 0,
-				waits: wait[moves[i].proc] > diversifyAfter,
-			})
-		}
-		if len(all) == 0 {
-			break
-		}
-		pick := func(filter func(evaluated) bool) *evaluated {
-			var best *evaluated
-			for i := range all {
-				if !filter(all[i]) {
-					continue
-				}
-				if best == nil || all[i].c.Less(best.c) {
-					best = &all[i]
-				}
-			}
-			return best
-		}
-		// Aspiration: any move better than the best-so-far is accepted,
-		// tabu or not (line 17 of Figure 9).
-		chosen := pick(func(e evaluated) bool { return true })
-		if !chosen.c.Less(bestCost) {
-			// Otherwise diversify with long-waiting moves (line 18)…
-			if w := pick(func(e evaluated) bool { return e.waits && !e.isTab }); w != nil {
-				chosen = w
-			} else if nt := pick(func(e evaluated) bool { return !e.isTab }); nt != nil {
-				// …or take the best non-tabu move (line 19).
-				chosen = nt
-			}
-		}
-
-		if chosen.s == nil {
-			// The chosen move's cost was memoized; materialize its
-			// schedule for the critical path of the next iteration.
-			s, err := st.eval.rebuild(xnow, chosen.m)
-			if err != nil {
-				break
-			}
-			chosen.s = s
-		}
-		xnow = chosen.m.applyTo(xnow)
-		snow = chosen.s
-		if chosen.c.Less(bestCost) {
-			bestAsgn, xbest, bestCost = xnow.Clone(), chosen.s, chosen.c
-			st.improved("tabu", bestCost)
-		}
-
-		// Update the selective history (line 25).
-		for _, id := range st.origins {
-			if tabu[id] > 0 {
-				tabu[id]--
-			}
-			wait[id]++
-		}
-		tabu[chosen.m.proc] = tenure
-		wait[chosen.m.proc] = 0
-	}
-	return bestAsgn, xbest, bestCost, iters
-}
-
-// optimizeBus hill-climbs over the TDMA slot order (the final step of
-// Figure 6; the paper defers the full treatment to [19]). Adjacent slot
-// swaps are evaluated against the current best assignment until no swap
-// improves the cost.
-func (st *searchState) optimizeBus(ctx context.Context, asgn policy.Assignment, best *sched.Schedule, bestCost Cost) (policy.Assignment, *sched.Schedule, Cost) {
-	n := len(st.bus.Slots)
-	if n < 2 {
-		return asgn, best, bestCost
-	}
-	improved := true
-	for improved && !stopped(ctx) {
-		improved = false
-		// The context is re-checked per swap: each probe is a full
-		// scheduling pass, and a round of n−1 swaps would otherwise
-		// overshoot a tight time limit by the whole round.
-		for i := 0; i+1 < n && !stopped(ctx); i++ {
-			perm := make([]int, n)
-			for j := range perm {
-				perm[j] = j
-			}
-			perm[i], perm[i+1] = perm[i+1], perm[i]
-			saved, savedStatic := st.bus, st.static
-			st.bus = st.bus.WithSlotOrder(perm)
-			if err := st.rebuildStatic(); err != nil {
-				st.bus, st.static = saved, savedStatic
-				continue
-			}
-			s, c, err := st.evaluate(asgn)
-			if err != nil || !c.Less(bestCost) {
-				st.bus, st.static = saved, savedStatic
-				continue
-			}
-			best, bestCost = s, c
-			st.improved("bus", bestCost)
-			improved = true
-		}
-	}
-	return asgn, best, bestCost
 }
 
 // stopped reports whether the run should end: the context was canceled

@@ -50,6 +50,19 @@ func (s Strategy) String() string {
 type Options struct {
 	Strategy Strategy
 
+	// Engine selects the search algorithm that explores the design
+	// space after the initial solution; nil selects DefaultEngine (the
+	// paper's greedy→tabu pipeline). Engines see the problem through a
+	// Search handle, so any Engine implementation — built-in or caller
+	// supplied — composes with every Strategy and option.
+	Engine Engine
+
+	// Seed seeds stochastic engines (simulated annealing, and any
+	// caller-supplied engine that reads it); 0 selects the fixed seed 1,
+	// so runs are deterministic either way. Deterministic engines
+	// ignore it.
+	Seed int64
+
 	// TimeLimit bounds the whole optimization; <= 0 means no time limit
 	// (MaxIterations still applies).
 	TimeLimit time.Duration
@@ -109,11 +122,14 @@ type Options struct {
 // Improvement is one incumbent solution reported through
 // Options.OnImprovement: the anytime signal of the search.
 type Improvement struct {
-	// Phase is the strategy step that produced the incumbent:
-	// "initial", "greedy", "tabu", "bus" or "sfx".
+	// Phase is the step that produced the incumbent: "initial", "bus",
+	// "sfx", or an engine phase ("greedy", "tabu", "sa", …). Portfolio
+	// racers prefix their phases with "r<i>:" (racer position), e.g.
+	// "r1:sa".
 	Phase string
-	// Iteration is the global improvement-loop iteration (greedy and
-	// tabu iterations accumulate; 0 for the initial solution).
+	// Iteration is the improvement-loop iteration of the publishing
+	// search handle (pipeline stages accumulate; portfolio racers count
+	// independently; 0 for the initial solution).
 	Iteration int
 	// Cost is the incumbent's cost.
 	Cost Cost
@@ -174,7 +190,9 @@ func DefaultOptions(s Strategy) Options {
 
 // Result is the outcome of an optimization run.
 type Result struct {
-	Strategy   Strategy
+	Strategy Strategy
+	// Engine is the name of the search engine that produced the design.
+	Engine     string
 	Assignment policy.Assignment
 	Schedule   *sched.Schedule
 	Cost       Cost
@@ -245,7 +263,6 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	st.start = start
 
 	// Step 1: initial bus access, mapping and policy assignment.
 	asgn, err := st.initialMPA()
@@ -256,30 +273,34 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	st.improved("initial", bestCost)
-	iters := 0
-	if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
-		// Step 2: greedy improvement.
-		asgn, best, bestCost, iters = st.greedyMPA(ctx, asgn, best, bestCost)
-		if !(opts.StopWhenSchedulable && bestCost.Schedulable()) {
-			// Step 3: tabu search.
-			var tIters int
-			asgn, best, bestCost, tIters = st.tabuSearchMPA(ctx, asgn, best, bestCost)
-			iters += tIters
+	s := newSearch(st, start)
+	s.Publish("initial", asgn, best, bestCost)
+
+	// Steps 2+3: hand the run to the search engine (the paper's
+	// greedy→tabu pipeline unless the caller plugged in another one).
+	eng := opts.Engine
+	if eng == nil {
+		eng = DefaultEngine()
+	}
+	if !s.ShouldStop() {
+		s.startFromBest()
+		if err := eng.Explore(ctx, s); err != nil {
+			return nil, err
 		}
 	}
 
 	if opts.OptimizeBusAccess {
-		asgn2, best2, cost2 := st.optimizeBus(ctx, asgn, best, bestCost)
-		asgn, best, bestCost = asgn2, best2, cost2
+		s.optimizeBus(ctx)
 	}
 
+	d, sch, c, _ := s.Best()
 	return &Result{
 		Strategy:   opts.Strategy,
-		Assignment: asgn,
-		Schedule:   best,
-		Cost:       bestCost,
-		Iterations: iters,
+		Engine:     eng.Name(),
+		Assignment: d,
+		Schedule:   sch,
+		Cost:       c,
+		Iterations: int(s.total.Load()),
 		Elapsed:    time.Since(start),
 		Stopped:    stopCause(ctx),
 	}, nil
@@ -309,16 +330,16 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 	if err != nil {
 		return nil, err
 	}
-	st.start = start
-	s, cost, err := st.evaluate(asgn)
+	sch, cost, err := st.evaluate(asgn)
 	if err != nil {
 		return nil, err
 	}
-	st.improved("sfx", cost)
+	newSearch(st, start).Publish("sfx", asgn, sch, cost)
 	return &Result{
 		Strategy:   SFX,
+		Engine:     nft.Engine,
 		Assignment: asgn,
-		Schedule:   s,
+		Schedule:   sch,
 		Cost:       cost,
 		Iterations: nft.Iterations,
 		Elapsed:    time.Since(start),

@@ -1,0 +1,171 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/ftdse"
+	"repro/ftdse/service"
+)
+
+// decodeResult unmarshals a terminal status's embedded JobResult.
+func decodeResult(t *testing.T, st service.JobStatus) service.JobResult {
+	t.Helper()
+	if len(st.Result) == 0 {
+		t.Fatalf("job %s (%s) has no result", st.ID, st.State)
+	}
+	var res service.JobResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	return res
+}
+
+// TestEngineSelectionOverWire drives each named engine through the
+// HTTP API: the solve runs with the requested engine, the result
+// document names it, and the per-engine metric counts it.
+func TestEngineSelectionOverWire(t *testing.T) {
+	_, srv := newService(t, service.Config{QueueSize: 8, PoolWorkers: 2})
+	prob := genProblem(8, 42)
+	for _, name := range ftdse.Engines() {
+		body := submitBody(t, prob, service.SolveOptions{Engine: name, MaxIterations: 10})
+		st := postSolve(t, srv.URL, body, http.StatusOK, "wait")
+		if st.State != service.StateDone {
+			t.Fatalf("engine %s: state %q", name, st.State)
+		}
+		res := decodeResult(t, st)
+		if res.Engine != name {
+			t.Errorf("engine %s: result names %q", name, res.Engine)
+		}
+		cause, err := res.StopCause()
+		if err != nil || cause != ftdse.StopCompleted {
+			t.Errorf("engine %s: stop cause %v (%v), want completed", name, cause, err)
+		}
+	}
+	if got := metric(t, srv.URL, "solves_total"); got != float64(len(ftdse.Engines())) {
+		t.Errorf("solves_total = %v, want %d", got, len(ftdse.Engines()))
+	}
+	// The per-engine breakdown is a nested expvar map.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		ByEngine map[string]float64 `json:"solves_by_engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	for _, name := range ftdse.Engines() {
+		if m.ByEngine[name] != 1 {
+			t.Errorf("solves_by_engine[%s] = %v, want 1", name, m.ByEngine[name])
+		}
+	}
+}
+
+// TestEngineInFingerprint: the engine (and seed) are part of the result
+// identity, so different engines never share a cache entry while
+// equivalent spellings of the default do.
+func TestEngineInFingerprint(t *testing.T) {
+	prob := genProblem(8, 42)
+	fp := func(o service.SolveOptions) string {
+		t.Helper()
+		s, err := service.Fingerprint(prob, o)
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return s
+	}
+	def := fp(service.SolveOptions{})
+	if fp(service.SolveOptions{Engine: "default"}) != def ||
+		fp(service.SolveOptions{Engine: "DEFAULT"}) != def {
+		t.Error("default-engine spellings do not share a fingerprint")
+	}
+	seen := map[string]string{"": def}
+	for _, name := range []string{"greedy", "tabu", "sa", "portfolio"} {
+		h := fp(service.SolveOptions{Engine: name})
+		for prev, ph := range seen {
+			if ph == h {
+				t.Errorf("engines %q and %q share a fingerprint", prev, name)
+			}
+		}
+		seen[name] = h
+	}
+	if fp(service.SolveOptions{Engine: "sa", Seed: 1}) == fp(service.SolveOptions{Engine: "sa", Seed: 2}) {
+		t.Error("different seeds share a fingerprint")
+	}
+	// Seed normalization: 0 means "the fixed seed 1" for stochastic
+	// engines, and nothing at all for deterministic ones — equivalent
+	// spellings must share one cache entry.
+	if fp(service.SolveOptions{Engine: "sa"}) != fp(service.SolveOptions{Engine: "sa", Seed: 1}) {
+		t.Error("sa seed 0 and seed 1 (the documented default) do not share a fingerprint")
+	}
+	if fp(service.SolveOptions{Seed: 42}) != def {
+		t.Error("seed changes the fingerprint of a deterministic engine that ignores it")
+	}
+	// A portfolio race with StopWhenSchedulable is timing-dependent, so
+	// the worker count must stay in the key instead of coalescing
+	// requests whose answers may differ.
+	if fp(service.SolveOptions{Engine: "portfolio", StopWhenSchedulable: true, Workers: 1}) ==
+		fp(service.SolveOptions{Engine: "portfolio", StopWhenSchedulable: true, Workers: 8}) {
+		t.Error("early-stop portfolio races with different worker counts share a fingerprint")
+	}
+	// A sub-microsecond time limit is a real (immediately truncating)
+	// budget; its truncated result must never be served to untimed
+	// submissions of the same problem.
+	if fp(service.SolveOptions{TimeLimitMs: 0.0005}) == def {
+		t.Error("sub-microsecond time limit shares the untimed fingerprint")
+	}
+}
+
+// TestUnknownEngineRejected: a bad engine name is a 400 whose message
+// enumerates the valid names.
+func TestUnknownEngineRejected(t *testing.T) {
+	_, srv := newService(t, service.Config{QueueSize: 4, PoolWorkers: 1})
+	body := submitBody(t, genProblem(6, 1), service.SolveOptions{Engine: "bogus"})
+	resp, err := http.Post(srv.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e service.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ftdse.Engines() {
+		if !strings.Contains(e.Error, name) {
+			t.Errorf("error %q does not enumerate engine %q", e.Error, name)
+		}
+	}
+}
+
+// TestStopCauseSurfacedForTimeLimitedSolve: a budget-truncated solve is
+// distinguishable from a converged one through the typed accessor.
+func TestStopCauseSurfacedForTimeLimitedSolve(t *testing.T) {
+	_, srv := newService(t, service.Config{QueueSize: 4, PoolWorkers: 1})
+	// A huge iteration budget with a tiny time limit always truncates.
+	body := submitBody(t, genProblem(20, 7), service.SolveOptions{
+		MaxIterations: 1_000_000,
+		TimeLimitMs:   50,
+		Workers:       1,
+	})
+	st := postSolve(t, srv.URL, body, http.StatusOK, "wait")
+	if st.State != service.StateDone {
+		t.Fatalf("state %q, want done (time-limited solves complete with best-so-far)", st.State)
+	}
+	res := decodeResult(t, st)
+	cause, err := res.StopCause()
+	if err != nil {
+		t.Fatalf("StopCause: %v", err)
+	}
+	if cause != ftdse.StopTimeLimit {
+		t.Errorf("stop cause %v, want time limit", cause)
+	}
+}

@@ -19,10 +19,17 @@ import (
 // module: the problem encoding is canonical (WriteProblem → ReadProblem
 // → WriteProblem is byte-identical, so re-submissions of a document and
 // of its round-tripped form hash alike), and untimed solves are
-// deterministic (so a cached result is exactly what a re-solve would
-// produce). Options are part of the key because they change the
-// answer; the worker count is excluded for untimed requests, which are
-// worker-independent by the solver's determinism contract.
+// deterministic — for every engine, including the seeded stochastic
+// ones and the racing portfolio, whose winner is selected by (cost,
+// racer order) after the race — so a cached result is exactly what a
+// re-solve would produce. Options are part of the key because they
+// change the answer: the engine name and seed participate, while the
+// worker count is excluded for untimed requests, which are
+// worker-independent by the solver's determinism contract. A portfolio
+// race with StopWhenSchedulable is the timing-dependent exception —
+// the first schedulable incumbent cancels the race mid-flight — so,
+// like a timed request, it keeps its worker count in the key and its
+// cached answer is best-effort for exactly that configuration.
 func Fingerprint(p ftdse.Problem, o SolveOptions) (string, error) {
 	no, err := o.normalized()
 	if err != nil {

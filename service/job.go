@@ -135,6 +135,27 @@ func (j *job) finish(state string, result []byte, errMsg string) bool {
 	if TerminalState(j.state) {
 		return false
 	}
+	j.finishLocked(state, result, errMsg)
+	return true
+}
+
+// finishQueued cancels a job that never left the queue, reporting
+// whether it was still queued (running jobs are finished by their
+// worker instead). It shares finish's terminal transition, so the two
+// paths cannot drift.
+func (j *job) finishQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.finishLocked(StateCanceled, nil, "")
+	return true
+}
+
+// finishLocked is the single terminal transition; callers hold mu and
+// have checked the current state.
+func (j *job) finishLocked(state string, result []byte, errMsg string) {
 	now := time.Now()
 	j.state = state
 	j.finished = &now
@@ -145,7 +166,6 @@ func (j *job) finish(state string, result []byte, errMsg string) bool {
 	j.problem = ftdse.Problem{}
 	close(j.done)
 	j.wakeLocked()
-	return true
 }
 
 // terminal reports whether the job reached a terminal state.

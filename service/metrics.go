@@ -20,6 +20,7 @@ type metrics struct {
 	jobsSubmitted  expvar.Int
 	jobsRejected   expvar.Int // backpressure 429s
 	jobsCoalesced  expvar.Int // submissions attached to an identical in-flight solve
+	engines        expvar.Map // solves executed per engine name
 
 	mu  sync.Mutex
 	lat []float64 // sliding window of solve latencies in ms
@@ -67,7 +68,9 @@ func (m *metrics) quantile(q float64) float64 {
 // live on every render.
 func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func() int) *expvar.Map {
 	out := new(expvar.Map).Init()
+	m.engines.Init()
 	out.Set("solves_total", &m.solvesTotal)
+	out.Set("solves_by_engine", &m.engines)
 	out.Set("solves_in_flight", &m.solvesInFlight)
 	out.Set("cache_hits", &m.cacheHits)
 	out.Set("cache_misses", &m.cacheMisses)

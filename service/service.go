@@ -212,6 +212,7 @@ func (s *Service) runJob(j *job) {
 
 	s.met.solvesInFlight.Add(1)
 	s.met.solvesTotal.Add(1)
+	s.met.engines.Add(j.opts.Engine, 1)
 	start := time.Now()
 	solver := s.solver.With(append(j.opts.solverOptions(), ftdse.WithProgress(j.publish))...)
 	res, err := solver.Solve(j.ctx, j.problem)
@@ -270,6 +271,7 @@ func encodeResult(res *ftdse.Result) ([]byte, error) {
 	}
 	return json.Marshal(JobResult{
 		Strategy:    res.Strategy.String(),
+		Engine:      res.Engine,
 		Schedulable: res.Schedulable(),
 		MakespanMs:  res.Cost.Makespan.Milliseconds(),
 		TardinessMs: res.Cost.Tardiness.Milliseconds(),
@@ -584,18 +586,7 @@ func (s *Service) cancelJob(j *job) {
 		delete(s.inflight, j.fingerprint)
 	}
 	s.mu.Unlock()
-	j.mu.Lock()
-	queued := j.state == StateQueued
-	if queued {
-		j.state = StateCanceled
-		now := time.Now()
-		j.finished = &now
-		j.problem = ftdse.Problem{}
-		close(j.done)
-		j.wakeLocked()
-	}
-	j.mu.Unlock()
-	if queued {
+	if j.finishQueued() {
 		s.mu.Lock()
 		// Drop the dead entry so its queue slot frees up immediately
 		// (it may already be gone if a worker popped it concurrently).

@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -21,6 +22,15 @@ type SolveOptions struct {
 	// Strategy names the optimization strategy ("mxr", "mx", "mr",
 	// "sfx", "nft", case-insensitive); empty selects "mxr".
 	Strategy string `json:"strategy,omitempty"`
+	// Engine names the search engine (one of ftdse.Engines():
+	// "default", "greedy", "tabu", "sa", "portfolio",
+	// case-insensitive); empty selects "default", the paper's
+	// greedy→tabu pipeline.
+	Engine string `json:"engine,omitempty"`
+	// Seed seeds stochastic engines ("sa", and the "sa" racer of
+	// "portfolio"); 0 selects the fixed seed 1, so results are
+	// deterministic — and cacheable — either way.
+	Seed int64 `json:"seed,omitempty"`
 	// MaxIterations bounds the tabu search; <= 0 selects a
 	// problem-size-dependent default.
 	MaxIterations int `json:"max_iterations,omitempty"`
@@ -60,6 +70,23 @@ func (o SolveOptions) normalized() (SolveOptions, error) {
 		return o, err
 	}
 	o.Strategy = strings.ToLower(s.String())
+	if o.Engine == "" {
+		o.Engine = "default"
+	}
+	if _, err := ftdse.ParseEngine(o.Engine); err != nil {
+		return o, err
+	}
+	o.Engine = strings.ToLower(o.Engine)
+	// The seed only matters to stochastic engines, and for those 0 is
+	// documented to select the fixed seed 1 — collapse both facts so
+	// provably identical requests share one cache entry.
+	if stochasticEngine(o.Engine) {
+		if o.Seed == 0 {
+			o.Seed = 1
+		}
+	} else {
+		o.Seed = 0
+	}
 	if o.MaxIterations < 0 {
 		o.MaxIterations = 0
 	}
@@ -90,8 +117,11 @@ func (o SolveOptions) timeLimit() time.Duration {
 // solverOptions lowers normalized options to ftdse functional options.
 func (o SolveOptions) solverOptions() []ftdse.Option {
 	strat, _ := ftdse.ParseStrategy(o.Strategy)
+	eng, _ := ftdse.ParseEngine(o.Engine)
 	return []ftdse.Option{
 		ftdse.WithStrategy(strat),
+		ftdse.WithEngine(eng),
+		ftdse.WithSeed(o.Seed),
 		ftdse.WithMaxIterations(o.MaxIterations),
 		ftdse.WithTimeLimit(o.timeLimit()),
 		ftdse.WithWorkers(o.Workers),
@@ -104,19 +134,33 @@ func (o SolveOptions) solverOptions() []ftdse.Option {
 	}
 }
 
+// stochasticEngine reports whether the (normalized) engine name draws
+// from the seed; the fact lives on the facade (ftdse.StochasticEngines)
+// so it cannot drift from ParseEngine.
+func stochasticEngine(name string) bool {
+	return slices.Contains(ftdse.StochasticEngines(), name)
+}
+
 // canonical renders normalized options as the fixed-order string mixed
 // into the problem fingerprint. Workers is normalized to 0 for untimed
 // requests: without a time limit the result is identical for every
 // worker count (the solver's determinism contract), so those requests
-// share a cache entry.
+// share a cache entry. The one exception is a portfolio race with
+// StopWhenSchedulable: the first schedulable incumbent cancels the
+// race mid-flight, so the outcome is timing-dependent — like a timed
+// run — and the worker count stays in the key rather than coalescing
+// requests whose answers may legitimately differ.
 func (o SolveOptions) canonical() string {
 	w := o.Workers
-	if o.TimeLimitMs == 0 {
+	if o.TimeLimitMs == 0 && !(o.StopWhenSchedulable && o.Engine == "portfolio") {
 		w = 0
 	}
+	// The limit is keyed at full nanosecond resolution: a sub-microsecond
+	// TimeLimitMs is still a real (immediately truncating) budget and
+	// must never collide with the untimed request's key.
 	return fmt.Sprintf(
-		"strategy=%s;iters=%d;limit_us=%d;workers=%d;bus=%t;ckpt=%t;maxckpt=%d;stopsched=%t;slack=%t;tenure=%d",
-		o.Strategy, o.MaxIterations, o.timeLimit().Microseconds(), w,
+		"strategy=%s;engine=%s;seed=%d;iters=%d;limit_ns=%d;workers=%d;bus=%t;ckpt=%t;maxckpt=%d;stopsched=%t;slack=%t;tenure=%d",
+		o.Strategy, o.Engine, o.Seed, o.MaxIterations, o.timeLimit().Nanoseconds(), w,
 		o.BusOptimization, o.Checkpointing, o.MaxCheckpoints,
 		o.StopWhenSchedulable, *o.SlackSharing, o.TabuTenure)
 }
@@ -178,18 +222,27 @@ type JobStatus struct {
 // JobResult is the outcome document of a solved job. Cache hits return
 // the stored document byte-for-byte.
 type JobResult struct {
-	Strategy    string  `json:"strategy"`
+	Strategy string `json:"strategy"`
+	// Engine names the search engine that produced the design.
+	Engine      string  `json:"engine,omitempty"`
 	Schedulable bool    `json:"schedulable"`
 	MakespanMs  float64 `json:"makespan_ms"`
 	TardinessMs float64 `json:"tardiness_ms,omitempty"`
 	Iterations  int     `json:"iterations"`
 	ElapsedMs   float64 `json:"elapsed_ms"`
 	// Stopped records why the solve ended: "completed", "time limit" or
-	// "canceled".
+	// "canceled". Use StopCause for the typed view.
 	Stopped string `json:"stopped"`
 	// Schedule is the deployment artifact (the ftdse.WriteSchedule JSON
 	// format, compacted).
 	Schedule json.RawMessage `json:"schedule"`
+}
+
+// StopCause converts the Stopped string to the typed ftdse.StopCause,
+// so a client can tell a converged solve (StopCompleted) from a
+// deadline-truncated one (StopTimeLimit) without string comparisons.
+func (r JobResult) StopCause() (ftdse.StopCause, error) {
+	return ftdse.ParseStopCause(r.Stopped)
 }
 
 // ProgressEvent is one incumbent solution streamed on

@@ -50,6 +50,23 @@ func WithStrategy(strat Strategy) Option {
 	return func(s *Solver) { s.opts.Strategy = strat }
 }
 
+// WithEngine selects the search engine that explores the design space
+// after the initial solution; nil (the default) selects DefaultEngine,
+// the paper's greedy→tabu pipeline. Built-in engines are available by
+// name through ParseEngine; any Engine implementation — including a
+// caller-supplied one — composes with every strategy and option.
+func WithEngine(e Engine) Option {
+	return func(s *Solver) { s.opts.Engine = e }
+}
+
+// WithSeed seeds stochastic engines (simulated annealing, and any
+// custom engine that reads Options.Seed); 0 (the default) selects the
+// fixed seed 1, so runs are deterministic either way. Deterministic
+// engines ignore it.
+func WithSeed(n int64) Option {
+	return func(s *Solver) { s.opts.Seed = n }
+}
+
 // WithTimeLimit bounds each Solve call; it is merged into the Solve
 // context as a deadline relative to the start of the run. A limit <= 0
 // (the default) means no time limit. Timed runs are best-effort anytime
@@ -143,6 +160,7 @@ func (s *Solver) Solve(ctx context.Context, p Problem) (*Result, error) {
 	}
 	return &Result{
 		Strategy:   res.Strategy,
+		Engine:     res.Engine,
 		Design:     res.Assignment,
 		Schedule:   res.Schedule,
 		Cost:       res.Cost,
@@ -156,6 +174,9 @@ func (s *Solver) Solve(ctx context.Context, p Problem) (*Result, error) {
 type Result struct {
 	// Strategy that produced the design.
 	Strategy Strategy
+	// Engine is the name of the search engine that produced the design
+	// ("default" for the paper pipeline).
+	Engine string
 	// Design is the synthesized mapping and fault-tolerance policy
 	// assignment — the best found within the budget.
 	Design Design

@@ -52,3 +52,25 @@ func StrategyNames() []string {
 	}
 	return out
 }
+
+// StopCauses returns all stop causes in declaration order.
+func StopCauses() []StopCause { return []StopCause{StopCompleted, StopTimeLimit, StopCanceled} }
+
+// ParseStopCause converts a stop-cause name ("completed", "time limit",
+// "canceled" — the StopCause.String values carried in the service wire
+// format) back to its typed StopCause, so API consumers can tell a
+// converged solve from a deadline-truncated one without string
+// comparisons. It is the inverse of StopCause.String.
+func ParseStopCause(name string) (StopCause, error) {
+	for _, c := range StopCauses() {
+		if strings.EqualFold(name, c.String()) {
+			return c, nil
+		}
+	}
+	names := make([]string, 0, len(StopCauses()))
+	for _, c := range StopCauses() {
+		names = append(names, c.String())
+	}
+	return StopCompleted, fmt.Errorf("ftdse: unknown stop cause %q (want one of %s)",
+		name, strings.Join(names, ", "))
+}
