@@ -2,6 +2,8 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -157,5 +159,81 @@ func TestCSVWriters(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "MXR,244,true,41.9") {
 		t.Errorf("cc csv:\n%s", buf.String())
+	}
+}
+
+// TestJSONWritersShareCSVSchema: the JSON table emitters are valid JSON
+// and carry exactly the CSV's columns — same names, same values — since
+// both render the single schema of columns.go.
+func TestJSONWritersShareCSVSchema(t *testing.T) {
+	rows := []OverheadRow{{
+		Dim:  Dimension{Procs: 20, Nodes: 2, K: 3, Mu: ftdse.Ms(5)},
+		Stat: Stat{Min: 60, Max: 100, Sum: 240, N: 3},
+	}}
+	var jbuf, cbuf strings.Builder
+	if err := WriteOverheadsJSON(&jbuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOverheadsCSV(&cbuf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal([]byte(jbuf.String()), &parsed); err != nil {
+		t.Fatalf("overheads JSON invalid: %v\n%s", err, jbuf.String())
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("parsed %d rows, want 1", len(parsed))
+	}
+	lines := strings.Split(strings.TrimSpace(cbuf.String()), "\n")
+	headers := strings.Split(lines[0], ",")
+	cells := strings.Split(lines[1], ",")
+	if len(parsed[0]) != len(headers) {
+		t.Errorf("JSON has %d columns, CSV %d", len(parsed[0]), len(headers))
+	}
+	for i, h := range headers {
+		v, ok := parsed[0][h]
+		if !ok {
+			t.Errorf("CSV column %q missing from JSON", h)
+			continue
+		}
+		var csvNum float64
+		if _, err := fmt.Sscanf(cells[i], "%g", &csvNum); err == nil {
+			if num, ok := v.(float64); !ok || num != csvNum {
+				t.Errorf("column %q: JSON %v != CSV %v", h, v, cells[i])
+			}
+		}
+	}
+
+	var ccJSON strings.Builder
+	cc := []CCRow{{Strategy: ftdse.MXR, Makespan: ftdse.Ms(244), Schedulable: true, OverheadPct: 41.9}}
+	if err := WriteCCJSON(&ccJSON, cc); err != nil {
+		t.Fatal(err)
+	}
+	var ccParsed []struct {
+		Strategy    string  `json:"strategy"`
+		MakespanMS  float64 `json:"makespan_ms"`
+		Schedulable bool    `json:"schedulable"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	if err := json.Unmarshal([]byte(ccJSON.String()), &ccParsed); err != nil {
+		t.Fatalf("cc JSON invalid: %v\n%s", err, ccJSON.String())
+	}
+	if ccParsed[0].Strategy != "MXR" || ccParsed[0].MakespanMS != 244 ||
+		!ccParsed[0].Schedulable || ccParsed[0].OverheadPct != 41.9 {
+		t.Errorf("cc JSON row = %+v", ccParsed[0])
+	}
+
+	var devJSON strings.Builder
+	dev := []DeviationRow{{
+		Dim: Dimension{Procs: 40},
+		Dev: map[ftdse.Strategy]Stat{
+			ftdse.MR: {Sum: 250, N: 2}, ftdse.SFX: {Sum: 80, N: 2}, ftdse.MX: {Sum: 4, N: 2},
+		},
+	}}
+	if err := WriteDeviationsJSON(&devJSON, dev); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(devJSON.String())) {
+		t.Errorf("deviations JSON invalid:\n%s", devJSON.String())
 	}
 }

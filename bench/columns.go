@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/ftdse"
+)
+
+// column is one column of a report table, defined once and consumed by
+// every emitter: name is the machine-readable identifier (CSV header,
+// JSON key), head the text-table heading (name when empty), value the
+// machine rendering (CSV cell; JSON value, emitted raw — unquoted — for
+// numbers and booleans) and display the optional human rendering for
+// text tables (value when nil). Defining the schema in one place is
+// what keeps the CSV, JSON and text reports from diverging.
+type column[T any] struct {
+	name    string
+	head    string
+	raw     bool // value is a JSON number/boolean, emit unquoted
+	value   func(T) string
+	display func(T) string
+}
+
+func (c column[T]) heading() string {
+	if c.head != "" {
+		return c.head
+	}
+	return c.name
+}
+
+func (c column[T]) text(row T) string {
+	if c.display != nil {
+		return c.display(row)
+	}
+	return c.value(row)
+}
+
+// writeCSV renders the schema as CSV: one header record of column
+// names, one record per row.
+func writeCSV[T any](w io.Writer, cols []column[T], rows []T) error {
+	cw := csv.NewWriter(w)
+	rec := make([]string, len(cols))
+	for i, c := range cols {
+		rec[i] = c.name
+	}
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for i, c := range cols {
+			rec[i] = c.value(r)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeJSONTable renders the schema as a JSON array of objects with the
+// columns in schema order, terminated by a newline.
+func writeJSONTable[T any](w io.Writer, cols []column[T], rows []T) error {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  {")
+		for j, c := range cols {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.Quote(c.name))
+			b.WriteString(": ")
+			if c.raw {
+				b.WriteString(c.value(r))
+			} else {
+				b.WriteString(strconv.Quote(c.value(r)))
+			}
+		}
+		b.WriteString("}")
+	}
+	if len(rows) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatTable renders the schema as an aligned text table under a
+// title: the first column left-aligned, the rest right-aligned, widths
+// derived from the content.
+func formatTable[T any](title string, cols []column[T], rows []T) string {
+	widths := make([]int, len(cols))
+	cells := make([][]string, len(rows))
+	for i, c := range cols {
+		widths[i] = len([]rune(c.heading()))
+	}
+	for ri, r := range rows {
+		cells[ri] = make([]string, len(cols))
+		for i, c := range cols {
+			cells[ri][i] = c.text(r)
+			if n := len([]rune(cells[ri][i])); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(get func(i int) string) {
+		for i := range cols {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], get(i))
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], get(i))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(func(i int) string { return cols[i].heading() })
+	for _, row := range cells {
+		r := row
+		writeRow(func(i int) string { return r[i] })
+	}
+	return b.String()
+}
+
+// overheadColumns is the single source of the overhead-table schema
+// (Tables 1a/1b/1c): dimension columns plus the min/avg/max overhead
+// statistics.
+func overheadColumns() []column[OverheadRow] {
+	return []column[OverheadRow]{
+		{name: "procs", raw: true, value: func(r OverheadRow) string { return strconv.Itoa(r.Dim.Procs) }},
+		{name: "nodes", raw: true, value: func(r OverheadRow) string { return strconv.Itoa(r.Dim.Nodes) }},
+		{name: "k", raw: true, value: func(r OverheadRow) string { return strconv.Itoa(r.Dim.K) }},
+		{name: "mu_ms", raw: true, value: func(r OverheadRow) string { return fmt.Sprintf("%g", r.Dim.Mu.Milliseconds()) }},
+		{name: "overhead_max_pct", head: "%max", raw: true, value: func(r OverheadRow) string { return fmt.Sprintf("%.2f", r.Stat.Max) }},
+		{name: "overhead_avg_pct", head: "%avg", raw: true, value: func(r OverheadRow) string { return fmt.Sprintf("%.2f", r.Stat.Avg()) }},
+		{name: "overhead_min_pct", head: "%min", raw: true, value: func(r OverheadRow) string { return fmt.Sprintf("%.2f", r.Stat.Min) }},
+		{name: "n", raw: true, value: func(r OverheadRow) string { return strconv.Itoa(r.Stat.N) }},
+	}
+}
+
+// overheadStatColumns is the statistics part of the schema, shared by
+// the text tables (which replace the dimension columns with a single
+// caller-labelled column).
+func overheadStatColumns() []column[OverheadRow] { return overheadColumns()[4:] }
+
+// deviationColumns is the single source of the Figure 10 schema.
+func deviationColumns() []column[DeviationRow] {
+	dev := func(s ftdse.Strategy) func(DeviationRow) string {
+		return func(r DeviationRow) string {
+			st := r.Dev[s]
+			return fmt.Sprintf("%.2f", st.Avg())
+		}
+	}
+	return []column[DeviationRow]{
+		{name: "procs", head: "processes", raw: true, value: func(r DeviationRow) string { return strconv.Itoa(r.Dim.Procs) }},
+		{name: "dev_mr_avg_pct", head: "MR", raw: true, value: dev(ftdse.MR)},
+		{name: "dev_sfx_avg_pct", head: "SFX", raw: true, value: dev(ftdse.SFX)},
+		{name: "dev_mx_avg_pct", head: "MX", raw: true, value: dev(ftdse.MX)},
+		{name: "n", raw: true, value: func(r DeviationRow) string { return strconv.Itoa(r.Dev[ftdse.MR].N) }},
+	}
+}
+
+// ccColumns is the single source of the cruise-controller schema; the
+// text table renders schedulability as the paper's MET/MISSED verdict
+// and hides the meaningless overhead of the NFT baseline.
+func ccColumns() []column[CCRow] {
+	return []column[CCRow]{
+		{name: "strategy", head: "strat", value: func(r CCRow) string { return r.Strategy.String() }},
+		{name: "makespan_ms", head: "δ", raw: true,
+			value:   func(r CCRow) string { return fmt.Sprintf("%g", r.Makespan.Milliseconds()) },
+			display: func(r CCRow) string { return r.Makespan.String() }},
+		{name: "schedulable", head: "deadline", raw: true,
+			value: func(r CCRow) string { return strconv.FormatBool(r.Schedulable) },
+			display: func(r CCRow) string {
+				if r.Schedulable {
+					return "MET"
+				}
+				return "MISSED"
+			}},
+		{name: "overhead_pct", head: "overhead", raw: true,
+			value: func(r CCRow) string { return fmt.Sprintf("%.1f", r.OverheadPct) },
+			display: func(r CCRow) string {
+				if r.Strategy == ftdse.NFT {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f%%", r.OverheadPct)
+			}},
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/ftdse"
+)
+
+// CorpusCase is one point of the benchmark corpus: a seeded synthetic
+// application (size class × graph shape) optimized by one engine under
+// a fixed iteration budget. The case is fully determined by its fields
+// — Problem and Solver derive everything from them — so a corpus is
+// reproducible from its master seed alone.
+type CorpusCase struct {
+	// Name identifies the case in reports: "size/shape/engine".
+	Name string `json:"name"`
+	// Size is the class name (small/medium/large).
+	Size string `json:"size"`
+	// Spec generates the application (seeded).
+	Spec ftdse.GenSpec `json:"spec"`
+	// Faults is the fault hypothesis of the case.
+	Faults ftdse.FaultModel `json:"faults"`
+	// Engine names the search engine (ftdse.ParseEngine).
+	Engine string `json:"engine"`
+	// MaxIterations bounds the search, keeping case cost predictable.
+	MaxIterations int `json:"max_iterations"`
+	// Seed seeds stochastic engines (ftdse.WithSeed).
+	Seed int64 `json:"seed"`
+}
+
+// Problem generates the case's application instance.
+func (c CorpusCase) Problem() ftdse.Problem {
+	return ftdse.GenerateProblem(c.Spec, c.Faults)
+}
+
+// Solver builds the case's configured solver. Workers is pinned to 1:
+// corpus runs measure the evaluator's sequential hot path, so wall
+// times are comparable across machines with different core counts and
+// allocation counts are reproducible to within a few background-
+// runtime allocations (the final costs are exactly reproducible).
+func (c CorpusCase) Solver() (*ftdse.Solver, error) {
+	eng, err := ftdse.ParseEngine(c.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("bench: case %s: %w", c.Name, err)
+	}
+	return ftdse.NewSolver(
+		ftdse.WithEngine(eng),
+		ftdse.WithMaxIterations(c.MaxIterations),
+		ftdse.WithSeed(c.Seed),
+		ftdse.WithWorkers(1),
+	), nil
+}
+
+// corpusSize is one size class of the corpus.
+type corpusSize struct {
+	name  string
+	procs int
+	nodes int
+	k     int
+	iters int
+}
+
+// corpusSizes are the corpus size classes. Iteration budgets shrink as
+// instances grow so every class contributes comparable wall time.
+func corpusSizes(short bool) []corpusSize {
+	sizes := []corpusSize{
+		{name: "small", procs: 10, nodes: 2, k: 2, iters: 40},
+		{name: "medium", procs: 20, nodes: 3, k: 3, iters: 30},
+		{name: "large", procs: 40, nodes: 4, k: 4, iters: 20},
+	}
+	if short {
+		return sizes[:2]
+	}
+	return sizes
+}
+
+// corpusEngines are the engines a corpus sweeps. Short mode keeps the
+// paper pipeline and the seeded stochastic engine; the full corpus adds
+// the individual pipeline stages. The portfolio engine is excluded: it
+// races goroutines, which makes wall time machine-dependent — exactly
+// the noise a regression corpus must avoid.
+func corpusEngines(short bool) []string {
+	if short {
+		return []string{"default", "sa"}
+	}
+	return []string{"default", "greedy", "tabu", "sa"}
+}
+
+// corpusShapes are the graph structures of the paper's evaluation.
+var corpusShapes = []ftdse.GraphShape{ftdse.ShapeRandom, ftdse.ShapeTree, ftdse.ShapeChains}
+
+// Corpus builds the deterministic benchmark corpus of a master seed:
+// size classes × graph shapes × engines, each case's generator seeded
+// by a stable function of the master seed and the case position. Equal
+// (seed, short) always produce the identical corpus — case order
+// included — which is what makes BENCH reports comparable across
+// revisions.
+func Corpus(seed int64, short bool) []CorpusCase {
+	var out []CorpusCase
+	for _, size := range corpusSizes(short) {
+		for si, shape := range corpusShapes {
+			spec := ftdse.GenSpec{
+				Procs: size.procs,
+				Nodes: size.nodes,
+				Shape: shape,
+				// Alternate WCET distributions across shapes, as the
+				// paper's evaluation does.
+				WCETDist: []ftdse.WCETDist{ftdse.DistUniform, ftdse.DistExponential}[si%2],
+				Seed:     seed + int64(1009*size.procs) + int64(101*si),
+			}
+			fm := ftdse.FaultModel{K: size.k, Mu: ftdse.Ms(5)}
+			for _, engine := range corpusEngines(short) {
+				out = append(out, CorpusCase{
+					Name:          strings.Join([]string{size.name, strings.ToLower(shape.String()), engine}, "/"),
+					Size:          size.name,
+					Spec:          spec,
+					Faults:        fm,
+					Engine:        engine,
+					MaxIterations: size.iters,
+					Seed:          seed,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FilterCases keeps the cases whose name contains the substring (all
+// cases when the filter is empty) — the ftbench -run flag.
+func FilterCases(cases []CorpusCase, substr string) []CorpusCase {
+	if substr == "" {
+		return cases
+	}
+	var out []CorpusCase
+	for _, c := range cases {
+		if strings.Contains(c.Name, substr) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

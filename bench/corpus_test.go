@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/ftdse"
+)
+
+// TestCorpusDeterministic: the corpus is a pure function of (seed,
+// short) — case lists are identical across calls, and the generated
+// problems serialize to byte-identical documents, which is the
+// reproducibility contract BENCH report comparison rests on.
+func TestCorpusDeterministic(t *testing.T) {
+	for _, short := range []bool{true, false} {
+		a := Corpus(42, short)
+		b := Corpus(42, short)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("short=%v: corpus not deterministic", short)
+		}
+		for i := range a {
+			var ba, bb bytes.Buffer
+			if err := ftdse.WriteProblem(&ba, a[i].Problem()); err != nil {
+				t.Fatal(err)
+			}
+			if err := ftdse.WriteProblem(&bb, b[i].Problem()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+				t.Errorf("short=%v case %s: problem files differ between generations", short, a[i].Name)
+			}
+		}
+	}
+}
+
+// TestCorpusSeedMatters: different seeds generate different corpora
+// (otherwise the -seed flag would be a lie).
+func TestCorpusSeedMatters(t *testing.T) {
+	a, b := Corpus(1, true), Corpus(2, true)
+	var ba, bb bytes.Buffer
+	if err := ftdse.WriteProblem(&ba, a[0].Problem()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ftdse.WriteProblem(&bb, b[0].Problem()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Error("seeds 1 and 2 generate the same problem")
+	}
+}
+
+// TestCorpusShape: every case parses (engine names, solver
+// construction), names are unique and well-formed, and the short corpus
+// is a strict subset of sizes×engines of the full one.
+func TestCorpusShape(t *testing.T) {
+	full := Corpus(1, false)
+	short := Corpus(1, true)
+	if len(short) >= len(full) {
+		t.Fatalf("short corpus (%d) not smaller than full (%d)", len(short), len(full))
+	}
+	seen := map[string]bool{}
+	for _, c := range full {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %s", c.Name)
+		}
+		seen[c.Name] = true
+		parts := strings.Split(c.Name, "/")
+		if len(parts) != 3 || parts[0] != c.Size || parts[2] != c.Engine {
+			t.Errorf("malformed case name %s", c.Name)
+		}
+		if _, err := c.Solver(); err != nil {
+			t.Errorf("case %s: %v", c.Name, err)
+		}
+		if c.MaxIterations <= 0 || c.Spec.Procs <= 0 || c.Faults.K <= 0 {
+			t.Errorf("case %s has degenerate parameters: %+v", c.Name, c)
+		}
+	}
+	for _, c := range short {
+		if !seen[c.Name] {
+			t.Errorf("short-corpus case %s missing from the full corpus", c.Name)
+		}
+	}
+}
+
+// TestFilterCases: substring filtering, and the empty filter keeps all.
+func TestFilterCases(t *testing.T) {
+	all := Corpus(1, true)
+	if got := FilterCases(all, ""); len(got) != len(all) {
+		t.Errorf("empty filter kept %d of %d", len(got), len(all))
+	}
+	for _, c := range FilterCases(all, "/sa") {
+		if c.Engine != "sa" {
+			t.Errorf("filter \"/sa\" kept %s", c.Name)
+		}
+	}
+	if got := FilterCases(all, "nope"); len(got) != 0 {
+		t.Errorf("bogus filter kept %d cases", len(got))
+	}
+}

@@ -1,81 +1,42 @@
 package bench
 
-import (
-	"encoding/csv"
-	"fmt"
-	"io"
-	"strconv"
+import "io"
 
-	"repro/ftdse"
-)
+// The CSV and JSON emitters render the column schemas of columns.go;
+// header and row logic live there, once, so the machine-readable
+// formats cannot drift apart.
 
 // WriteOverheadsCSV emits an overhead table as CSV with the columns
-// procs, nodes, k, mu_ms, max, avg, min, n.
+// procs, nodes, k, mu_ms, overhead max/avg/min, n.
 func WriteOverheadsCSV(w io.Writer, rows []OverheadRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"procs", "nodes", "k", "mu_ms", "overhead_max_pct", "overhead_avg_pct", "overhead_min_pct", "n"}); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		rec := []string{
-			strconv.Itoa(r.Dim.Procs),
-			strconv.Itoa(r.Dim.Nodes),
-			strconv.Itoa(r.Dim.K),
-			fmt.Sprintf("%g", r.Dim.Mu.Milliseconds()),
-			fmt.Sprintf("%.2f", r.Stat.Max),
-			fmt.Sprintf("%.2f", r.Stat.Avg()),
-			fmt.Sprintf("%.2f", r.Stat.Min),
-			strconv.Itoa(r.Stat.N),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return writeCSV(w, overheadColumns(), rows)
+}
+
+// WriteOverheadsJSON emits an overhead table as a JSON array of
+// objects with the same columns as the CSV.
+func WriteOverheadsJSON(w io.Writer, rows []OverheadRow) error {
+	return writeJSONTable(w, overheadColumns(), rows)
 }
 
 // WriteDeviationsCSV emits Figure 10 data as CSV with the columns
-// procs, dev_mr_pct, dev_sfx_pct, dev_mx_pct.
+// procs, dev_mr/sfx/mx_avg_pct, n.
 func WriteDeviationsCSV(w io.Writer, rows []DeviationRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"procs", "dev_mr_avg_pct", "dev_sfx_avg_pct", "dev_mx_avg_pct", "n"}); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		mr, sfx, mx := r.Dev[ftdse.MR], r.Dev[ftdse.SFX], r.Dev[ftdse.MX]
-		rec := []string{
-			strconv.Itoa(r.Dim.Procs),
-			fmt.Sprintf("%.2f", mr.Avg()),
-			fmt.Sprintf("%.2f", sfx.Avg()),
-			fmt.Sprintf("%.2f", mx.Avg()),
-			strconv.Itoa(mr.N),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return writeCSV(w, deviationColumns(), rows)
+}
+
+// WriteDeviationsJSON emits Figure 10 data as a JSON array of objects
+// with the same columns as the CSV.
+func WriteDeviationsJSON(w io.Writer, rows []DeviationRow) error {
+	return writeJSONTable(w, deviationColumns(), rows)
 }
 
 // WriteCCCSV emits the cruise-controller comparison as CSV.
 func WriteCCCSV(w io.Writer, rows []CCRow) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"strategy", "makespan_ms", "schedulable", "overhead_pct"}); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		rec := []string{
-			r.Strategy.String(),
-			fmt.Sprintf("%g", r.Makespan.Milliseconds()),
-			strconv.FormatBool(r.Schedulable),
-			fmt.Sprintf("%.1f", r.OverheadPct),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return writeCSV(w, ccColumns(), rows)
+}
+
+// WriteCCJSON emits the cruise-controller comparison as a JSON array of
+// objects with the same columns as the CSV.
+func WriteCCJSON(w io.Writer, rows []CCRow) error {
+	return writeJSONTable(w, ccColumns(), rows)
 }

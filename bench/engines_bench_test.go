@@ -34,6 +34,10 @@ func BenchmarkEngines(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			// Allocation counts are part of the engine contract: the
+			// evaluator's scratch arenas keep the move-sweep hot path
+			// allocation-free, and ftbench gates allocs_per_op in CI.
+			b.ReportAllocs()
 			solver := ftdse.NewSolver(
 				ftdse.WithEngine(eng),
 				ftdse.WithMaxIterations(40),

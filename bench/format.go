@@ -1,24 +1,20 @@
 package bench
 
-import (
-	"fmt"
-	"strings"
+import "fmt"
 
-	"repro/ftdse"
-)
+// The text formatters render the same column schemas (columns.go) as
+// the CSV/JSON emitters — only the dimension labelling and a few
+// human-friendly cell renderings (MET/MISSED, "-") differ, and those
+// are part of the schema too.
 
 // FormatOverheads renders an overhead table in the paper's layout
 // (%max / %avg / %min columns), with the dimension column adapted to
 // what varies.
 func FormatOverheads(title, dimHeader string, dimLabel func(Dimension) string, rows []OverheadRow) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-14s %10s %10s %10s %4s\n", dimHeader, "%max", "%avg", "%min", "n")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %10.2f %4d\n",
-			dimLabel(r.Dim), r.Stat.Max, r.Stat.Avg(), r.Stat.Min, r.Stat.N)
-	}
-	return b.String()
+	cols := append([]column[OverheadRow]{
+		{name: "dim", head: dimHeader, value: func(r OverheadRow) string { return dimLabel(r.Dim) }},
+	}, overheadStatColumns()...)
+	return formatTable(title, cols, rows)
 }
 
 // Table1aLabel labels rows by process count (the paper's first column).
@@ -33,31 +29,12 @@ func Table1cLabel(d Dimension) string { return fmt.Sprintf("µ=%v", d.Mu) }
 // FormatDeviations renders Figure 10 as a table: average % deviation
 // from MXR per application size and strategy.
 func FormatDeviations(rows []DeviationRow) string {
-	var b strings.Builder
-	b.WriteString("Figure 10: average % deviation from MXR\n")
-	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "processes", "MR", "SFX", "MX")
-	for _, r := range rows {
-		mr, sfx, mx := r.Dev[ftdse.MR], r.Dev[ftdse.SFX], r.Dev[ftdse.MX]
-		fmt.Fprintf(&b, "%-10d %10.2f %10.2f %10.2f\n", r.Dim.Procs, mr.Avg(), sfx.Avg(), mx.Avg())
-	}
-	return b.String()
+	return formatTable("Figure 10: average % deviation from MXR", deviationColumns(), rows)
 }
 
 // FormatCC renders the cruise-controller comparison.
 func FormatCC(rows []CCRow) string {
-	var b strings.Builder
-	b.WriteString("Cruise controller (32 processes, 3 nodes, deadline 250ms, k=2, µ=2ms)\n")
-	fmt.Fprintf(&b, "%-6s %12s %14s %12s\n", "strat", "δ", "deadline", "overhead")
-	for _, r := range rows {
-		verdict := "MET"
-		if !r.Schedulable {
-			verdict = "MISSED"
-		}
-		ovh := "-"
-		if r.Strategy != ftdse.NFT {
-			ovh = fmt.Sprintf("%.1f%%", r.OverheadPct)
-		}
-		fmt.Fprintf(&b, "%-6v %12v %14s %12s\n", r.Strategy, r.Makespan, verdict, ovh)
-	}
-	return b.String()
+	return formatTable(
+		"Cruise controller (32 processes, 3 nodes, deadline 250ms, k=2, µ=2ms)",
+		ccColumns(), rows)
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// CaseResult is the measured outcome of one corpus case: search
+// behaviour (iterations, final cost, schedulability) plus performance
+// (wall time, allocations). Costs are deterministic for a fixed corpus
+// — corpus solvers run untimed with one worker — so any cost change
+// between two reports of the same corpus is a genuine search-quality
+// change, not noise.
+type CaseResult struct {
+	Name        string  `json:"name"`
+	Size        string  `json:"size"`
+	Shape       string  `json:"shape"`
+	Engine      string  `json:"engine"`
+	Procs       int     `json:"procs"`
+	Nodes       int     `json:"nodes"`
+	K           int     `json:"k"`
+	Iterations  int     `json:"iterations"`
+	WallMS      float64 `json:"wall_ms"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	MakespanUS  int64   `json:"makespan_us"`
+	TardinessUS int64   `json:"tardiness_us"`
+	Schedulable bool    `json:"schedulable"`
+}
+
+// Summary aggregates a report corpus-wide.
+type Summary struct {
+	Cases        int     `json:"cases"`
+	TotalWallMS  float64 `json:"total_wall_ms"`
+	MedianWallMS float64 `json:"median_wall_ms"`
+	P95WallMS    float64 `json:"p95_wall_ms"`
+	TotalAllocs  uint64  `json:"total_allocs"`
+}
+
+// Report is the machine-readable result of one corpus run — the
+// BENCH_<rev>.json files the CI regression gate compares.
+type Report struct {
+	Rev       string       `json:"rev"`
+	Seed      int64        `json:"seed"`
+	Short     bool         `json:"short"`
+	GoVersion string       `json:"go_version"`
+	Cases     []CaseResult `json:"cases"`
+	Summary   Summary      `json:"summary"`
+}
+
+// ComputeSummary (re)derives the corpus-wide aggregates from the cases.
+func (r *Report) ComputeSummary() {
+	s := Summary{Cases: len(r.Cases)}
+	walls := make([]float64, 0, len(r.Cases))
+	for _, c := range r.Cases {
+		s.TotalWallMS += c.WallMS
+		s.TotalAllocs += c.AllocsPerOp
+		walls = append(walls, c.WallMS)
+	}
+	sort.Float64s(walls)
+	s.MedianWallMS = quantileNearestRank(walls, 0.50)
+	s.P95WallMS = quantileNearestRank(walls, 0.95)
+	r.Summary = s
+}
+
+// quantileNearestRank is the ceiling nearest-rank quantile of a sorted
+// sample (0 when empty) — the same estimator the service metrics use,
+// honest on small samples.
+func quantileNearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteReport serializes a report as indented JSON. The rendering is
+// deterministic (fixed field order, trailing newline), so equal reports
+// are byte-identical — which is what lets tests and CI diff them.
+func WriteReport(w io.Writer, r *Report) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadReport parses a report written by WriteReport.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// Regression is one comparison finding: metric of a case (or the
+// corpus summary) that worsened beyond the threshold.
+type Regression struct {
+	Case   string  `json:"case"` // "summary" for corpus-level findings
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// DeltaPct is the relative worsening in percent (new vs old).
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.2f -> %.2f (+%.1f%%)", r.Case, r.Metric, r.Old, r.New, r.DeltaPct)
+}
+
+// Noise floors of the measured metrics: a relative threshold alone
+// over-triggers on very fast cases (10% of a 3 ms case is scheduler
+// jitter; back-to-back identical runs differ by a couple of runtime
+// background allocations), so measured regressions must also clear an
+// absolute delta. The deterministic quality metrics (makespan,
+// tardiness, schedulability) have no floor — equal inputs reproduce
+// them exactly.
+const (
+	wallNoiseFloorMS = 2.0
+	allocNoiseFloor  = 64
+)
+
+// Compare diffs two reports of the same corpus and returns the
+// regressions in new relative to old. threshold is the relative
+// worsening tolerated (0.10 = 10%): it absorbs machine variance on the
+// timing and allocation metrics (which must also exceed their absolute
+// noise floors), and guards the deterministic quality metrics
+// (makespan, tardiness), where any increase is real but small drifts
+// may be acceptable trade-offs. A design going from schedulable to
+// unschedulable is always a regression. Cases present in only one
+// report are skipped — corpora evolve — as is the summary when the
+// case sets differ.
+func Compare(old, new *Report, threshold float64) []Regression {
+	var out []Regression
+	oldCases := make(map[string]CaseResult, len(old.Cases))
+	for _, c := range old.Cases {
+		oldCases[c.Name] = c
+	}
+	worse := func(name, metric string, o, n, floor float64) {
+		if o > 0 && n > o*(1+threshold) && n-o > floor {
+			out = append(out, Regression{
+				Case: name, Metric: metric, Old: o, New: n,
+				DeltaPct: 100 * (n - o) / o,
+			})
+		}
+	}
+	matched := 0
+	for _, n := range new.Cases {
+		o, ok := oldCases[n.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		worse(n.Name, "wall_ms", o.WallMS, n.WallMS, wallNoiseFloorMS)
+		worse(n.Name, "allocs_per_op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), allocNoiseFloor)
+		worse(n.Name, "makespan_us", float64(o.MakespanUS), float64(n.MakespanUS), 0)
+		worse(n.Name, "tardiness_us", float64(o.TardinessUS), float64(n.TardinessUS), 0)
+		if o.Schedulable && !n.Schedulable {
+			out = append(out, Regression{Case: n.Name, Metric: "schedulable", Old: 1, New: 0, DeltaPct: 100})
+		}
+	}
+	if matched == len(old.Cases) && matched == len(new.Cases) {
+		worse("summary", "median_wall_ms", old.Summary.MedianWallMS, new.Summary.MedianWallMS, wallNoiseFloorMS)
+		worse("summary", "p95_wall_ms", old.Summary.P95WallMS, new.Summary.P95WallMS, wallNoiseFloorMS)
+	}
+	return out
+}

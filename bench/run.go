@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/ftdse"
+)
+
+// RunCorpus executes the cases sequentially and returns the measured
+// report (Rev/Seed/Short are the caller's to set — they describe where
+// the corpus came from, not what was measured). Each case is timed
+// wall-clock and bracketed by runtime.MemStats reads, so allocs_per_op
+// and bytes_per_op are the heap traffic of that solve; corpus solvers
+// are single-worker, making both numbers reproducible. A fired context
+// aborts the run and returns the error — a truncated report must never
+// be mistaken for a measurement.
+func RunCorpus(ctx context.Context, cases []CorpusCase, progress io.Writer) (*Report, error) {
+	r := &Report{GoVersion: runtime.Version()}
+	for _, c := range cases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := runCase(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		r.Cases = append(r.Cases, res)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-26s %8.1fms %9d allocs %v\n",
+				c.Name, res.WallMS, res.AllocsPerOp, costString(res))
+		}
+	}
+	r.ComputeSummary()
+	return r, nil
+}
+
+// runCase measures one corpus case.
+func runCase(ctx context.Context, c CorpusCase) (CaseResult, error) {
+	prob := c.Problem()
+	solver, err := c.Solver()
+	if err != nil {
+		return CaseResult{}, err
+	}
+
+	// Settle the heap so the MemStats bracket sees (almost) only the
+	// solve's own allocations.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := solver.Solve(ctx, prob)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return CaseResult{}, fmt.Errorf("bench: case %s: %w", c.Name, err)
+	}
+	if res.Stopped != ftdse.StopCompleted {
+		return CaseResult{}, fmt.Errorf("bench: case %s interrupted (%v)", c.Name, res.Stopped)
+	}
+
+	return CaseResult{
+		Name:        c.Name,
+		Size:        c.Size,
+		Shape:       strings.ToLower(c.Spec.Shape.String()),
+		Engine:      c.Engine,
+		Procs:       c.Spec.Procs,
+		Nodes:       c.Spec.Nodes,
+		K:           c.Faults.K,
+		Iterations:  res.Iterations,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		MakespanUS:  int64(res.Cost.Makespan),
+		TardinessUS: int64(res.Cost.Tardiness),
+		Schedulable: res.Cost.Schedulable(),
+	}, nil
+}
+
+func costString(r CaseResult) string {
+	if r.Schedulable {
+		return fmt.Sprintf("δ=%dµs", r.MakespanUS)
+	}
+	return fmt.Sprintf("δ=%dµs tardy=%dµs", r.MakespanUS, r.TardinessUS)
+}

@@ -1,0 +1,228 @@
+// Command ftbench runs the reproducible benchmark corpus and manages
+// its machine-readable reports — the performance trajectory of this
+// repository.
+//
+// Usage:
+//
+//	ftbench [-short] [-seed 1] [-rev dev] [-out FILE] [-run substr]
+//	ftbench compare OLD.json NEW.json [-threshold 10%]
+//	ftbench corpus [-short] [-seed 1] -dir DIR
+//
+// The default command runs the corpus (size classes × graph shapes ×
+// engines, deterministic for a seed) and writes BENCH_<rev>.json with
+// per-case wall time, iterations, final cost, schedulability and
+// allocations, plus corpus-level median and p95 wall times.
+//
+// compare diffs two reports and exits with status 1 when NEW regresses
+// against OLD beyond the threshold (a percentage; "10%" and "10" both
+// mean ten percent) — the CI regression gate. Status 2 is a usage or
+// I/O error, 0 a clean comparison.
+//
+// corpus writes each generated problem of the corpus as a JSON document
+// into a directory; equal seeds produce byte-identical files, which is
+// the reproducibility contract behind report comparability.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/ftdse"
+	"repro/ftdse/bench"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "compare":
+			os.Exit(runCompare(args[1:]))
+		case "corpus":
+			os.Exit(runCorpusDump(args[1:]))
+		}
+	}
+	os.Exit(runCorpus(args))
+}
+
+// runCorpus is the default command: measure the corpus, emit the report.
+func runCorpus(args []string) int {
+	fs := flag.NewFlagSet("ftbench", flag.ExitOnError)
+	var (
+		short = fs.Bool("short", false, "run the reduced corpus (small+medium sizes, default+sa engines)")
+		seed  = fs.Int64("seed", 1, "master seed of the corpus")
+		rev   = fs.String("rev", "dev", "revision label recorded in the report and the default output name")
+		out   = fs.String("out", "", "output file (default BENCH_<rev>.json, \"-\" for stdout)")
+		run   = fs.String("run", "", "only run cases whose name contains this substring")
+		quiet = fs.Bool("quiet", false, "suppress per-case progress on stderr")
+	)
+	fs.Parse(args)
+
+	cases := bench.FilterCases(bench.Corpus(*seed, *short), *run)
+	if len(cases) == 0 {
+		fmt.Fprintf(os.Stderr, "ftbench: no corpus case matches -run %q\n", *run)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	report, err := bench.RunCorpus(ctx, cases, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	report.Rev = *rev
+	report.Seed = *seed
+	report.Short = *short
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + sanitize(*rev) + ".json"
+	}
+	if path == "-" {
+		if err := bench.WriteReport(os.Stdout, report); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	werr := bench.WriteReport(f, report)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", werr)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "ftbench: %d cases, median %.1fms, p95 %.1fms -> %s\n",
+		report.Summary.Cases, report.Summary.MedianWallMS, report.Summary.P95WallMS, path)
+	return 0
+}
+
+// runCompare diffs two reports; exit 1 signals a regression.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("ftbench compare", flag.ExitOnError)
+	threshold := fs.String("threshold", "10%", "tolerated relative worsening, as a percentage")
+	// The flag package stops at the first positional argument; re-parse
+	// after each one so "compare OLD NEW -threshold 10%" — the
+	// documented form — works as well as flags-first.
+	var paths []string
+	fs.Parse(args)
+	for fs.NArg() > 0 {
+		paths = append(paths, fs.Arg(0))
+		fs.Parse(fs.Args()[1:])
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ftbench compare OLD.json NEW.json [-threshold 10%]")
+		return 2
+	}
+	th, err := parseThreshold(*threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	old, err := readReport(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	new, err := readReport(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	regs := bench.Compare(old, new, th)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "ftbench: no regression (%s -> %s, threshold %.1f%%)\n",
+			old.Rev, new.Rev, th*100)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "ftbench: %d regression(s) from %s to %s (threshold %.1f%%):\n",
+		len(regs), old.Rev, new.Rev, th*100)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %v\n", r)
+	}
+	return 1
+}
+
+// runCorpusDump writes every generated problem of the corpus to a
+// directory, one JSON document per case.
+func runCorpusDump(args []string) int {
+	fs := flag.NewFlagSet("ftbench corpus", flag.ExitOnError)
+	var (
+		short = fs.Bool("short", false, "dump the reduced corpus")
+		seed  = fs.Int64("seed", 1, "master seed of the corpus")
+		dir   = fs.String("dir", "", "output directory (required)")
+	)
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: ftbench corpus -dir DIR [-short] [-seed N]")
+		return 2
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		return 2
+	}
+	for _, c := range bench.Corpus(*seed, *short) {
+		path := filepath.Join(*dir, sanitize(c.Name)+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			return 2
+		}
+		werr := ftdse.WriteProblem(f, c.Problem())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", c.Name, werr)
+			return 2
+		}
+	}
+	return 0
+}
+
+// parseThreshold parses a percentage ("10%", "10", "2.5") into a
+// fraction.
+func parseThreshold(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid threshold %q (want a percentage like 10%%)", s)
+	}
+	return v / 100, nil
+}
+
+func readReport(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.ReadReport(f)
+}
+
+// sanitize makes a label safe as a file-name component.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, s)
+}

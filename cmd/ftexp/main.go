@@ -37,14 +37,47 @@ func main() {
 		engine  = flag.String("engine", "default", "search engine per run: "+strings.Join(ftdse.Engines(), ", "))
 		paper   = flag.Bool("paper", false, "use the paper-protocol configuration (15 seeds, long runs)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress on stderr")
-		format  = flag.String("format", "text", "output format: text, csv")
+		format  = flag.String("format", "text", "output format: text, csv, json")
 	)
 	flag.Parse()
-	if *format != "text" && *format != "csv" {
-		fmt.Fprintf(os.Stderr, "ftexp: unknown format %q (text, csv)\n", *format)
+	if *format != "text" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "ftexp: unknown format %q (text, csv, json)\n", *format)
 		os.Exit(1)
 	}
-	asCSV := *format == "csv"
+
+	// The emitters render one shared column schema per table (see
+	// bench/columns.go), so the text, CSV and JSON outputs carry the
+	// same data by construction.
+	emitOverheads := func(title, dimHeader string, label func(bench.Dimension) string, rows []bench.OverheadRow) {
+		switch *format {
+		case "csv":
+			check(bench.WriteOverheadsCSV(os.Stdout, rows))
+		case "json":
+			check(bench.WriteOverheadsJSON(os.Stdout, rows))
+		default:
+			fmt.Println(bench.FormatOverheads(title, dimHeader, label, rows))
+		}
+	}
+	emitDeviations := func(rows []bench.DeviationRow) {
+		switch *format {
+		case "csv":
+			check(bench.WriteDeviationsCSV(os.Stdout, rows))
+		case "json":
+			check(bench.WriteDeviationsJSON(os.Stdout, rows))
+		default:
+			fmt.Println(bench.FormatDeviations(rows))
+		}
+	}
+	emitCC := func(rows []bench.CCRow) {
+		switch *format {
+		case "csv":
+			check(bench.WriteCCCSV(os.Stdout, rows))
+		case "json":
+			check(bench.WriteCCJSON(os.Stdout, rows))
+		default:
+			fmt.Println(bench.FormatCC(rows))
+		}
+	}
 
 	cfg := bench.DefaultConfig()
 	if *paper {
@@ -82,44 +115,25 @@ func main() {
 		case "table1a":
 			rows, err := cfg.Table1a(ctx)
 			interrupted := checkPartial(err)
-			if asCSV {
-				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return interrupted
-			}
-			fmt.Println(bench.FormatOverheads(
-				"Table 1a: % overhead of MXR vs NFT over application size",
-				"dimension", bench.Table1aLabel, rows))
+			emitOverheads("Table 1a: % overhead of MXR vs NFT over application size",
+				"dimension", bench.Table1aLabel, rows)
 			return interrupted
 		case "table1b":
 			rows, err := cfg.Table1b(ctx)
 			interrupted := checkPartial(err)
-			if asCSV {
-				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return interrupted
-			}
-			fmt.Println(bench.FormatOverheads(
-				"Table 1b: % overhead over number of faults (60 procs, 4 nodes, µ=5ms)",
-				"faults", bench.Table1bLabel, rows))
+			emitOverheads("Table 1b: % overhead over number of faults (60 procs, 4 nodes, µ=5ms)",
+				"faults", bench.Table1bLabel, rows)
 			return interrupted
 		case "table1c":
 			rows, err := cfg.Table1c(ctx)
 			interrupted := checkPartial(err)
-			if asCSV {
-				check(bench.WriteOverheadsCSV(os.Stdout, rows))
-				return interrupted
-			}
-			fmt.Println(bench.FormatOverheads(
-				"Table 1c: % overhead over fault duration (20 procs, 2 nodes, k=3)",
-				"duration", bench.Table1cLabel, rows))
+			emitOverheads("Table 1c: % overhead over fault duration (20 procs, 2 nodes, k=3)",
+				"duration", bench.Table1cLabel, rows)
 			return interrupted
 		case "figure10":
 			rows, err := cfg.Figure10(ctx)
 			interrupted := checkPartial(err)
-			if asCSV {
-				check(bench.WriteDeviationsCSV(os.Stdout, rows))
-				return interrupted
-			}
-			fmt.Println(bench.FormatDeviations(rows))
+			emitDeviations(rows)
 			return interrupted
 		case "cc":
 			ccCfg := cfg
@@ -130,11 +144,7 @@ func main() {
 			}
 			rows, err := ccCfg.CruiseController(ctx)
 			interrupted := checkPartial(err)
-			if asCSV {
-				check(bench.WriteCCCSV(os.Stdout, rows))
-				return interrupted
-			}
-			fmt.Println(bench.FormatCC(rows))
+			emitCC(rows)
 			return interrupted
 		default:
 			fmt.Fprintf(os.Stderr, "ftexp: unknown experiment %q\n", name)

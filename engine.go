@@ -31,9 +31,10 @@ type Search = core.Search
 // Search.Moves and are applied with ApplyTo.
 type Move = core.Move
 
-// MoveEval is the outcome of evaluating one candidate move; Schedule is
-// nil when the cost was answered from the memo cache (materialize the
-// winner with Search.Materialize).
+// MoveEval is the outcome of evaluating one candidate move. Evaluate
+// returns costs only — candidates are scheduled into reusable arenas
+// and Schedule is always nil — so engines materialize the schedule of
+// the winning move with Search.Materialize.
 type MoveEval = core.MoveEval
 
 // GreedyEngine is the paper's greedy improvement loop (GreedyMPA,

@@ -201,13 +201,19 @@ func (s *Search) Moves(d policy.Assignment, procs []model.ProcID) []Move {
 // memoizing parallel evaluator; results are indexed by move position.
 // The winner-by-(cost, index) convention keeps results independent of
 // the worker count — see Options.Workers for the determinism contract.
+//
+// Evaluate returns costs only (MoveEval.Schedule is nil): candidates
+// are scheduled into reusable per-worker arenas, so a sweep allocates
+// nothing in steady state. Materialize the winning move's schedule with
+// Materialize.
 func (s *Search) Evaluate(ctx context.Context, base policy.Assignment, moves []Move) []MoveEval {
 	return s.st.eval.evalMoves(ctx, base, moves)
 }
 
-// Materialize rebuilds the schedule of a move whose Evaluate result was
-// memoized (MoveEval.Schedule == nil). The scheduler is deterministic,
-// so the rebuilt schedule matches the original evaluation.
+// Materialize builds the schedule of a move costed by Evaluate. The
+// scheduler is deterministic, so the schedule matches the evaluation
+// bit for bit; unlike the sweep's scratch schedules it is freshly
+// allocated and safe to retain (Publish it, hand it to the next stage).
 func (s *Search) Materialize(base policy.Assignment, m Move) (*sched.Schedule, error) {
 	return s.st.eval.rebuild(base, m)
 }

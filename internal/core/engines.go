@@ -42,23 +42,21 @@ func (GreedyEngine) Explore(ctx context.Context, s *Search) error {
 		s.Tick()
 		moves := s.Moves(asgn, cur.CriticalPath())
 		best := -1
-		var bestSched *sched.Schedule
 		bestCost := curCost
 		for i, r := range s.Evaluate(ctx, asgn, moves) {
 			if r.OK && r.Cost.Less(bestCost) {
-				best, bestSched, bestCost = i, r.Schedule, r.Cost
+				best, bestCost = i, r.Cost
 			}
 		}
 		if best < 0 {
 			break
 		}
-		if bestSched == nil {
-			// The winner's cost was memoized; materialize its schedule.
-			sch, err := s.Materialize(asgn, moves[best])
-			if err != nil {
-				break
-			}
-			bestSched = sch
+		// The sweep costs candidates into scratch arenas and keeps no
+		// schedules; materialize the winner's (one extra deterministic
+		// scheduling pass per accepted move, amortized over the sweep).
+		bestSched, err := s.Materialize(asgn, moves[best])
+		if err != nil {
+			break
 		}
 		asgn = moves[best].ApplyTo(asgn)
 		cur, curCost = bestSched, bestCost
@@ -121,7 +119,6 @@ func (TabuEngine) Explore(ctx context.Context, s *Search) error {
 
 		type evaluated struct {
 			i     int
-			sch   *sched.Schedule
 			c     Cost
 			isTab bool
 			waits bool
@@ -133,7 +130,6 @@ func (TabuEngine) Explore(ctx context.Context, s *Search) error {
 			}
 			all = append(all, evaluated{
 				i:     i,
-				sch:   r.Schedule,
 				c:     r.Cost,
 				isTab: tabu[moves[i].proc] > 0,
 				waits: wait[moves[i].proc] > diversifyAfter,
@@ -167,20 +163,17 @@ func (TabuEngine) Explore(ctx context.Context, s *Search) error {
 			}
 		}
 
-		if chosen.sch == nil {
-			// The chosen move's cost was memoized; materialize its
-			// schedule for the critical path of the next iteration.
-			sch, err := s.Materialize(xnow, moves[chosen.i])
-			if err != nil {
-				break
-			}
-			chosen.sch = sch
+		// Materialize the chosen move's schedule for the critical path of
+		// the next iteration (sweeps keep no schedules).
+		sch, err := s.Materialize(xnow, moves[chosen.i])
+		if err != nil {
+			break
 		}
 		xnow = moves[chosen.i].ApplyTo(xnow)
-		snow = chosen.sch
+		snow = sch
 		if chosen.c.Less(bestCost) {
 			bestCost = chosen.c
-			s.Publish("tabu", xnow, chosen.sch, chosen.c)
+			s.Publish("tabu", xnow, sch, chosen.c)
 		}
 
 		// Update the selective history (line 25).
@@ -301,12 +294,9 @@ func (e SimulatedAnnealingEngine) Explore(ctx context.Context, s *Search) error 
 		if delta >= 0 && rng.Float64() >= math.Exp(-delta/temp) {
 			continue
 		}
-		nsch := ev.Schedule
-		if nsch == nil {
-			var err error
-			if nsch, err = s.Materialize(cur, m); err != nil {
-				continue
-			}
+		nsch, err := s.Materialize(cur, m)
+		if err != nil {
+			continue
 		}
 		cur, sch, cost = m.ApplyTo(cur), nsch, ev.Cost
 		stale = true

@@ -13,14 +13,19 @@ import (
 	"repro/ftdse/internal/sched"
 )
 
-// MoveEval is the outcome of evaluating one candidate move: the
-// schedule and cost of the assignment with the move applied. OK is
-// false when the scheduler rejected the move or the context fired
-// before the move could be evaluated. Schedule is nil when the cost
-// came from the memo cache — the cache keeps only costs, not schedules,
-// so that long runs do not retain thousands of full schedule tables;
-// callers materialize the schedule of the (rare) memoized winner with
-// Search.Materialize.
+// MoveEval is the outcome of evaluating one candidate move: the cost of
+// the assignment with the move applied. OK is false when the scheduler
+// rejected the move or the context fired before the move could be
+// evaluated.
+//
+// Schedule is always nil for batch evaluations: the hot path schedules
+// candidates into per-worker scratch arenas (allocation-free, never
+// retained) and the memo cache keeps only costs, so neither produces a
+// schedule that could outlive the sweep. Callers materialize the
+// schedule of the (rare) winning move with Search.Materialize. The
+// field is kept so custom engines written against the earlier contract
+// — check Schedule, fall back to Materialize — keep compiling and
+// working.
 type MoveEval struct {
 	Schedule *sched.Schedule
 	Cost     Cost
@@ -54,9 +59,10 @@ const maxCacheEntries = 1 << 20
 // scheduling context: the merged graph (frozen by sched.NewStatic), the
 // architecture, the WCET table, the bus configuration and the
 // precomputed sched.Static are all shared across workers and must not
-// be mutated while evalMoves runs. Each evaluation builds its own
-// assignment clone and sched.Build allocates a fresh builder and bus
-// allocator per call, so no mutable state crosses goroutines.
+// be mutated while evalMoves runs. Each worker costs candidates through
+// a private evalScratch — a reusable working assignment plus a
+// sched.Scratch arena — so the hot path is allocation-free in steady
+// state and no mutable state crosses goroutines.
 type evaluator struct {
 	st      *searchState
 	workers int
@@ -65,13 +71,45 @@ type evaluator struct {
 	buf   []byte // scratch for fingerprint serialization
 	// hits/misses instrument the memoization for tests and tuning.
 	hits, misses int
+
+	// scratch pools the per-worker evaluation arenas. A sync.Pool (not a
+	// fixed per-worker array) because sweeps spawn min(workers, pending)
+	// goroutines and sequential sweeps run on the caller's goroutine.
+	scratch sync.Pool
+}
+
+// evalScratch is one worker's reusable evaluation state: the candidate
+// assignment (the base with one move substituted, rebuilt by shallow
+// copy per candidate — safe because scheduling never mutates policies)
+// and the schedule arena.
+type evalScratch struct {
+	asgn policy.Assignment
+	sc   *sched.Scratch
+	used bool // set after the first checkout, for the reuse counter
+}
+
+// getScratch checks a worker arena out of the pool, counting reuses so
+// the scratch-pool effectiveness is observable (see EvaluatorMetrics).
+func (ev *evaluator) getScratch() *evalScratch {
+	es := ev.scratch.Get().(*evalScratch)
+	if es.used {
+		evalMetrics.scratchReuses.Add(1)
+	} else {
+		es.used = true
+	}
+	return es
 }
 
 func newEvaluator(st *searchState, workers int) *evaluator {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &evaluator{st: st, workers: workers, cache: make(map[fingerprint]cachedCost)}
+	ev := &evaluator{st: st, workers: workers, cache: make(map[fingerprint]cachedCost)}
+	ev.scratch.New = func() any {
+		evalMetrics.scratchAllocs.Add(1)
+		return &evalScratch{asgn: policy.Assignment{}, sc: sched.NewScratch()}
+	}
+	return ev
 }
 
 // invalidate drops the memoized results. Called whenever the bus
@@ -143,28 +181,47 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 			ev.misses++
 		}
 	}
+	evalMetrics.cacheHits.Add(int64(len(moves) - len(pending)))
+	evalMetrics.cacheMisses.Add(int64(len(pending)))
 	if len(pending) == 0 {
 		return out
 	}
 
-	evalOne := func(i int) {
+	// evalOne costs one candidate into the worker's scratch. The scratch
+	// assignment is a shallow copy of base (policies are never mutated
+	// by scheduling, so sharing the Replicas backing is safe) built once
+	// per checkout by prime; each candidate substitutes its move's
+	// policy and restores the base entry afterwards — O(1) map work per
+	// candidate, no allocations, no schedule retained. Moves always
+	// target processes present in base (the neighborhood is generated
+	// from its entries), so the restore never leaves a stale key.
+	prime := func(es *evalScratch) {
+		clear(es.asgn)
+		for id, p := range base {
+			es.asgn[id] = p
+		}
+	}
+	evalOne := func(es *evalScratch, i int) {
 		m := &moves[i]
-		asgn := base.Clone()
-		asgn[m.proc] = m.pol.Clone()
-		s, c, err := ev.st.evaluate(asgn)
+		es.asgn[m.proc] = m.pol
+		c, ok := ev.st.evaluateInto(es.sc, es.asgn)
+		es.asgn[m.proc] = base[m.proc]
 		evaluated[i] = true
-		if err == nil {
-			out[i] = MoveEval{Schedule: s, Cost: c, OK: true}
+		if ok {
+			out[i] = MoveEval{Cost: c, OK: true}
 		}
 	}
 
 	if workers := min(ev.workers, len(pending)); workers <= 1 {
+		es := ev.getScratch()
+		prime(es)
 		for _, i := range pending {
 			if stopped(ctx) {
 				break
 			}
-			evalOne(i)
+			evalOne(es, i)
 		}
+		ev.scratch.Put(es)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -172,12 +229,15 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				es := ev.getScratch()
+				defer ev.scratch.Put(es)
+				prime(es)
 				for {
 					n := int(next.Add(1)) - 1
 					if n >= len(pending) || stopped(ctx) {
 						return
 					}
-					evalOne(pending[n])
+					evalOne(es, pending[n])
 				}
 			}()
 		}
@@ -187,11 +247,17 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 	// Memoize everything that actually ran, including scheduler
 	// rejections (they are deterministic per assignment). Moves skipped
 	// by a fired context are not cached: they were never costed.
+	ran := 0
 	for _, i := range pending {
-		if evaluated[i] && len(ev.cache) < maxCacheEntries {
+		if !evaluated[i] {
+			continue
+		}
+		ran++
+		if len(ev.cache) < maxCacheEntries {
 			ev.cache[keys[i]] = cachedCost{c: out[i].Cost, ok: out[i].OK}
 		}
 	}
+	evalMetrics.passes.Add(int64(ran))
 	return out
 }
 

@@ -102,6 +102,55 @@ func TestEvaluatorCanceledContext(t *testing.T) {
 	}
 }
 
+// TestEvaluatorScratchMatchesFreshBuild pins the bit-identical contract
+// of the allocation-free hot path: every cost coming out of a sweep
+// (scratch arenas, shallow-copied assignments) equals the cost of a
+// fresh, allocating scheduling pass over the applied move.
+func TestEvaluatorScratchMatchesFreshBuild(t *testing.T) {
+	st, base, moves := evalState(t, 4)
+	results := st.eval.evalMoves(context.Background(), base, moves)
+	for i, r := range results {
+		if r.Schedule != nil {
+			t.Errorf("move %d: sweep retained a schedule", i)
+		}
+		sch, c, err := st.evaluate(moves[i].ApplyTo(base))
+		if (err == nil) != r.OK {
+			t.Fatalf("move %d: sweep OK=%v, fresh err=%v", i, r.OK, err)
+		}
+		if !r.OK {
+			continue
+		}
+		if c != r.Cost {
+			t.Errorf("move %d: sweep cost %v != fresh cost %v", i, r.Cost, c)
+		}
+		if got := costOf(sch); got != r.Cost {
+			t.Errorf("move %d: fresh schedule cost %v != sweep cost %v", i, got, r.Cost)
+		}
+	}
+}
+
+// TestEvaluatorMetricsAdvance: the process-wide hot-path counters must
+// observe scheduling passes, cache traffic and scratch reuse.
+func TestEvaluatorMetricsAdvance(t *testing.T) {
+	before := ReadEvaluatorMetrics()
+	st, base, moves := evalState(t, 2)
+	st.eval.evalMoves(context.Background(), base, moves) // all misses
+	st.eval.evalMoves(context.Background(), base, moves) // all hits
+	after := ReadEvaluatorMetrics()
+	if got := after.SchedulingPasses - before.SchedulingPasses; got < int64(len(moves)) {
+		t.Errorf("scheduling passes advanced by %d, want >= %d", got, len(moves))
+	}
+	if got := after.CacheHits - before.CacheHits; got < int64(len(moves)) {
+		t.Errorf("cache hits advanced by %d, want >= %d", got, len(moves))
+	}
+	if got := after.CacheMisses - before.CacheMisses; got < int64(len(moves)) {
+		t.Errorf("cache misses advanced by %d, want >= %d", got, len(moves))
+	}
+	if after.ScratchAllocs == 0 {
+		t.Error("no scratch arena was ever allocated")
+	}
+}
+
 func TestEvaluatorWorkerCountsAgree(t *testing.T) {
 	st1, base1, moves := evalState(t, 1)
 	st8, base8, moves8 := evalState(t, 8)

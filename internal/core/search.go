@@ -98,13 +98,28 @@ func (st *searchState) schedInput(asgn policy.Assignment) sched.Input {
 	}
 }
 
-// evaluate schedules an assignment and returns its cost.
+// evaluate schedules an assignment and returns its cost. The returned
+// schedule is freshly allocated and may be retained (incumbents,
+// materialized winners).
 func (st *searchState) evaluate(asgn policy.Assignment) (*sched.Schedule, Cost, error) {
 	s, err := sched.Build(st.schedInput(asgn))
 	if err != nil {
 		return nil, worstCost, err
 	}
 	return s, costOf(s), nil
+}
+
+// evaluateInto is the cost-only fast path of evaluate: the schedule is
+// built into the reusable scratch arena and only its cost escapes, so
+// sweeping a move neighborhood allocates nothing in steady state. The
+// scheduler is deterministic, so the cost is bit-identical to
+// evaluate's; ok is false when the scheduler rejected the assignment.
+func (st *searchState) evaluateInto(sc *sched.Scratch, asgn policy.Assignment) (Cost, bool) {
+	s, err := sched.BuildInto(sc, st.schedInput(asgn))
+	if err != nil {
+		return worstCost, false
+	}
+	return costOf(s), true
 }
 
 // initialMPA is the paper's step 1 (line 2 of Figure 6): assign the

@@ -96,6 +96,77 @@ func Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (*Expansion, error) {
 	return ex, nil
 }
 
+// ExpandScratch makes Expand reusable without allocating: instances are
+// laid out in a value arena and the Expansion shell (instance slice and
+// per-process index) is recycled between calls. One scratch serves one
+// goroutine; the Expansion returned by its Expand is valid only until
+// the next call on the same scratch. The optimizer's move evaluator
+// keeps one per worker so costing thousands of candidate assignments
+// over the same graph allocates nothing in steady state.
+type ExpandScratch struct {
+	insts []Instance
+	ex    Expansion
+}
+
+// Expand is the scratch-reusing variant of the package-level Expand. It
+// produces an Expansion with identical contents (same instance order,
+// IDs, WCETs and names) — pointer identity aside — so scheduling results
+// are bit-identical to the allocating path.
+func (sc *ExpandScratch) Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (*Expansion, error) {
+	// Count first so the arena never reallocates while instance pointers
+	// are being handed out.
+	total := 0
+	for _, proc := range g.Processes() {
+		pol, ok := asgn[proc.Origin]
+		if !ok {
+			return nil, fmt.Errorf("policy: process %s has no policy", proc)
+		}
+		total += len(pol.Replicas)
+	}
+	if cap(sc.insts) < total {
+		sc.insts = make([]Instance, total)
+	}
+	sc.insts = sc.insts[:total]
+
+	ex := &sc.ex
+	ex.graph = g
+	ex.Instances = ex.Instances[:0]
+	if ex.byProc == nil {
+		ex.byProc = make(map[model.ProcID][]*Instance, g.NumProcesses())
+	} else {
+		for id := range ex.byProc {
+			ex.byProc[id] = ex.byProc[id][:0]
+		}
+	}
+
+	var next InstID
+	for _, proc := range g.Processes() {
+		pol := asgn[proc.Origin]
+		single := len(pol.Replicas) == 1
+		for ri, rep := range pol.Replicas {
+			c, ok := w.Get(proc.Origin, rep.Node)
+			if !ok {
+				return nil, fmt.Errorf("policy: process %s replica %d not mappable on node %d", proc, ri, rep.Node)
+			}
+			in := &sc.insts[next]
+			*in = Instance{
+				ID:          next,
+				Proc:        proc,
+				Replica:     ri,
+				Node:        rep.Node,
+				Reexec:      rep.Reexec,
+				Checkpoints: rep.Checkpoints,
+				WCET:        c,
+			}
+			in.singleReplica = single
+			next++
+			ex.Instances = append(ex.Instances, in)
+			ex.byProc[proc.ID] = append(ex.byProc[proc.ID], in)
+		}
+	}
+	return ex, nil
+}
+
 // Of returns the replica instances of the merged-graph process id, in
 // replica order.
 func (ex *Expansion) Of(id model.ProcID) []*Instance { return ex.byProc[id] }

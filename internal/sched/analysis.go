@@ -244,11 +244,21 @@ type placed struct {
 // rather than a sum is sound because both are monotone: any split
 // h1+h2 = h satisfies max(gr[h1], busy[h2]) ≤ max(gr[h], busy[h]).
 func (nt *nodeTimeline) place(id policy.InstID, gr []model.Time, nr, b, d model.Time, x int) placed {
+	return nt.placeRow(id, gr, nr, b, d, x, nil)
+}
+
+// placeRow is place with a caller-supplied survRow backing (len k+1,
+// fully overwritten); nil allocates one. Scratch builds pass arena rows
+// so placements allocate nothing.
+func (nt *nodeTimeline) placeRow(id policy.InstID, gr []model.Time, nr, b, d model.Time, x int, row []model.Time) placed {
 	k, mu := nt.k, nt.mu
 	if x > k {
 		x = k
 	}
-	res := placed{prevInst: nt.last, survRow: make([]model.Time, k+1)}
+	if row == nil {
+		row = make([]model.Time, k+1)
+	}
+	res := placed{prevInst: nt.last, survRow: row}
 	res.nominalStart = model.MaxTime(nr, nt.nominal)
 	res.nominalFinish = res.nominalStart + b
 	base := func(h int) model.Time {
@@ -315,6 +325,23 @@ func (nt *nodeTimeline) place(id policy.InstID, gr []model.Time, nr, b, d model.
 	nt.nominal = res.nominalFinish
 	nt.last = id
 	return res
+}
+
+// reset returns the timeline to its initial (empty) state for a new
+// schedule construction, keeping the row backings. The fault budget k
+// is baked into the backing sizes, so a timeline is only reusable for
+// the same k; callers needing another k build a fresh one.
+func (nt *nodeTimeline) reset(mu model.Time, sharing bool) {
+	for i := range nt.busy {
+		nt.busy[i] = 0
+	}
+	for i := range nt.busyFull {
+		nt.busyFull[i] = 0
+	}
+	nt.mu = mu
+	nt.nominal = 0
+	nt.last = NoInst
+	nt.sharing = sharing
 }
 
 // nominalCursor returns the fault-free completion time of the last

@@ -12,7 +12,19 @@ import (
 // Build runs the list scheduler (Section 5.1 of the paper) and returns
 // the synthesized schedule with its worst-case analysis. The caller owns
 // the policy assignment; Build never mutates the input.
-func Build(in Input) (*Schedule, error) {
+func Build(in Input) (*Schedule, error) { return BuildInto(nil, in) }
+
+// BuildInto is Build with an optional reusable arena: with a non-nil
+// scratch the construction allocates (in steady state) nothing, reusing
+// the scratch's buffers for the expansion, items, analysis rows, bus
+// and index maps. The untimed analysis results are bit-identical to
+// Build's — the arena only changes where the bytes live — except that
+// bus transmissions carry empty display labels (cost-only callers never
+// read them; keepers are rebuilt with Build).
+//
+// The returned Schedule is owned by the scratch and valid only until
+// the next BuildInto with the same scratch; see Scratch.
+func BuildInto(sc *Scratch, in Input) (*Schedule, error) {
 	st := in.Static
 	if st == nil {
 		if err := in.Validate(); err != nil {
@@ -24,25 +36,38 @@ func Build(in Input) (*Schedule, error) {
 			return nil, err
 		}
 	}
-	ex, err := policy.Expand(in.Graph, in.Assignment, in.WCET)
+	var (
+		ex  *policy.Expansion
+		err error
+	)
+	if sc != nil {
+		ex, err = sc.exp.Expand(in.Graph, in.Assignment, in.WCET)
+	} else {
+		ex, err = policy.Expand(in.Graph, in.Assignment, in.WCET)
+	}
 	if err != nil {
 		return nil, err
 	}
-	b := &builder{
-		s: &Schedule{
-			In:       in,
-			Ex:       ex,
-			items:    make([]*Item, ex.NumInstances()),
-			nodeSeq:  make(map[arch.NodeID][]*Item, in.Arch.NumNodes()),
-			bus:      ttp.NewBus(in.Bus),
-			procDone: make(map[model.ProcID]procResult, in.Graph.NumProcesses()),
-		},
-		timelines: make([]*nodeTimeline, in.Arch.NumNodes()),
-		edgeIdx:   st.edgeIdx,
-		prio:      st.prio,
-	}
-	for _, n := range in.Arch.Nodes() {
-		b.timelines[n.ID] = newNodeTimeline(in.Faults.K, in.Faults.Mu, in.Options.SlackSharing)
+	var b *builder
+	if sc != nil {
+		b = sc.prepare(in, ex, st)
+	} else {
+		b = &builder{
+			s: &Schedule{
+				In:       in,
+				Ex:       ex,
+				items:    make([]*Item, ex.NumInstances()),
+				nodeSeq:  make(map[arch.NodeID][]*Item, in.Arch.NumNodes()),
+				bus:      ttp.NewBus(in.Bus),
+				procDone: make(map[model.ProcID]procResult, in.Graph.NumProcesses()),
+			},
+			timelines: make([]*nodeTimeline, in.Arch.NumNodes()),
+			edgeIdx:   st.edgeIdx,
+			prio:      st.prio,
+		}
+		for _, n := range in.Arch.Nodes() {
+			b.timelines[n.ID] = newNodeTimeline(in.Faults.K, in.Faults.Mu, in.Options.SlackSharing)
+		}
 	}
 	if err := b.run(); err != nil {
 		return nil, err
@@ -56,10 +81,45 @@ type builder struct {
 	edgeIdx   map[[2]model.ProcID]int
 	prio      map[model.ProcID]model.Time
 
+	// Arena mode (scratch builds): item values and analysis rows come
+	// from these backings instead of per-placement allocations, and
+	// transmission labels are skipped (noLabels). nil/false in fresh
+	// builds.
+	itemArena []Item
+	rowArena  []model.Time
+	noLabels  bool
+
+	// ready-list state reused across builds via the scratch
+	indeg map[model.ProcID]int
+	ready []*model.Process
+
 	// scratch buffers reused across placements
 	grBuf     []model.Time
 	remoteBuf []candidate
 	complBuf  []completionCand
+}
+
+// itemFor returns the Item storage of an instance: an arena slot in
+// scratch builds (its recycled Msgs map, emptied, survives for reuse),
+// a fresh allocation otherwise.
+func (b *builder) itemFor(id policy.InstID) *Item {
+	if b.itemArena != nil {
+		it := &b.itemArena[id]
+		msgs := it.Msgs
+		clear(msgs)
+		*it = Item{Msgs: msgs}
+		return it
+	}
+	return new(Item)
+}
+
+// rowFor returns the survRow backing of an instance (len k+1).
+func (b *builder) rowFor(id policy.InstID, k int) []model.Time {
+	if b.rowArena != nil {
+		i := int(id) * (k + 1)
+		return b.rowArena[i : i+k+1 : i+k+1]
+	}
+	return make([]model.Time, k+1)
 }
 
 // run drives the ready-list loop: in every iteration the ready process
@@ -71,8 +131,13 @@ func (b *builder) run() error {
 	in := b.s.In
 	g := in.Graph
 
-	indeg := make(map[model.ProcID]int, g.NumProcesses())
-	var ready []*model.Process
+	if b.indeg == nil {
+		b.indeg = make(map[model.ProcID]int, g.NumProcesses())
+	} else {
+		clear(b.indeg)
+	}
+	indeg := b.indeg
+	ready := b.ready[:0]
 	for _, p := range g.Processes() {
 		indeg[p.ID] = len(g.Predecessors(p.ID))
 		if indeg[p.ID] == 0 {
@@ -104,6 +169,7 @@ func (b *builder) run() error {
 			}
 		}
 	}
+	b.ready = ready[:0] // persist grown capacity into the scratch
 	if scheduled != g.NumProcesses() {
 		return fmt.Errorf("sched: scheduled %d of %d processes (cycle?)", scheduled, g.NumProcesses())
 	}
@@ -124,20 +190,20 @@ func (b *builder) placeProcess(p *model.Process) error {
 			return err
 		}
 		nt := b.timelines[inst.Node]
-		pl := nt.place(inst.ID, gr, nr,
-			inst.ExecTime(in.Faults.Chi), inst.RecoverTime(in.Faults.Mu), inst.Reexec)
-		item := &Item{
-			Inst:            inst,
-			NodePos:         len(b.s.nodeSeq[inst.Node]),
-			NominalStart:    pl.nominalStart,
-			NominalFinish:   pl.nominalFinish,
-			GuaranteedReady: gr[k],
-			WCFinish:        pl.wcFinish,
-			SendReady:       pl.sendReady,
-			Bind:            bindKind,
-			BindOn:          bindOn,
-			wcRow:           pl.survRow,
-		}
+		pl := nt.placeRow(inst.ID, gr, nr,
+			inst.ExecTime(in.Faults.Chi), inst.RecoverTime(in.Faults.Mu), inst.Reexec,
+			b.rowFor(inst.ID, k))
+		item := b.itemFor(inst.ID)
+		item.Inst = inst
+		item.NodePos = len(b.s.nodeSeq[inst.Node])
+		item.NominalStart = pl.nominalStart
+		item.NominalFinish = pl.nominalFinish
+		item.GuaranteedReady = gr[k]
+		item.WCFinish = pl.wcFinish
+		item.SendReady = pl.sendReady
+		item.Bind = bindKind
+		item.BindOn = bindOn
+		item.wcRow = pl.survRow
 		if pl.boundByPrev {
 			item.Bind = BindPrevOnNode
 			item.BindOn = pl.prevInst
@@ -187,7 +253,12 @@ func (b *builder) placeProcess(p *model.Process) error {
 				continue
 			}
 			it := b.s.items[sender.ID]
-			label := fmt.Sprintf("m%d:%s", idx, sender.Name())
+			var label string
+			if !b.noLabels {
+				// Labels are display-only; cost-only scratch builds skip
+				// the formatting (an allocation per message).
+				label = fmt.Sprintf("m%d:%s", idx, sender.Name())
+			}
 			tr, err := b.s.bus.Reserve(sender.Node, it.SendReady, e.Bytes, label)
 			if err != nil {
 				return err

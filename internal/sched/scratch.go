@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
+)
+
+// Scratch holds every buffer a Build call needs, so repeated schedule
+// constructions over the same static context — the optimizer costs
+// thousands of candidate assignments per search — reuse one arena
+// instead of allocating a schedule's worth of garbage per candidate.
+//
+// Ownership contract: the Schedule returned by BuildInto, and everything
+// reachable from it (items, analysis rows, the expansion, the bus), is
+// owned by the scratch and valid only until the next BuildInto with the
+// same scratch. Callers extract what they need (costs: Makespan,
+// Tardiness) before reusing the scratch, and rebuild keepers with the
+// allocating Build. A Scratch is confined to one goroutine; concurrent
+// builders take one scratch each.
+type Scratch struct {
+	exp policy.ExpandScratch
+
+	sched Schedule
+	b     builder
+
+	items    []Item       // value arena indexed by InstID
+	itemPtrs []*Item      // Schedule.items backing
+	rows     []model.Time // survRow arena: NumInstances × (k+1)
+
+	timelines []*nodeTimeline // indexed by NodeID, reset per build
+	bus       *ttp.Bus
+	nodeSeq   map[arch.NodeID][]*Item
+	procDone  map[model.ProcID]procResult
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and
+// stabilize after one build of the largest assignment shape.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// prepare resets the arena for one build and assembles the builder over
+// it. Every container is either fully overwritten during the build
+// (item values, analysis rows) or explicitly emptied here, which is what
+// keeps scratch builds bit-identical to fresh ones.
+func (sc *Scratch) prepare(in Input, ex *policy.Expansion, st *Static) *builder {
+	k := in.Faults.K
+	n := ex.NumInstances()
+
+	if cap(sc.items) < n {
+		sc.items = make([]Item, n)
+	}
+	sc.items = sc.items[:n]
+	if cap(sc.itemPtrs) < n {
+		sc.itemPtrs = make([]*Item, n)
+	}
+	sc.itemPtrs = sc.itemPtrs[:n]
+	for i := range sc.itemPtrs {
+		sc.itemPtrs[i] = nil // readiness() detects ordering bugs by nil
+	}
+	need := n * (k + 1)
+	if cap(sc.rows) < need {
+		sc.rows = make([]model.Time, need)
+	}
+	sc.rows = sc.rows[:need]
+
+	nodes := in.Arch.NumNodes()
+	if cap(sc.timelines) < nodes {
+		sc.timelines = make([]*nodeTimeline, nodes)
+	}
+	sc.timelines = sc.timelines[:nodes]
+	for _, nd := range in.Arch.Nodes() {
+		if tl := sc.timelines[nd.ID]; tl == nil || tl.k != k {
+			sc.timelines[nd.ID] = newNodeTimeline(k, in.Faults.Mu, in.Options.SlackSharing)
+		} else {
+			tl.reset(in.Faults.Mu, in.Options.SlackSharing)
+		}
+	}
+
+	if sc.nodeSeq == nil {
+		sc.nodeSeq = make(map[arch.NodeID][]*Item, nodes)
+	} else {
+		for id := range sc.nodeSeq {
+			sc.nodeSeq[id] = sc.nodeSeq[id][:0]
+		}
+	}
+	if sc.procDone == nil {
+		sc.procDone = make(map[model.ProcID]procResult, in.Graph.NumProcesses())
+	} else {
+		clear(sc.procDone)
+	}
+	if sc.bus == nil {
+		sc.bus = ttp.NewBus(in.Bus)
+	} else {
+		sc.bus.Reset(in.Bus)
+	}
+
+	sc.sched = Schedule{
+		In:       in,
+		Ex:       ex,
+		items:    sc.itemPtrs,
+		nodeSeq:  sc.nodeSeq,
+		bus:      sc.bus,
+		procDone: sc.procDone,
+	}
+	sc.b = builder{
+		s:         &sc.sched,
+		timelines: sc.timelines,
+		edgeIdx:   st.edgeIdx,
+		prio:      st.prio,
+		itemArena: sc.items,
+		rowArena:  sc.rows,
+		noLabels:  true,
+		indeg:     sc.b.indeg,
+		ready:     sc.b.ready,
+		grBuf:     sc.b.grBuf,
+		remoteBuf: sc.b.remoteBuf,
+		complBuf:  sc.b.complBuf,
+	}
+	return &sc.b
+}

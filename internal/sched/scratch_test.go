@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/ftdse/internal/arch"
+	"repro/ftdse/internal/fault"
+	"repro/ftdse/internal/model"
+	"repro/ftdse/internal/policy"
+	"repro/ftdse/internal/ttp"
+)
+
+// scratchSystem builds a random layered system for the scratch
+// differential tests: procs processes on nodes nodes with random forward
+// edges and WCETs, all driven by rng.
+func scratchSystem(t *testing.T, rng *rand.Rand, procs, nodes int) (Input, []model.ProcID) {
+	t.Helper()
+	app := model.NewApplication("scratch")
+	g := app.AddGraph("G", model.Ms(100000), model.Ms(100000))
+	a := arch.New(nodes)
+	w := arch.NewWCET()
+	ps := make([]*model.Process, procs)
+	for i := range ps {
+		ps[i] = app.AddProcess(g, fmt.Sprintf("P%d", i+1))
+		for n := 0; n < nodes; n++ {
+			w.Set(ps[i].ID, arch.NodeID(n), model.Ms(int64(10+rng.Intn(90))))
+		}
+	}
+	for i := 1; i < procs; i++ {
+		// Every process gets one random predecessor (connected DAG) plus
+		// occasionally a second, distinct one.
+		first := rng.Intn(i)
+		g.AddEdge(ps[first], ps[i], 1+rng.Intn(4))
+		if rng.Intn(3) == 0 && i > 1 {
+			if second := rng.Intn(i - 1); second != first {
+				g.AddEdge(ps[second], ps[i], 1+rng.Intn(4))
+			}
+		}
+	}
+	merged, err := app.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]model.ProcID, procs)
+	for i, p := range ps {
+		ids[i] = p.ID
+	}
+	return Input{
+		Graph:  merged,
+		Arch:   a,
+		WCET:   w,
+		Faults: fault.Model{K: 2, Mu: model.Ms(5), Chi: model.Ms(1)},
+		Bus:    ttp.InitialConfig(a, 4, ttp.DefaultPerByte),
+		Options: Options{
+			SlackSharing: true,
+		},
+	}, ids
+}
+
+// randomAssignment draws one valid policy per process, varying replica
+// counts so consecutive builds change the instance count (exercising the
+// arena resizing paths).
+func randomAssignment(rng *rand.Rand, ids []model.ProcID, nodes, k int) policy.Assignment {
+	asgn := policy.Assignment{}
+	for _, id := range ids {
+		switch rng.Intn(4) {
+		case 0:
+			asgn[id] = policy.Reexecution(arch.NodeID(rng.Intn(nodes)), k)
+		case 1:
+			asgn[id] = policy.Checkpointed(arch.NodeID(rng.Intn(nodes)), k, 1+rng.Intn(2))
+		default:
+			perm := rng.Perm(nodes)
+			r := 2 + rng.Intn(nodes-1)
+			if r > k+1 {
+				r = k + 1
+			}
+			sel := make([]arch.NodeID, r)
+			for i := range sel {
+				sel[i] = arch.NodeID(perm[i])
+			}
+			asgn[id] = policy.Distribute(sel, k)
+		}
+	}
+	return asgn
+}
+
+// TestBuildIntoMatchesBuild is the bit-identical guarantee of the
+// scratch arena: over a stream of random assignments, a single reused
+// Scratch must reproduce every analysis number of the allocating Build —
+// makespan, tardiness, per-process completions and every per-item field
+// including the full survive rows. Only transmission labels may differ
+// (scratch builds skip them).
+func TestBuildIntoMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, shape := range []struct{ procs, nodes int }{{6, 2}, {10, 3}, {14, 4}} {
+		in, ids := scratchSystem(t, rng, shape.procs, shape.nodes)
+		st, err := NewStatic(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Static = st
+		sc := NewScratch()
+		for round := 0; round < 25; round++ {
+			in.Assignment = randomAssignment(rng, ids, shape.nodes, in.Faults.K)
+			fresh, err := Build(in)
+			if err != nil {
+				t.Fatalf("Build round %d: %v", round, err)
+			}
+			reused, err := BuildInto(sc, in)
+			if err != nil {
+				t.Fatalf("BuildInto round %d: %v", round, err)
+			}
+			if fresh.Makespan != reused.Makespan || fresh.Tardiness != reused.Tardiness {
+				t.Fatalf("round %d: scratch cost (δ=%v tardy=%v) != fresh (δ=%v tardy=%v)",
+					round, reused.Makespan, reused.Tardiness, fresh.Makespan, fresh.Tardiness)
+			}
+			if fresh.Ex.NumInstances() != reused.Ex.NumInstances() {
+				t.Fatalf("round %d: instance counts differ", round)
+			}
+			for i, fit := range fresh.Items() {
+				rit := reused.Items()[i]
+				if fit.NominalStart != rit.NominalStart || fit.NominalFinish != rit.NominalFinish ||
+					fit.WCFinish != rit.WCFinish || fit.SendReady != rit.SendReady ||
+					fit.GuaranteedReady != rit.GuaranteedReady || fit.NodePos != rit.NodePos ||
+					fit.Bind != rit.Bind || fit.BindOn != rit.BindOn {
+					t.Fatalf("round %d item %d: scratch %+v != fresh %+v", round, i, rit, fit)
+				}
+				for f := 0; f <= in.Faults.K; f++ {
+					if fit.WCRow(f) != rit.WCRow(f) {
+						t.Fatalf("round %d item %d: survive row differs at f=%d", round, i, f)
+					}
+				}
+				if len(fit.Msgs) != len(rit.Msgs) {
+					t.Fatalf("round %d item %d: %d msgs vs %d", round, i, len(rit.Msgs), len(fit.Msgs))
+				}
+				for idx, ftr := range fit.Msgs {
+					rtr := rit.Msgs[idx]
+					if ftr.Round != rtr.Round || ftr.Slot != rtr.Slot ||
+						ftr.Start != rtr.Start || ftr.Arrival != rtr.Arrival || ftr.Bytes != rtr.Bytes {
+						t.Fatalf("round %d item %d msg %d: scratch %v != fresh %v", round, i, idx, rtr, ftr)
+					}
+				}
+			}
+			for _, p := range in.Graph.Processes() {
+				if fresh.ProcCompletion(p.ID) != reused.ProcCompletion(p.ID) ||
+					fresh.ProcNominalCompletion(p.ID) != reused.ProcNominalCompletion(p.ID) {
+					t.Fatalf("round %d: completion of %v differs", round, p)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildIntoSteadyStateAllocs pins the point of the arena: after
+// warm-up, a scratch build allocates (nearly) nothing, and in any case
+// far less than the allocating Build of the same assignment.
+func TestBuildIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in, ids := scratchSystem(t, rng, 12, 3)
+	st, err := NewStatic(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Static = st
+	in.Assignment = randomAssignment(rng, ids, 3, in.Faults.K)
+
+	sc := NewScratch()
+	for i := 0; i < 3; i++ { // warm the arena
+		if _, err := BuildInto(sc, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratchAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := BuildInto(sc, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	freshAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := Build(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if scratchAllocs > freshAllocs/10 {
+		t.Errorf("scratch build allocates %.1f/op, fresh %.1f/op — arena not effective", scratchAllocs, freshAllocs)
+	}
+	t.Logf("allocs/op: scratch %.1f vs fresh %.1f", scratchAllocs, freshAllocs)
+}

@@ -157,16 +157,42 @@ type frame struct {
 }
 
 // Bus allocates messages onto slot occurrences, building the MEDL. It is
-// the scheduling-time view of the bus; a fresh Bus is used for every
-// schedule construction.
+// the scheduling-time view of the bus; a fresh Bus (or one recycled with
+// Reset) is used for every schedule construction.
 type Bus struct {
 	cfg    Config
 	frames map[[2]int]*frame // key: {round, slot}
+	// free recycles frame structs (and their msgs backing) across
+	// Resets, so a reused Bus reserves messages without allocating.
+	free []*frame
 }
 
 // NewBus returns an empty allocator over the given configuration.
 func NewBus(cfg Config) *Bus {
 	return &Bus{cfg: cfg, frames: make(map[[2]int]*frame)}
+}
+
+// Reset empties the allocator for a new schedule construction over the
+// given configuration, recycling the frame storage of the previous one.
+// Reservation behaviour after Reset is identical to a fresh NewBus(cfg).
+func (b *Bus) Reset(cfg Config) {
+	b.cfg = cfg
+	for key, f := range b.frames {
+		f.used = 0
+		f.msgs = f.msgs[:0]
+		b.free = append(b.free, f)
+		delete(b.frames, key)
+	}
+}
+
+// newFrame takes a recycled frame when one is available.
+func (b *Bus) newFrame() *frame {
+	if n := len(b.free); n > 0 {
+		f := b.free[n-1]
+		b.free = b.free[:n-1]
+		return f
+	}
+	return &frame{}
 }
 
 // Config returns the bus-access configuration of the allocator.
@@ -203,7 +229,7 @@ func (b *Bus) Reserve(n arch.NodeID, ready model.Time, bytes int, label string) 
 			key := [2]int{r, si}
 			f := b.frames[key]
 			if f == nil {
-				f = &frame{}
+				f = b.newFrame()
 				b.frames[key] = f
 			}
 			if f.used+bytes <= b.cfg.SlotCapacity(si) {

@@ -1,0 +1,17 @@
+package ftdse
+
+import "repro/ftdse/internal/core"
+
+// EvaluatorMetrics is a snapshot of the process-wide counters of the
+// solver's candidate-move evaluation hot path: scheduling passes
+// executed, memo-cache hits and misses, and the allocation behaviour of
+// the per-worker scratch arenas (arenas created vs. pool reuses — a
+// healthy hot path reuses orders of magnitude more than it allocates).
+type EvaluatorMetrics = core.EvaluatorMetrics
+
+// ReadEvaluatorMetrics returns the cumulative evaluator counters of
+// this process. The counters cover every Solve run (they are global,
+// not per-solver), only grow, and are safe to read concurrently; the
+// service exposes them on its /metrics page and ftbench records them
+// alongside wall-clock numbers.
+func ReadEvaluatorMetrics() EvaluatorMetrics { return core.ReadEvaluatorMetrics() }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/ftdse"
 )
 
 // metrics aggregates the service's operational counters. Each Service
@@ -89,5 +91,10 @@ func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func()
 	}))
 	out.Set("solve_latency_p50_ms", expvar.Func(func() any { return m.quantile(0.50) }))
 	out.Set("solve_latency_p99_ms", expvar.Func(func() any { return m.quantile(0.99) }))
+	// The solver's move-evaluation hot path: scheduling passes, memo
+	// cache traffic, and scratch-arena allocs vs. reuses. Process-wide
+	// (the evaluator is per-run, the counters are global), so services
+	// sharing a process see combined numbers.
+	out.Set("evaluator", expvar.Func(func() any { return ftdse.ReadEvaluatorMetrics() }))
 	return out
 }
