@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"repro/ftdse"
 )
@@ -57,10 +58,12 @@ func main() {
 		r := ftdse.RunScenario(s, sc)
 		label := "fault-free"
 		if len(sc) > 0 {
-			label = ""
+			var parts []string
 			for id, f := range sc {
-				label += fmt.Sprintf("%d fault(s) in %s ", f, s.Item(id).Inst.Name())
+				parts = append(parts, fmt.Sprintf("%d fault(s) in %s ", f, s.Item(id).Inst.Name()))
 			}
+			sort.Strings(parts)
+			label = strings.Join(parts, "")
 		}
 		status := "ok"
 		if !r.OK() {

@@ -1,0 +1,115 @@
+package ftdse_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/ftdse"
+	"repro/ftdse/bench"
+)
+
+// The I/O formats promise canonical serialization: the service cache
+// keys solves by a fingerprint of the problem document, so two ways of
+// writing the same problem must produce the same bytes. The fuzz
+// targets pin the operational form of that promise — parse, re-write,
+// re-parse, re-write: any document the reader accepts must reach a
+// byte-identical fixed point after one normalizing write. Seed corpora
+// come from the deterministic benchmark corpus, so the fuzzer starts
+// from realistic documents of every size class and graph shape.
+
+// fuzzProblemSeeds serializes the short benchmark corpus's problems.
+func fuzzProblemSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	seen := make(map[ftdse.GenSpec]bool)
+	var out [][]byte
+	for _, c := range bench.Corpus(1, true) {
+		if seen[c.Spec] {
+			continue // engines share specs; one seed per instance
+		}
+		seen[c.Spec] = true
+		var buf bytes.Buffer
+		if err := ftdse.WriteProblem(&buf, c.Problem()); err != nil {
+			f.Fatalf("serializing corpus problem %s: %v", c.Name, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out
+}
+
+func FuzzReadProblem(f *testing.F) {
+	for _, seed := range fuzzProblemSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"application":{},"architecture":[],"wcet_ms":{},"faults":{"k":0,"mu_ms":0}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ftdse.ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var first bytes.Buffer
+		if err := ftdse.WriteProblem(&first, p); err != nil {
+			t.Fatalf("accepted problem does not serialize: %v\ninput:\n%s", err, data)
+		}
+		p2, err := ftdse.ReadProblem(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := ftdse.WriteProblem(&second, p2); err != nil {
+			t.Fatalf("re-parsed problem does not serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("problem round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+func FuzzReadSchedule(f *testing.F) {
+	// Seed with real exports: each distinct corpus problem scheduled
+	// under a naive single-node re-execution design (no search — seeding
+	// must be fast and deterministic).
+	for _, seed := range fuzzProblemSeeds(f) {
+		p, err := ftdse.ReadProblem(bytes.NewReader(seed))
+		if err != nil {
+			f.Fatalf("re-reading corpus seed: %v", err)
+		}
+		d := ftdse.Design{}
+		for _, proc := range p.Processes() {
+			d[proc.ID] = ftdse.Reexecution(0, p.Faults().K)
+		}
+		s, err := p.Evaluate(d)
+		if err != nil {
+			f.Fatalf("evaluating naive design: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ftdse.WriteSchedule(&buf, s); err != nil {
+			f.Fatalf("serializing schedule: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"schedulable":true,"makespan_ms":0,"fault_model":{"k":0,"mu_ms":0},"nodes":null,"medl":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := ftdse.ReadSchedule(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var first bytes.Buffer
+		if err := ftdse.WriteScheduleDoc(&first, doc); err != nil {
+			t.Fatalf("accepted schedule does not serialize: %v\ninput:\n%s", err, data)
+		}
+		doc2, err := ftdse.ReadSchedule(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := ftdse.WriteScheduleDoc(&second, doc2); err != nil {
+			t.Fatalf("re-parsed schedule does not serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("schedule round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}

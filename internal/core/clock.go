@@ -1,0 +1,22 @@
+package core
+
+import "time"
+
+// This file holds the deterministic core's only sanctioned wall-clock
+// reads. Wall time enters an optimization run in exactly two ways, both
+// documented as outside the determinism contract: the TimeLimit/context
+// deadline (an anytime interruption) and the Elapsed stamps on results
+// and improvement events (observability). Neither steers move
+// selection; with no deadline the run is bit-reproducible. Everything
+// else in internal/... must not read the clock — the ftlint determinism
+// pass enforces this.
+
+// wallStart stamps the beginning of a run.
+func wallStart() time.Time {
+	return time.Now() //ftlint:allow determinism run start feeds the anytime deadline and Elapsed stamps, never move selection
+}
+
+// wallElapsed measures observability durations relative to wallStart.
+func wallElapsed(start time.Time) time.Duration {
+	return time.Since(start) //ftlint:allow determinism elapsed stamps are reporting only; search decisions cannot observe them
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,8 +78,13 @@ func (b *board) publish(phase string, iter int, c Cost) {
 	b.mu.Lock()
 	var hooks []func()
 	if b.stopOnSched && c.Schedulable() && len(b.schedHooks) > 0 {
-		for _, h := range b.schedHooks {
-			hooks = append(hooks, h)
+		ids := make([]int, 0, len(b.schedHooks))
+		for id := range b.schedHooks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			hooks = append(hooks, b.schedHooks[id])
 		}
 		b.schedHooks = nil
 	}
@@ -90,7 +96,7 @@ func (b *board) publish(phase string, iter int, c Cost) {
 				Iteration:   iter,
 				Cost:        c,
 				Schedulable: c.Schedulable(),
-				Elapsed:     time.Since(b.start),
+				Elapsed:     wallElapsed(b.start),
 			})
 		}
 	}

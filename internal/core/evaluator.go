@@ -187,58 +187,24 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 		return out
 	}
 
-	// evalOne costs one candidate into the worker's scratch. The scratch
-	// assignment is a shallow copy of base (policies are never mutated
-	// by scheduling, so sharing the Replicas backing is safe) built once
-	// per checkout by prime; each candidate substitutes its move's
-	// policy and restores the base entry afterwards — O(1) map work per
-	// candidate, no allocations, no schedule retained. Moves always
-	// target processes present in base (the neighborhood is generated
-	// from its entries), so the restore never leaves a stale key.
-	prime := func(es *evalScratch) {
-		clear(es.asgn)
-		for id, p := range base {
-			es.asgn[id] = p
-		}
-	}
-	evalOne := func(es *evalScratch, i int) {
-		m := &moves[i]
-		es.asgn[m.proc] = m.pol
-		c, ok := ev.st.evaluateInto(es.sc, es.asgn)
-		es.asgn[m.proc] = base[m.proc]
-		evaluated[i] = true
-		if ok {
-			out[i] = MoveEval{Cost: c, OK: true}
-		}
-	}
-
+	sw := &sweep{base: base, moves: moves, pending: pending, out: out, evaluated: evaluated}
 	if workers := min(ev.workers, len(pending)); workers <= 1 {
 		es := ev.getScratch()
-		prime(es)
+		ev.primeScratch(es, base)
 		for _, i := range pending {
 			if stopped(ctx) {
 				break
 			}
-			evalOne(es, i)
+			ev.evalOne(es, sw, i)
 		}
 		ev.scratch.Put(es)
 	} else {
-		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				es := ev.getScratch()
-				defer ev.scratch.Put(es)
-				prime(es)
-				for {
-					n := int(next.Add(1)) - 1
-					if n >= len(pending) || stopped(ctx) {
-						return
-					}
-					evalOne(es, pending[n])
-				}
+				ev.worker(ctx, sw)
 			}()
 		}
 		wg.Wait()
@@ -259,6 +225,68 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 	}
 	evalMetrics.passes.Add(int64(ran))
 	return out
+}
+
+// sweep is the shared state of one evalMoves fan-out: the immutable
+// inputs (base, moves, pending) and the result slots each index owns
+// exclusively. next is the work-stealing cursor of the worker pool.
+type sweep struct {
+	base      policy.Assignment
+	moves     []Move
+	pending   []int
+	out       []MoveEval
+	evaluated []bool
+	next      atomic.Int64
+}
+
+// primeScratch rebuilds the worker's candidate assignment as a shallow
+// copy of base: policies are never mutated by scheduling, so sharing
+// the Replicas backing is safe, and the map keeps its capacity across
+// checkouts.
+//
+//ftdse:hotpath
+func (ev *evaluator) primeScratch(es *evalScratch, base policy.Assignment) {
+	clear(es.asgn)
+	for id, p := range base {
+		es.asgn[id] = p
+	}
+}
+
+// evalOne costs one candidate into the worker's scratch: it substitutes
+// the move's policy, schedules into the arena, and restores the base
+// entry — O(1) map work per candidate, no allocations, no schedule
+// retained. Moves always target processes present in base (the
+// neighborhood is generated from its entries), so the restore never
+// leaves a stale key.
+//
+//ftdse:hotpath
+func (ev *evaluator) evalOne(es *evalScratch, sw *sweep, i int) {
+	m := &sw.moves[i]
+	es.asgn[m.proc] = m.pol
+	c, ok := ev.st.evaluateInto(es.sc, es.asgn)
+	es.asgn[m.proc] = sw.base[m.proc]
+	sw.evaluated[i] = true
+	if ok {
+		sw.out[i] = MoveEval{Cost: c, OK: true}
+	}
+}
+
+// worker is the body of one pool goroutine: it checks a scratch arena
+// out once and drains the sweep's cursor until the work or the context
+// runs out.
+//
+//ftdse:hotpath
+func (ev *evaluator) worker(ctx context.Context, sw *sweep) {
+	es := ev.getScratch()
+	defer ev.scratch.Put(es)
+	ev.primeScratch(es, sw.base)
+	for {
+		n := int(sw.next.Add(1)) - 1
+		if n >= len(sw.pending) || stopped(ctx) {
+			return
+		}
+		ev.evalOne(es, sw, sw.pending[n])
+	}
 }
 
 // rebuild schedules the assignment with the move applied; used to

@@ -16,11 +16,23 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/ftdse/internal/arch"
 	"repro/ftdse/internal/fault"
 	"repro/ftdse/internal/model"
 )
+
+// sortedProcIDs returns the keys of m in ascending order: constraint
+// walks report the same error for the same problem on every run.
+func sortedProcIDs[V any](m map[model.ProcID]V) []model.ProcID {
+	ids := make([]model.ProcID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
 
 // Problem is a design-optimization instance: the application, the
 // architecture with its WCET table, the fault hypothesis, and the
@@ -55,7 +67,7 @@ func (p Problem) Validate() error {
 	if err := p.Faults.Validate(); err != nil {
 		return err
 	}
-	for id := range p.ForceReexecution {
+	for _, id := range sortedProcIDs(p.ForceReexecution) {
 		if p.ForceReplication[id] {
 			return fmt.Errorf("core: process %d in both P_X and P_R", id)
 		}
@@ -63,7 +75,7 @@ func (p Problem) Validate() error {
 			return fmt.Errorf("core: P_X references unknown process %d", id)
 		}
 	}
-	for id := range p.ForceReplication {
+	for _, id := range sortedProcIDs(p.ForceReplication) {
 		if p.App.Process(id) == nil {
 			return fmt.Errorf("core: P_R references unknown process %d", id)
 		}
@@ -72,7 +84,8 @@ func (p Problem) Validate() error {
 				id, len(p.WCET.AllowedNodes(id)), p.Faults.K)
 		}
 	}
-	for id, n := range p.FixedMapping {
+	for _, id := range sortedProcIDs(p.FixedMapping) {
+		n := p.FixedMapping[id]
 		if p.App.Process(id) == nil {
 			return fmt.Errorf("core: P_M references unknown process %d", id)
 		}

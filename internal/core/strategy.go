@@ -242,7 +242,7 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := wallStart()
 	if opts.TimeLimit > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, start.Add(opts.TimeLimit))
@@ -301,7 +301,7 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 		Schedule:   sch,
 		Cost:       c,
 		Iterations: int(s.total.Load()),
-		Elapsed:    time.Since(start),
+		Elapsed:    wallElapsed(start),
 		Stopped:    stopCause(ctx),
 	}, nil
 }
@@ -342,7 +342,7 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 		Schedule:   sch,
 		Cost:       cost,
 		Iterations: nft.Iterations,
-		Elapsed:    time.Since(start),
+		Elapsed:    wallElapsed(start),
 		Stopped:    stopCause(ctx),
 	}, nil
 }

@@ -112,6 +112,8 @@ type ExpandScratch struct {
 // produces an Expansion with identical contents (same instance order,
 // IDs, WCETs and names) — pointer identity aside — so scheduling results
 // are bit-identical to the allocating path.
+//
+//ftdse:hotpath
 func (sc *ExpandScratch) Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (*Expansion, error) {
 	// Count first so the arena never reallocates while instance pointers
 	// are being handed out.
@@ -124,7 +126,7 @@ func (sc *ExpandScratch) Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (
 		total += len(pol.Replicas)
 	}
 	if cap(sc.insts) < total {
-		sc.insts = make([]Instance, total)
+		sc.insts = make([]Instance, total) //ftlint:allow hotpath grow-once arena: reallocates only when a larger assignment arrives
 	}
 	sc.insts = sc.insts[:total]
 
@@ -132,7 +134,7 @@ func (sc *ExpandScratch) Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (
 	ex.graph = g
 	ex.Instances = ex.Instances[:0]
 	if ex.byProc == nil {
-		ex.byProc = make(map[model.ProcID][]*Instance, g.NumProcesses())
+		ex.byProc = make(map[model.ProcID][]*Instance, g.NumProcesses()) //ftlint:allow hotpath first call on this scratch; the index map is recycled afterwards
 	} else {
 		for id := range ex.byProc {
 			ex.byProc[id] = ex.byProc[id][:0]
@@ -160,8 +162,8 @@ func (sc *ExpandScratch) Expand(g *model.Graph, asgn Assignment, w *arch.WCET) (
 			}
 			in.singleReplica = single
 			next++
-			ex.Instances = append(ex.Instances, in)
-			ex.byProc[proc.ID] = append(ex.byProc[proc.ID], in)
+			ex.Instances = append(ex.Instances, in)             //ftlint:allow hotpath amortized growth: the recycled shell keeps its capacity
+			ex.byProc[proc.ID] = append(ex.byProc[proc.ID], in) //ftlint:allow hotpath amortized growth: per-process buckets keep their capacity
 		}
 	}
 	return ex, nil

@@ -17,6 +17,7 @@ package rt
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/ftdse/internal/arch"
 	"repro/ftdse/internal/model"
@@ -190,8 +191,15 @@ func (e *engine) setupInputs() {
 func (e *engine) scheduleTransmissions() {
 	for _, it := range e.s.Items() {
 		sender := it.Inst
-		for idx, tr := range it.Msgs {
-			idx, tr := idx, tr
+		// Post in edge order: event-queue ties break on insertion
+		// sequence, so map order here would leak into the trace.
+		idxs := make([]int, 0, len(it.Msgs))
+		for idx := range it.Msgs {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			idx, tr := idx, it.Msgs[idx]
 			e.post(tr.Start, phaseFrame, func() {
 				valid := e.done[sender.ID] && e.alive[sender.ID] && e.finish[sender.ID] <= e.now
 				at := tr.Arrival
@@ -258,7 +266,15 @@ const (
 
 func (e *engine) inputStatus(inst *policy.Instance) (inputState, model.Time) {
 	ready := inst.Proc.Release
-	for _, srcs := range e.inputs[inst.ID] {
+	// Classify edges in index order: an instance with one waiting and
+	// one starved edge must report the same state on every run.
+	edges := make([]int, 0, len(e.inputs[inst.ID]))
+	for idx := range e.inputs[inst.ID] {
+		edges = append(edges, idx)
+	}
+	sort.Ints(edges)
+	for _, idx := range edges {
+		srcs := e.inputs[inst.ID][idx]
 		firstValid := model.Infinity
 		pending := false
 		for _, d := range srcs {
@@ -267,7 +283,7 @@ func (e *engine) inputStatus(inst *policy.Instance) (inputState, model.Time) {
 				continue
 			}
 			if d.valid {
-				firstValid = model.MinTime(firstValid, d.at)
+				firstValid = model.MinTime(firstValid, d.at) //ftlint:allow determinism min over a delivery set is commutative
 			}
 		}
 		switch {

@@ -24,6 +24,8 @@ func Build(in Input) (*Schedule, error) { return BuildInto(nil, in) }
 //
 // The returned Schedule is owned by the scratch and valid only until
 // the next BuildInto with the same scratch; see Scratch.
+//
+//ftdse:hotpath
 func BuildInto(sc *Scratch, in Input) (*Schedule, error) {
 	st := in.Static
 	if st == nil {
@@ -52,27 +54,34 @@ func BuildInto(sc *Scratch, in Input) (*Schedule, error) {
 	if sc != nil {
 		b = sc.prepare(in, ex, st)
 	} else {
-		b = &builder{
-			s: &Schedule{
-				In:       in,
-				Ex:       ex,
-				items:    make([]*Item, ex.NumInstances()),
-				nodeSeq:  make(map[arch.NodeID][]*Item, in.Arch.NumNodes()),
-				bus:      ttp.NewBus(in.Bus),
-				procDone: make(map[model.ProcID]procResult, in.Graph.NumProcesses()),
-			},
-			timelines: make([]*nodeTimeline, in.Arch.NumNodes()),
-			edgeIdx:   st.edgeIdx,
-			prio:      st.prio,
-		}
-		for _, n := range in.Arch.Nodes() {
-			b.timelines[n.ID] = newNodeTimeline(in.Faults.K, in.Faults.Mu, in.Options.SlackSharing)
-		}
+		b = newFreshBuilder(in, ex, st)
 	}
 	if err := b.run(); err != nil {
 		return nil, err
 	}
 	return b.s, nil
+}
+
+// newFreshBuilder is the cold (scratch-less) construction path of
+// Build: every buffer a scratch would recycle is allocated here.
+func newFreshBuilder(in Input, ex *policy.Expansion, st *Static) *builder {
+	b := &builder{
+		s: &Schedule{
+			In:       in,
+			Ex:       ex,
+			items:    make([]*Item, ex.NumInstances()),
+			nodeSeq:  make(map[arch.NodeID][]*Item, in.Arch.NumNodes()),
+			bus:      ttp.NewBus(in.Bus),
+			procDone: make(map[model.ProcID]procResult, in.Graph.NumProcesses()),
+		},
+		timelines: make([]*nodeTimeline, in.Arch.NumNodes()),
+		edgeIdx:   st.edgeIdx,
+		prio:      st.prio,
+	}
+	for _, n := range in.Arch.Nodes() {
+		b.timelines[n.ID] = newNodeTimeline(in.Faults.K, in.Faults.Mu, in.Options.SlackSharing)
+	}
+	return b
 }
 
 type builder struct {
@@ -102,6 +111,8 @@ type builder struct {
 // itemFor returns the Item storage of an instance: an arena slot in
 // scratch builds (its recycled Msgs map, emptied, survives for reuse),
 // a fresh allocation otherwise.
+//
+//ftdse:hotpath
 func (b *builder) itemFor(id policy.InstID) *Item {
 	if b.itemArena != nil {
 		it := &b.itemArena[id]
@@ -110,16 +121,18 @@ func (b *builder) itemFor(id policy.InstID) *Item {
 		*it = Item{Msgs: msgs}
 		return it
 	}
-	return new(Item)
+	return new(Item) //ftlint:allow hotpath cold branch: fresh (scratch-less) builds allocate per item
 }
 
 // rowFor returns the survRow backing of an instance (len k+1).
+//
+//ftdse:hotpath
 func (b *builder) rowFor(id policy.InstID, k int) []model.Time {
 	if b.rowArena != nil {
 		i := int(id) * (k + 1)
 		return b.rowArena[i : i+k+1 : i+k+1]
 	}
-	return make([]model.Time, k+1)
+	return make([]model.Time, k+1) //ftlint:allow hotpath cold branch: fresh (scratch-less) builds allocate per row
 }
 
 // run drives the ready-list loop: in every iteration the ready process
@@ -127,12 +140,14 @@ func (b *builder) rowFor(id policy.InstID, k int) []model.Time {
 // its replica instances are placed; its outbound broadcast messages are
 // then reserved on the bus at the transparent (worst-case surviving)
 // send times.
+//
+//ftdse:hotpath
 func (b *builder) run() error {
 	in := b.s.In
 	g := in.Graph
 
 	if b.indeg == nil {
-		b.indeg = make(map[model.ProcID]int, g.NumProcesses())
+		b.indeg = make(map[model.ProcID]int, g.NumProcesses()) //ftlint:allow hotpath first build with a scratch; recycled (cleared) afterwards
 	} else {
 		clear(b.indeg)
 	}
@@ -141,7 +156,7 @@ func (b *builder) run() error {
 	for _, p := range g.Processes() {
 		indeg[p.ID] = len(g.Predecessors(p.ID))
 		if indeg[p.ID] == 0 {
-			ready = append(ready, p)
+			ready = append(ready, p) //ftlint:allow hotpath amortized growth: capacity persists in the scratch across builds
 		}
 	}
 	scheduled := 0
@@ -155,7 +170,7 @@ func (b *builder) run() error {
 			}
 		}
 		p := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
+		ready = append(ready[:best], ready[best+1:]...) //ftlint:allow hotpath removal within capacity; never grows
 
 		if err := b.placeProcess(p); err != nil {
 			return err
@@ -165,7 +180,7 @@ func (b *builder) run() error {
 		for _, e := range g.Successors(p.ID) {
 			indeg[e.Dst]--
 			if indeg[e.Dst] == 0 {
-				ready = append(ready, g.Process(e.Dst))
+				ready = append(ready, g.Process(e.Dst)) //ftlint:allow hotpath amortized growth: capacity persists in the scratch across builds
 			}
 		}
 	}
@@ -179,6 +194,8 @@ func (b *builder) run() error {
 
 // placeProcess places every replica instance of p, runs the per-process
 // completion analysis, and reserves the broadcast messages of p.
+//
+//ftdse:hotpath
 func (b *builder) placeProcess(p *model.Process) error {
 	in := b.s.In
 	ex := b.s.Ex
@@ -209,7 +226,7 @@ func (b *builder) placeProcess(p *model.Process) error {
 			item.BindOn = pl.prevInst
 		}
 		b.s.items[inst.ID] = item
-		b.s.nodeSeq[inst.Node] = append(b.s.nodeSeq[inst.Node], item)
+		b.s.nodeSeq[inst.Node] = append(b.s.nodeSeq[inst.Node], item) //ftlint:allow hotpath amortized growth: per-node slices keep their capacity in the scratch
 	}
 
 	// Per-process worst-case completion: the adversarial first-valid
@@ -218,7 +235,7 @@ func (b *builder) placeProcess(p *model.Process) error {
 	nominal := model.Infinity
 	for _, inst := range ex.Of(p.ID) {
 		it := b.s.items[inst.ID]
-		cands = append(cands, completionCand{row: it.wcRow, cost: inst.Reexec + 1, inst: inst.ID})
+		cands = append(cands, completionCand{row: it.wcRow, cost: inst.Reexec + 1, inst: inst.ID}) //ftlint:allow hotpath amortized growth: complBuf capacity persists in the scratch
 		nominal = model.MinTime(nominal, it.NominalFinish)
 	}
 	b.complBuf = cands
@@ -257,14 +274,14 @@ func (b *builder) placeProcess(p *model.Process) error {
 			if !b.noLabels {
 				// Labels are display-only; cost-only scratch builds skip
 				// the formatting (an allocation per message).
-				label = fmt.Sprintf("m%d:%s", idx, sender.Name())
+				label = fmt.Sprintf("m%d:%s", idx, sender.Name()) //ftlint:allow hotpath display labels are formatted in fresh builds only (noLabels gates scratch builds)
 			}
 			tr, err := b.s.bus.Reserve(sender.Node, it.SendReady, e.Bytes, label)
 			if err != nil {
 				return err
 			}
 			if it.Msgs == nil {
-				it.Msgs = make(map[int]ttp.Transmission, 1)
+				it.Msgs = make(map[int]ttp.Transmission, 1) //ftlint:allow hotpath first build with a scratch; the msgs map is recycled by itemFor afterwards
 			}
 			it.Msgs[idx] = tr
 		}
@@ -290,13 +307,15 @@ func (b *builder) placeProcess(p *model.Process) error {
 //     the first-valid arrival over the remote broadcasts with the
 //     remaining budget — this is exactly the contingency start of
 //     Figure 7 (P3 waits for m2 from the replica of P2).
+//
+//ftdse:hotpath
 func (b *builder) readiness(p *model.Process, inst *policy.Instance) (gr []model.Time, nr model.Time, bindOn policy.InstID, bindKind BindKind, err error) {
 	in := b.s.In
 	ex := b.s.Ex
 	k := in.Faults.K
 
 	if cap(b.grBuf) < k+1 {
-		b.grBuf = make([]model.Time, k+1)
+		b.grBuf = make([]model.Time, k+1) //ftlint:allow hotpath grow-once: k is fixed per problem, so this runs on the first build only
 	}
 	gr = b.grBuf[:k+1]
 	for f := range gr {
@@ -326,7 +345,7 @@ func (b *builder) readiness(p *model.Process, inst *policy.Instance) (gr []model
 				return nil, 0, NoInst, BindRelease,
 					fmt.Errorf("sched: missing broadcast of %s for edge %v", src, e)
 			}
-			remotes = append(remotes, candidate{avail: tr.Arrival, killCost: src.Reexec + 1, inst: src.ID})
+			remotes = append(remotes, candidate{avail: tr.Arrival, killCost: src.Reexec + 1, inst: src.ID}) //ftlint:allow hotpath amortized growth: remoteBuf capacity persists in the scratch
 			nomBest = model.MinTime(nomBest, tr.Arrival)
 		}
 		b.remoteBuf = remotes
@@ -363,6 +382,8 @@ func (b *builder) readiness(p *model.Process, inst *policy.Instance) (gr []model
 }
 
 // finalize computes makespan, tardiness and the worst process.
+//
+//ftdse:hotpath
 func (b *builder) finalize() {
 	s := b.s
 	var worstViol model.Time = -1

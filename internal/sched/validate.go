@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/ftdse/internal/model"
 )
@@ -63,7 +64,13 @@ func ValidateSchedule(s *Schedule) error {
 				return fmt.Errorf("sched: %v analysis row not monotone at budget %d", it.Inst, f)
 			}
 		}
-		for _, tr := range it.Msgs {
+		msgIdxs := make([]int, 0, len(it.Msgs))
+		for idx := range it.Msgs {
+			msgIdxs = append(msgIdxs, idx)
+		}
+		sort.Ints(msgIdxs)
+		for _, idx := range msgIdxs {
+			tr := it.Msgs[idx]
 			if tr.Start < it.SendReady {
 				return fmt.Errorf("sched: %v message %v precedes send ready %v", it.Inst, tr, it.SendReady)
 			}

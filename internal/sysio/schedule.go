@@ -2,6 +2,8 @@ package sysio
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 
 	"repro/ftdse/internal/sched"
@@ -10,25 +12,40 @@ import (
 // The schedule export is the deployment artifact of the synthesis: the
 // static schedule table of every node (what the paper's real-time
 // kernel executes) and the MEDL (what the TTP controllers execute),
-// together with the worst-case analysis results. It is write-only: the
-// consumer is a target system or an external analysis, not this library.
+// together with the worst-case analysis results. WriteSchedule produces
+// it from a built schedule; ReadSchedule parses it back into a
+// ScheduleDoc so external tooling (and the round-trip fuzz targets) can
+// consume the artifact without re-running the synthesis.
 
-type scheduleJSON struct {
-	Schedulable bool      `json:"schedulable"`
-	MakespanMs  float64   `json:"makespan_ms"`
-	TardinessMs float64   `json:"tardiness_ms,omitempty"`
-	FaultModel  faultJSON `json:"fault_model"`
+// ScheduleDoc is the parsed form of the schedule export. It mirrors the
+// JSON document field by field: re-serializing an unmodified doc with
+// WriteScheduleDoc reproduces the input bytes exactly (the document
+// format is canonical — fixed key order, two-space indent, trailing
+// newline).
+type ScheduleDoc struct {
+	Schedulable bool          `json:"schedulable"`
+	MakespanMs  float64       `json:"makespan_ms"`
+	TardinessMs float64       `json:"tardiness_ms,omitempty"`
+	FaultModel  ScheduleFault `json:"fault_model"`
 
-	Nodes []nodeTableJSON `json:"nodes"`
-	MEDL  []medlJSON      `json:"medl"`
+	Nodes []NodeTable `json:"nodes"`
+	MEDL  []MEDLEntry `json:"medl"`
 }
 
-type nodeTableJSON struct {
-	Node  string      `json:"node"`
-	Table []entryJSON `json:"table"`
+// ScheduleFault is the fault hypothesis the schedule was built under.
+type ScheduleFault struct {
+	K    int     `json:"k"`
+	MuMs float64 `json:"mu_ms"`
 }
 
-type entryJSON struct {
+// NodeTable is the static schedule table of one computation node.
+type NodeTable struct {
+	Node  string       `json:"node"`
+	Table []TableEntry `json:"table"`
+}
+
+// TableEntry is one activation in a node's schedule table.
+type TableEntry struct {
 	Process     string  `json:"process"`
 	Replica     int     `json:"replica"`
 	StartMs     float64 `json:"start_ms"`
@@ -38,7 +55,8 @@ type entryJSON struct {
 	Checkpoints int     `json:"checkpoints,omitempty"`
 }
 
-type medlJSON struct {
+// MEDLEntry is one scheduled message occurrence of the bus MEDL.
+type MEDLEntry struct {
 	Label     string  `json:"label"`
 	Round     int     `json:"round"`
 	Slot      int     `json:"slot"`
@@ -49,16 +67,16 @@ type medlJSON struct {
 
 // WriteSchedule serializes a synthesized schedule.
 func WriteSchedule(w io.Writer, s *sched.Schedule) error {
-	out := scheduleJSON{
+	out := ScheduleDoc{
 		Schedulable: s.Schedulable(),
 		MakespanMs:  s.Makespan.Milliseconds(),
 		TardinessMs: s.Tardiness.Milliseconds(),
-		FaultModel:  faultJSON{K: s.In.Faults.K, MuMs: s.In.Faults.Mu.Milliseconds()},
+		FaultModel:  ScheduleFault{K: s.In.Faults.K, MuMs: s.In.Faults.Mu.Milliseconds()},
 	}
 	for _, n := range s.In.Arch.Nodes() {
-		nt := nodeTableJSON{Node: n.Name}
+		nt := NodeTable{Node: n.Name}
 		for _, it := range s.NodeSequence(n.ID) {
-			nt.Table = append(nt.Table, entryJSON{
+			nt.Table = append(nt.Table, TableEntry{
 				Process:     it.Inst.Proc.Name,
 				Replica:     it.Inst.Replica + 1,
 				StartMs:     it.NominalStart.Milliseconds(),
@@ -71,7 +89,7 @@ func WriteSchedule(w io.Writer, s *sched.Schedule) error {
 		out.Nodes = append(out.Nodes, nt)
 	}
 	for _, tr := range s.MEDL() {
-		out.MEDL = append(out.MEDL, medlJSON{
+		out.MEDL = append(out.MEDL, MEDLEntry{
 			Label:     tr.Label,
 			Round:     tr.Round,
 			Slot:      tr.Slot,
@@ -80,7 +98,79 @@ func WriteSchedule(w io.Writer, s *sched.Schedule) error {
 			ArrivalMs: tr.Arrival.Milliseconds(),
 		})
 	}
+	return WriteScheduleDoc(w, out)
+}
+
+// WriteScheduleDoc serializes a schedule document in the canonical
+// export form: the exact bytes WriteSchedule would produce for the
+// schedule the doc describes.
+func WriteScheduleDoc(w io.Writer, d ScheduleDoc) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(d)
+}
+
+// ReadSchedule parses a schedule export. The parse is strict: unknown
+// fields, trailing content and structurally invalid documents (negative
+// times, empty names, inverted intervals) are rejected, so any document
+// ReadSchedule accepts re-serializes with WriteScheduleDoc to the
+// canonical form and is stable under further round trips.
+func ReadSchedule(r io.Reader) (ScheduleDoc, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d ScheduleDoc
+	if err := dec.Decode(&d); err != nil {
+		return ScheduleDoc{}, fmt.Errorf("sysio: parsing schedule: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return ScheduleDoc{}, errors.New("sysio: trailing content after schedule document")
+	}
+	if err := d.validate(); err != nil {
+		return ScheduleDoc{}, fmt.Errorf("sysio: invalid schedule: %w", err)
+	}
+	return d, nil
+}
+
+// validate checks the structural invariants of a schedule document.
+func (d *ScheduleDoc) validate() error {
+	if d.MakespanMs < 0 {
+		return fmt.Errorf("negative makespan %v", d.MakespanMs)
+	}
+	if d.TardinessMs < 0 {
+		return fmt.Errorf("negative tardiness %v", d.TardinessMs)
+	}
+	if d.FaultModel.K < 0 || d.FaultModel.MuMs < 0 {
+		return fmt.Errorf("invalid fault model k=%d mu=%v", d.FaultModel.K, d.FaultModel.MuMs)
+	}
+	for ni, n := range d.Nodes {
+		if n.Node == "" {
+			return fmt.Errorf("node %d has no name", ni)
+		}
+		for ti, e := range n.Table {
+			switch {
+			case e.Process == "":
+				return fmt.Errorf("node %s entry %d has no process", n.Node, ti)
+			case e.Replica < 1:
+				return fmt.Errorf("node %s entry %d: replica %d < 1", n.Node, ti, e.Replica)
+			case e.StartMs < 0 || e.EndMs < e.StartMs || e.WorstCaseMs < e.EndMs:
+				return fmt.Errorf("node %s entry %d: inverted interval [%v, %v, %v]",
+					n.Node, ti, e.StartMs, e.EndMs, e.WorstCaseMs)
+			case e.Reexec < 0 || e.Checkpoints < 0:
+				return fmt.Errorf("node %s entry %d: negative redundancy", n.Node, ti)
+			}
+		}
+	}
+	for mi, m := range d.MEDL {
+		switch {
+		case m.Label == "":
+			return fmt.Errorf("medl entry %d has no label", mi)
+		case m.Round < 0 || m.Slot < 0:
+			return fmt.Errorf("medl entry %d: negative slot occurrence r%d/s%d", mi, m.Round, m.Slot)
+		case m.Bytes < 1:
+			return fmt.Errorf("medl entry %d: %d bytes", mi, m.Bytes)
+		case m.StartMs < 0 || m.ArrivalMs < m.StartMs:
+			return fmt.Errorf("medl entry %d: inverted interval [%v, %v]", mi, m.StartMs, m.ArrivalMs)
+		}
+	}
+	return nil
 }

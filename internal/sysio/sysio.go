@@ -84,6 +84,17 @@ func sortedNames(set map[model.ProcID]bool, names map[model.ProcID]string) []str
 	return out
 }
 
+// sortedKeys returns the keys of m in ascending order, so document
+// walks visit entries (and pick error messages) deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // ReadProblem parses and validates a problem document.
 func ReadProblem(r io.Reader) (core.Problem, error) {
 	var in problemJSON
@@ -116,12 +127,14 @@ func ReadProblem(r io.Reader) (core.Problem, error) {
 		nodeByName[n.Name] = n.ID
 	}
 	w := arch.NewWCET()
-	for pname, row := range in.WCETMs {
+	for _, pname := range sortedKeys(in.WCETMs) {
+		row := in.WCETMs[pname]
 		id, ok := byName[pname]
 		if !ok {
 			return core.Problem{}, fmt.Errorf("sysio: WCET for unknown process %q", pname)
 		}
-		for nname, ms := range row {
+		for _, nname := range sortedKeys(row) {
+			ms := row[nname]
 			n, ok := nodeByName[nname]
 			if !ok {
 				return core.Problem{}, fmt.Errorf("sysio: WCET of %q on unknown node %q", pname, nname)
@@ -140,7 +153,8 @@ func ReadProblem(r io.Reader) (core.Problem, error) {
 	}
 	if len(in.FixedMapping) > 0 {
 		p.FixedMapping = map[model.ProcID]arch.NodeID{}
-		for pname, nname := range in.FixedMapping {
+		for _, pname := range sortedKeys(in.FixedMapping) {
+			nname := in.FixedMapping[pname]
 			id, ok := byName[pname]
 			if !ok {
 				return core.Problem{}, fmt.Errorf("sysio: fixed mapping of unknown process %q", pname)

@@ -175,12 +175,15 @@ func NewBus(cfg Config) *Bus {
 // Reset empties the allocator for a new schedule construction over the
 // given configuration, recycling the frame storage of the previous one.
 // Reservation behaviour after Reset is identical to a fresh NewBus(cfg).
+//
+//ftdse:hotpath
 func (b *Bus) Reset(cfg Config) {
 	b.cfg = cfg
 	for key, f := range b.frames {
 		f.used = 0
 		f.msgs = f.msgs[:0]
-		b.free = append(b.free, f)
+		//ftlint:allow hotpath the free list grows to one configuration's frame count, then stays
+		b.free = append(b.free, f) //ftlint:allow determinism recycled frames are reset to identical state; free-list order varies only backing capacity, never results
 		delete(b.frames, key)
 	}
 }

@@ -32,6 +32,38 @@ func WriteSchedule(w io.Writer, s *Schedule) error {
 	return sysio.WriteSchedule(w, s)
 }
 
+// ScheduleDoc is the parsed form of the schedule export: the document
+// WriteSchedule produces, field by field. ReadSchedule returns one;
+// WriteScheduleDoc re-serializes it to the identical canonical bytes.
+type ScheduleDoc = sysio.ScheduleDoc
+
+// ScheduleFault is the fault hypothesis recorded in a schedule export.
+type ScheduleFault = sysio.ScheduleFault
+
+// NodeTable is the static schedule table of one node in a schedule
+// export.
+type NodeTable = sysio.NodeTable
+
+// TableEntry is one activation in a node's exported schedule table.
+type TableEntry = sysio.TableEntry
+
+// MEDLEntry is one message occurrence of the exported bus MEDL.
+type MEDLEntry = sysio.MEDLEntry
+
+// ReadSchedule parses a schedule export written by WriteSchedule. The
+// parse is strict — unknown fields, trailing content and structurally
+// invalid documents are rejected — so an accepted document round-trips
+// bit-identically through WriteScheduleDoc.
+func ReadSchedule(r io.Reader) (ScheduleDoc, error) {
+	return sysio.ReadSchedule(r)
+}
+
+// WriteScheduleDoc serializes a schedule document in the canonical
+// export form.
+func WriteScheduleDoc(w io.Writer, d ScheduleDoc) error {
+	return sysio.WriteScheduleDoc(w, d)
+}
+
 // WriteDesignDOT renders a synthesized design (mapping, policies and
 // messages) as a Graphviz DOT document.
 func WriteDesignDOT(w io.Writer, s *Schedule) error {

@@ -22,7 +22,7 @@ type job struct {
 
 	// ctx governs the solve; cancel fires on DELETE /jobs/{id}, on
 	// wait-mode client disconnect, and on drain.
-	ctx    context.Context
+	ctx    context.Context //ftlint:allow boundary the job owns its solve's lifecycle; this ctx is born with the job and only handed down to the worker
 	cancel context.CancelFunc
 
 	mu       sync.Mutex

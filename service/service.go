@@ -154,7 +154,7 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+		jobs = append(jobs, j) //ftlint:allow determinism drain cancels every job; cancellation order is immaterial
 	}
 	s.mu.Unlock()
 	s.workCond.Broadcast()

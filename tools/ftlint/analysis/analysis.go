@@ -1,0 +1,80 @@
+// Package analysis defines the analyzer interface of ftlint: a
+// deliberately small, dependency-free mirror of the exported surface of
+// golang.org/x/tools/go/analysis.
+//
+// The repo's main module is stdlib-only and the tools module must stay
+// buildable without network access, so ftlint cannot depend on x/tools.
+// Instead it reimplements the two pieces it needs from the standard
+// library alone: this analyzer interface, and the "go vet -vettool"
+// unitchecker protocol (package vetdriver). The shapes are kept
+// source-compatible with x/tools on purpose — if the dependency ever
+// becomes available, each pass ports by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a named checker over
+// a single type-checked package.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics, in the -NAME selection
+	// flags of the driver, and in //ftlint:allow suppressions. It must
+	// be a valid identifier.
+	Name string
+
+	// Doc is the help text: a one-line summary, a blank line, then
+	// details (the invariant enforced and the sanctioned escapes).
+	Doc string
+
+	// Run applies the pass to one package and reports findings through
+	// pass.Report. The returned value is unused by ftlint (kept for
+	// x/tools signature compatibility).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzed package to an Analyzer's Run: the
+// syntax, the type information, and the diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Module    *Module
+
+	// Report delivers one finding. Suppression (//ftlint:allow) is
+	// applied by the driver, not by passes.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several invariants (hot-path purity, wall-clock bans) apply to
+// shipped code only; test files are exempt.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	name := p.Fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// A Diagnostic is one finding of one pass at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}
+
+// Module describes the Go module containing the analyzed package, as
+// reported by the build system. Path is empty when unknown.
+type Module struct {
+	Path string
+}

@@ -1,0 +1,28 @@
+// Command ftlint is the multichecker binary bundling the repository's
+// invariant passes. It speaks the "go vet -vettool" protocol and is
+// not meant to be invoked directly:
+//
+//	go build -o /tmp/ftlint repro/ftdse/tools/ftlint/cmd/ftlint
+//	go vet -vettool=/tmp/ftlint ./...              # all passes
+//	go vet -vettool=/tmp/ftlint -boundary ./...    # one pass
+//
+// See DESIGN.md §12 for the invariant catalog, the //ftdse:hotpath
+// annotation, and the //ftlint:allow suppression convention.
+package main
+
+import (
+	"repro/ftdse/tools/ftlint/passes/boundary"
+	"repro/ftdse/tools/ftlint/passes/determinism"
+	"repro/ftdse/tools/ftlint/passes/hotpath"
+	"repro/ftdse/tools/ftlint/passes/stdlibonly"
+	"repro/ftdse/tools/ftlint/vetdriver"
+)
+
+func main() {
+	vetdriver.Main(
+		boundary.Analyzer,
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		stdlibonly.Analyzer,
+	)
+}

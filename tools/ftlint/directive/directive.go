@@ -1,0 +1,131 @@
+// Package directive parses the two source-comment conventions of
+// ftlint:
+//
+//	//ftdse:hotpath
+//	    on a function's doc comment: the function body is a guarded
+//	    allocation-free hot path; the hotpath pass checks it.
+//
+//	//ftlint:allow <analyzer> <reason>
+//	    on (or immediately above) a flagged line: suppresses findings
+//	    of the named analyzer on that line. The reason is mandatory —
+//	    a suppression without a stated reason is itself a finding.
+//
+// Suppressions are deliberately line-scoped and analyzer-scoped: there
+// is no file-wide or package-wide escape hatch, so every sanctioned
+// violation is visible (and justified) exactly where it happens.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+)
+
+const (
+	allowPrefix   = "//ftlint:allow"
+	hotpathMarker = "//ftdse:hotpath"
+)
+
+// Allow is one parsed //ftlint:allow directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+}
+
+// Sheet indexes the directives of one package's files.
+type Sheet struct {
+	// allows maps file name → line → directives on that line.
+	allows map[string]map[int][]Allow
+	// malformed directives (missing analyzer or reason) are findings in
+	// their own right; the driver reports them unconditionally.
+	malformed []analysis.Diagnostic
+}
+
+// ParseSheet scans every comment of every file for ftlint directives.
+func ParseSheet(fset *token.FileSet, files []*ast.File) *Sheet {
+	s := &Sheet{allows: make(map[string]map[int][]Allow)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.parseComment(fset, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Sheet) parseComment(fset *token.FileSet, c *ast.Comment) {
+	text := c.Text
+	if !strings.HasPrefix(text, allowPrefix) {
+		return
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return // e.g. //ftlint:allowed — not ours
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		s.malformed = append(s.malformed, analysis.Diagnostic{
+			Pos:     c.Pos(),
+			Message: "malformed directive: //ftlint:allow requires an analyzer name and a reason",
+		})
+		return
+	}
+	name := fields[0]
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+	if reason == "" {
+		s.malformed = append(s.malformed, analysis.Diagnostic{
+			Pos:     c.Pos(),
+			Message: "//ftlint:allow " + name + " requires a reason: //ftlint:allow " + name + " <why this is sanctioned>",
+		})
+		return
+	}
+	pos := fset.Position(c.Pos())
+	byLine := s.allows[pos.Filename]
+	if byLine == nil {
+		byLine = make(map[int][]Allow)
+		s.allows[pos.Filename] = byLine
+	}
+	byLine[pos.Line] = append(byLine[pos.Line], Allow{Analyzer: name, Reason: reason, Pos: c.Pos()})
+}
+
+// Suppressed reports whether a diagnostic of the named analyzer at pos
+// is covered by an //ftlint:allow on the same line or on the line
+// immediately above.
+func (s *Sheet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	byLine := s.allows[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, a := range byLine[line] {
+			if a.Analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Malformed returns the findings for directives that name no analyzer
+// or state no reason.
+func (s *Sheet) Malformed() []analysis.Diagnostic { return s.malformed }
+
+// IsHotpath reports whether fn's doc comment carries the
+// //ftdse:hotpath annotation.
+func IsHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+// Package ftltest is the fixture harness of the ftlint passes: a
+// dependency-free analogue of x/tools' analysistest, built on the
+// standard library alone (the tools module must build offline).
+//
+// A fixture package lives under testdata/src/<import-path> of the
+// pass's package. Run parses and type-checks it — imports resolve to
+// sibling fixture packages when a matching directory exists and to the
+// standard library (type-checked from GOROOT source) otherwise — and
+// applies the analyzers through vetdriver.RunAnalyzers, the same entry
+// point `go vet -vettool` uses. Suppression via //ftlint:allow and the
+// "[ftlint:NAME]" rendering therefore behave exactly as in production.
+//
+// Expectations are embedded in the fixture sources as comments:
+//
+//	keys = append(keys, k) // want `append inside range over map`
+//
+// Each `want` comment carries one or more quoted regular expressions
+// (Go-quoted or backquoted). Every expectation must be matched by a
+// distinct diagnostic reported on the same line, and every diagnostic
+// must match an expectation; either direction failing fails the test.
+// Block comments (/* want `re` */) work too, which allows pinning a
+// diagnostic on a line whose trailing line comment is itself an ftlint
+// directive under test.
+package ftltest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/vetdriver"
+)
+
+// Run checks the fixture package at importPath (under testdata/src)
+// against the `// want` expectations embedded in its sources. The
+// module path configures the analyzers' view of the containing module,
+// exactly like the Module stanza of a vet config.
+func Run(t *testing.T, testdata, modulePath, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	mismatches, err := Check(testdata, modulePath, importPath, analyzers...)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", importPath, err)
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+}
+
+// Check is Run without the *testing.T: it returns one description per
+// mismatch (an unexpected finding, or an expectation no finding
+// matched) and an error when the fixture itself cannot be loaded. An
+// empty slice means the fixture and the analyzers agree exactly — so a
+// fixture with any expectations necessarily fails when its analyzer is
+// left out, which is what makes the suites regression tests for the
+// passes' ability to detect, not just their ability to stay quiet.
+func Check(testdata, modulePath, importPath string, analyzers ...*analysis.Analyzer) ([]string, error) {
+	l := newLoader(filepath.Join(testdata, "src"))
+	pkg, files, info, err := l.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	findings := vetdriver.RunAnalyzers(l.fset, files, pkg, info, &analysis.Module{Path: modulePath}, analyzers)
+
+	expects, err := parseExpectations(l.fset, files)
+	if err != nil {
+		return nil, err
+	}
+	var mismatches []string
+	for _, f := range findings {
+		file, line, msg, ok := splitFinding(f)
+		if !ok {
+			mismatches = append(mismatches, "unparseable finding: "+f)
+			continue
+		}
+		matched := false
+		for _, e := range expects[lineKey{file, line}] {
+			if !e.matched && e.rx.MatchString(msg) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			mismatches = append(mismatches, "unexpected finding: "+f)
+		}
+	}
+	// Iterate files in their parse order (not map order) so mismatch
+	// reports are deterministic.
+	for _, f := range files {
+		name := l.fset.Position(f.Pos()).Filename
+		lines := make([]int, 0, len(expects))
+		for key := range expects {
+			if key.file == name {
+				lines = append(lines, key.line)
+			}
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			for _, e := range expects[lineKey{name, line}] {
+				if !e.matched {
+					mismatches = append(mismatches, fmt.Sprintf("%s:%d: no finding matched %q", name, line, e.rx))
+				}
+			}
+		}
+	}
+	return mismatches, nil
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations scans fixture comments for `want` markers.
+func parseExpectations(fset *token.FileSet, files []*ast.File) (map[lineKey][]*expectation, error) {
+	out := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(c.Text, "/*") {
+					text = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") && !strings.HasPrefix(text, "want\t") {
+					continue
+				}
+				rest := strings.TrimSpace(text[len("want"):])
+				if !strings.HasPrefix(rest, `"`) && !strings.HasPrefix(rest, "`") {
+					continue // prose that happens to start with "want"
+				}
+				pos := fset.Position(c.Pos())
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want expectation %q", pos, text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want pattern %q", pos, q)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					out[key] = append(out[key], &expectation{rx: rx})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+var findingRx = regexp.MustCompile(`^(.+):(\d+):(\d+): (.*)$`)
+
+// splitFinding parses one rendered finding "file:line:col: msg".
+func splitFinding(f string) (file string, line int, msg string, ok bool) {
+	m := findingRx.FindStringSubmatch(f)
+	if m == nil {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return m[1], n, m[4], true
+}
+
+// loader type-checks fixture packages. Fixture imports resolve to
+// sibling directories under src; everything else comes from the
+// standard library, type-checked from GOROOT source so no compiled
+// export data is needed.
+type loader struct {
+	fset   *token.FileSet
+	src    string
+	pkgs   map[string]*types.Package
+	stdlib types.Importer
+}
+
+func newLoader(src string) *loader {
+	l := &loader{fset: token.NewFileSet(), src: src, pkgs: make(map[string]*types.Package)}
+	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer over the fixture tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.src, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, _, _, err := l.load(path)
+		return p, err
+	}
+	return l.stdlib.Import(path)
+}
+
+// load parses and type-checks the fixture package at path.
+func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}

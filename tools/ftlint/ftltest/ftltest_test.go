@@ -1,0 +1,78 @@
+package ftltest_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/ftltest"
+)
+
+// toy flags every return statement: one fixture line expects it, one
+// suppresses it with //ftlint:allow toy.
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "flag every return statement",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(ret.Pos(), "toy finding")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// noisy flags every function declaration; the fixture expects none of
+// its findings.
+var noisy = &analysis.Analyzer{
+	Name: "noisy",
+	Doc:  "flag every function declaration",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fn.Pos(), "noisy finding")
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestAgreement(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "fix", toy)
+}
+
+// TestFailsWithoutAnalyzer pins the property the pass suites rely on:
+// a fixture with expectations reports mismatches when its analyzer is
+// not run, so the suites guard detection, not only silence.
+func TestFailsWithoutAnalyzer(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 1 || !strings.Contains(mismatches[0], "no finding matched") {
+		t.Fatalf("want exactly one missing-finding mismatch, got %q", mismatches)
+	}
+}
+
+func TestUnexpectedFindingsAreMismatches(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "fix", toy, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unexpected := 0
+	for _, m := range mismatches {
+		if strings.Contains(m, "unexpected finding") && strings.Contains(m, "noisy finding") {
+			unexpected++
+		}
+	}
+	if unexpected != 2 {
+		t.Fatalf("want 2 unexpected noisy findings, got %q", mismatches)
+	}
+}

@@ -1,0 +1,11 @@
+// Package fix exercises the harness itself with a toy analyzer that
+// flags every return statement.
+package fix
+
+func Flagged() int {
+	return 1 // want `toy finding`
+}
+
+func Suppressed() int {
+	return 2 //ftlint:allow toy fixture: suppression applies through the driver
+}

@@ -1,0 +1,3 @@
+module repro/ftdse/tools/ftlint
+
+go 1.22

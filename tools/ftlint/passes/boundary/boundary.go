@@ -1,0 +1,253 @@
+// Package boundary enforces the facade contract of the repository in
+// three parts:
+//
+//  1. Import boundary: repro/ftdse/internal/... may be imported only by
+//     packages that are themselves under internal/ and by the non-test
+//     sources of the facade package (the module root). Commands,
+//     examples, the bench harness, the service, the client, and all
+//     test files of the facade consume the public API only.
+//
+//  2. Context discipline: a function that takes a context.Context
+//     takes it as its first parameter, and no struct stores a
+//     context.Context in a field. Long-running public APIs are
+//     cancelable by construction; contexts flow down call chains, they
+//     are not parked in state.
+//
+//  3. No-copy values: values whose type transitively contains a sync
+//     or sync/atomic primitive, a conventional noCopy field, or a type
+//     on the explicit deny list (the facade Solver) must not be copied:
+//     not by value receivers, not by assignment from an existing value,
+//     not by being passed, returned, or ranged over by value. Fresh
+//     values (composite literals, constructor results) are fine.
+package boundary
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "boundary",
+	Doc: `enforce the facade boundary, context discipline, and no-copy contracts
+
+Replaces (and generalizes) the ad-hoc AST walk that lived in
+boundary_test.go: internal packages stay internal, contexts come first
+and are never stored, and lock-bearing values (including the facade
+Solver) are never copied.`,
+	Run: run,
+}
+
+// NoCopyTypes lists named types ("pkgpath.Name") that must never be
+// copied even if they carry no sync primitive: their identity is part
+// of the API contract. The facade Solver is the canonical entry.
+var NoCopyTypes = map[string]bool{
+	"repro/ftdse.Solver": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	checkImports(pass)
+	c := &checker{pass: pass, lockMemo: make(map[types.Type]int)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.visit)
+	}
+	return nil, nil
+}
+
+// checkImports is part 1: the import boundary.
+func checkImports(pass *analysis.Pass) {
+	modPath := ""
+	if pass.Module != nil {
+		modPath = pass.Module.Path
+	}
+	if modPath == "" {
+		return
+	}
+	pkgPath := pass.Pkg.Path()
+	// Test variants are reported as "path [path.test]" by the build
+	// system and as "path_test" for external test packages; normalize
+	// to the package's source directory identity.
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	pkgPath = strings.TrimSuffix(pkgPath, "_test")
+
+	internalPrefix := modPath + "/internal/"
+	if strings.HasPrefix(pkgPath, internalPrefix) || pkgPath == modPath+"/internal" {
+		return // internal packages import each other freely
+	}
+	isFacade := pkgPath == modPath
+
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !strings.HasPrefix(path, internalPrefix) {
+				continue
+			}
+			if isFacade && !pass.IsTestFile(imp.Pos()) {
+				continue // the facade's own sources are the sanctioned bridge
+			}
+			what := "only the ftdse facade may import internal packages"
+			if isFacade {
+				what = "facade tests must exercise the public API, not internal packages"
+			}
+			pass.Reportf(imp.Pos(), "import %q crosses the facade boundary: %s", path, what)
+		}
+	}
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	lockMemo map[types.Type]int // 0 unknown/in-progress, 1 no, 2 yes
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		c.checkCtxParams(n.Type)
+		if n.Recv != nil && len(n.Recv.List) == 1 {
+			if t := c.typeOf(n.Recv.List[0].Type); t != nil {
+				if _, isPtr := t.(*types.Pointer); !isPtr && c.lockBearing(t) {
+					c.pass.Reportf(n.Recv.Pos(), "method %s copies its no-copy receiver %s: use a pointer receiver", n.Name.Name, types.TypeString(t, nil))
+				}
+			}
+		}
+	case *ast.FuncLit:
+		c.checkCtxParams(n.Type)
+	case *ast.StructType:
+		for _, field := range n.Fields.List {
+			if t := c.typeOf(field.Type); t != nil && isContext(t) {
+				c.pass.Reportf(field.Pos(), "struct field stores a context.Context: pass contexts down call chains as the first parameter instead of parking them in state")
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			c.checkCopy(rhs, "assignment")
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			c.checkCopy(v, "assignment")
+		}
+	case *ast.CallExpr:
+		if c.pass.TypesInfo.Types[n.Fun].IsType() {
+			break // conversion, handled as its operand's use elsewhere
+		}
+		for _, arg := range n.Args {
+			c.checkCopy(arg, "call argument")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkCopy(r, "return value")
+		}
+	case *ast.RangeStmt:
+		if n.Value != nil {
+			if t := c.typeOf(n.Value); t != nil && c.lockBearing(t) {
+				c.pass.Reportf(n.Value.Pos(), "range copies no-copy values of type %s: range over indices or pointers instead", types.TypeString(t, nil))
+			}
+		}
+	}
+	return true
+}
+
+// checkCtxParams enforces context.Context-first on any signature that
+// takes a context at all.
+func (c *checker) checkCtxParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := c.typeOf(field.Type); t != nil && isContext(t) && pos > 0 {
+			c.pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// checkCopy flags expr when it reads an existing no-copy value by
+// value. Fresh values — composite literals, calls (constructors),
+// conversions — are not copies of anything observable.
+func (c *checker) checkCopy(expr ast.Expr, how string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	if c.pass.TypesInfo.Types[expr].IsType() {
+		return // a type argument (new(T), make(T, ...)) names T, it does not copy one
+	}
+	t := c.typeOf(expr)
+	if t == nil || !c.lockBearing(t) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "%s copies no-copy value of type %s", how, types.TypeString(t, nil))
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	return c.pass.TypesInfo.TypeOf(e)
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// lockBearing reports whether copying a value of type t duplicates
+// synchronization state or an identity-bearing API value.
+func (c *checker) lockBearing(t types.Type) bool {
+	switch c.lockMemo[t] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	c.lockMemo[t] = 1 // break recursion; cycles go through pointers anyway
+	result := c.lockBearing1(t)
+	if result {
+		c.lockMemo[t] = 2
+	}
+	return result
+}
+
+func (c *checker) lockBearing1(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			path := pkg.Path()
+			if path == "sync" || path == "sync/atomic" {
+				_, isStruct := named.Underlying().(*types.Struct)
+				return isStruct && obj.Name() != "Locker"
+			}
+			if NoCopyTypes[path+"."+obj.Name()] {
+				return true
+			}
+		}
+		return c.lockBearing(named.Underlying())
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if f.Name() == "noCopy" {
+				return true
+			}
+			if c.lockBearing(f.Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.lockBearing(t.Elem())
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package boundary_test
+
+import (
+	"testing"
+
+	"repro/ftdse/tools/ftlint/ftltest"
+	"repro/ftdse/tools/ftlint/passes/boundary"
+)
+
+func TestFacade(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse", boundary.Analyzer)
+}
+
+func TestOutsideConsumer(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse/cmdbad", boundary.Analyzer)
+}
+
+func TestInternalToInternal(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse/internal/deeper", boundary.Analyzer)
+}
+
+// TestDetection fails if the fixtures stop depending on the analyzer:
+// without the pass, their expectations must go unmatched.
+func TestDetection(t *testing.T) {
+	for _, pkg := range []string{"repro/ftdse", "repro/ftdse/cmdbad"} {
+		mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mismatches) == 0 {
+			t.Fatalf("fixture %s passes without the boundary analyzer; it no longer tests detection", pkg)
+		}
+	}
+}

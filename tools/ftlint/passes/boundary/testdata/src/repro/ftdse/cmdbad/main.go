@@ -1,0 +1,6 @@
+// Command cmdbad reaches past the facade: flagged.
+package main
+
+import "repro/ftdse/internal/guts" // want `crosses the facade boundary: only the ftdse facade may import`
+
+func main() { _ = guts.Answer() }

@@ -1,0 +1,79 @@
+// Package ftdse is the facade fixture: its non-test sources are the
+// sanctioned bridge to internal packages, its Solver is on the no-copy
+// deny list, and its signatures follow the context discipline.
+package ftdse
+
+import (
+	"context"
+	"sync"
+
+	"repro/ftdse/internal/guts"
+)
+
+// Answer bridges to the internal package: the facade's own non-test
+// sources may do this.
+func Answer() int { return guts.Answer() }
+
+// Solver matches the NoCopyTypes deny-list entry repro/ftdse.Solver.
+type Solver struct{ state int }
+
+func (s Solver) ByValue() int { // want `method ByValue copies its no-copy receiver`
+	return s.state
+}
+
+func (s *Solver) ByPointer() int { return s.state }
+
+// CopySolver copies a deny-listed value without touching any sync
+// primitive: only the deny list catches it.
+func CopySolver(s *Solver) Solver {
+	return *s // want `return value copies no-copy value of type repro/ftdse\.Solver`
+}
+
+func LockCopy(mu *sync.Mutex) {
+	m := *mu // want `assignment copies no-copy value of type sync\.Mutex`
+	m.Lock()
+}
+
+func FreshLock() *sync.Mutex {
+	return new(sync.Mutex) // naming the type is not copying a value
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func RangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies no-copy values of type repro/ftdse\.guarded`
+		total += g.n
+	}
+	return total
+}
+
+func RangeIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func CtxLast(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return ctx.Err()
+}
+
+func CtxFirst(ctx context.Context, name string) error {
+	return ctx.Err()
+}
+
+type job struct {
+	ctx context.Context // want `struct field stores a context\.Context`
+}
+
+type allowedJob struct {
+	ctx context.Context //ftlint:allow boundary fixture: the job owns its solve's lifecycle
+}
+
+// use keeps the fixture types referenced.
+func use(j job, a allowedJob) (context.Context, context.Context) { return j.ctx, a.ctx }

@@ -1,0 +1,6 @@
+package ftdse
+
+import "repro/ftdse/internal/guts" // want `facade tests must exercise the public API`
+
+// testAnswer makes the import used.
+func testAnswer() int { return guts.Answer() }

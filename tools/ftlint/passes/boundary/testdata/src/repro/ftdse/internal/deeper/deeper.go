@@ -1,0 +1,8 @@
+// Package deeper shows that internal packages import each other
+// freely: no findings.
+package deeper
+
+import "repro/ftdse/internal/guts"
+
+// Double uses the sibling internal package.
+func Double() int { return 2 * guts.Answer() }

@@ -1,0 +1,5 @@
+// Package guts is the internal dependency of the boundary fixtures.
+package guts
+
+// Answer is the only export.
+func Answer() int { return 42 }

@@ -1,0 +1,566 @@
+// Package determinism enforces the repository's bit-reproducibility
+// contract: identical inputs produce identical results — across runs,
+// across worker counts, across machines. Two families of violations
+// are flagged in non-test files:
+//
+// Map-iteration order reaching a result. Inside a `for ... range m`
+// over a map, the pass taints the iteration variables (and locals
+// derived from them) and flags order-sensitive uses:
+//
+//   - append of tainted values to a variable declared outside the loop
+//     — unless the slice is passed to sort.*/slices.Sort* later in the
+//     same block (the sanctioned collect-then-sort pattern)
+//   - assignment to an outer variable from a tainted expression, or
+//     under a tainted condition (last-iteration-wins)
+//   - compound assignment to an outer float/string accumulator
+//     (rounding and concatenation are order-sensitive; integer and
+//     bitwise accumulation is commutative and allowed)
+//   - sends of tainted values on channels
+//   - returns of tainted values, and multiple conditional returns
+//     (first-match-wins depends on iteration order)
+//   - statement-position calls passing tainted values to outer sinks
+//     (hash.Write, fmt.Fprintf, collector methods); calls on tainted
+//     receivers (per-element operations) and keyed map writes are
+//     order-independent and allowed
+//
+// Wall-clock and global randomness in the deterministic core. In
+// packages under internal/, time.Now/Since/Until are flagged (search
+// decisions must not observe wall time; sanctioned timing wrappers
+// carry //ftlint:allow determinism directives). Package-level math/rand
+// functions (the process-global source) are flagged module-wide:
+// randomized engines thread an explicitly seeded *rand.Rand.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `flag map-iteration order, wall clock, and global randomness reaching results
+
+The solver's contract is bit-identical results for any worker count;
+the service cache is keyed by a canonical fingerprint. Both die quietly
+when map iteration order, time.Now, or the global math/rand source
+leaks into an output. Sanctioned patterns (collect-then-sort, keyed map
+writes, commutative accumulation, per-element operations) are not
+flagged; sanctioned wall-clock wrappers carry //ftlint:allow.`,
+	Run: run,
+}
+
+// globalRandFuncs are the package-level math/rand(/v2) functions backed
+// by the shared process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Int32": true, "Int32N": true, "Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inInternal := false
+	for _, seg := range strings.Split(pass.Pkg.Path(), "/") {
+		if seg == "internal" {
+			inInternal = true
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						newLoopChecker(pass, n, parents).check()
+					}
+				}
+			case *ast.CallExpr:
+				checkClockAndRand(pass, n, inInternal)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkClockAndRand flags wall-clock reads in internal packages and
+// global math/rand use everywhere.
+func checkClockAndRand(pass *analysis.Pass, call *ast.CallExpr, inInternal bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. seeded rng.Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if inInternal && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core: search results must not observe wall time; route timing through a sanctioned wrapper (//ftlint:allow determinism <reason>)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "global %s.%s uses the shared process source: thread an explicitly seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// loopChecker analyzes one range-over-map statement.
+type loopChecker struct {
+	pass    *analysis.Pass
+	loop    *ast.RangeStmt
+	parents map[ast.Node]ast.Node
+	tainted map[types.Object]bool
+	// condReturns collects returns of untainted values under tainted
+	// conditions: one is an order-independent existence check, two or
+	// more race on which matching element is seen first.
+	condReturns []*ast.ReturnStmt
+	// assignCount counts assignment statements per target variable, to
+	// recognize single-site constant latches (found = true).
+	assignCount map[types.Object]int
+}
+
+func newLoopChecker(pass *analysis.Pass, loop *ast.RangeStmt, parents map[ast.Node]ast.Node) *loopChecker {
+	c := &loopChecker{pass: pass, loop: loop, parents: parents,
+		tainted: make(map[types.Object]bool), assignCount: make(map[types.Object]int)}
+	for _, v := range []ast.Expr{loop.Key, loop.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				c.tainted[obj] = true
+			}
+		}
+	}
+	return c
+}
+
+func (c *loopChecker) check() {
+	// Propagate taint through locals (two rounds reach chains like
+	// a := m[k]; b := f(a) without a full fixpoint).
+	for round := 0; round < 2; round++ {
+		ast.Inspect(c.loop.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.propagate(n.Lhs, n.Rhs)
+			case *ast.ValueSpec:
+				ids := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					ids[i] = id
+				}
+				c.propagate(ids, n.Values)
+			case *ast.RangeStmt:
+				// A nested range over a tainted collection taints its
+				// own iteration variables.
+				if n.Tok == token.DEFINE && c.taintedExpr(n.X) {
+					c.propagate([]ast.Expr{n.Key, n.Value}, []ast.Expr{n.X})
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(c.loop.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range a.Lhs {
+				if obj := rootObject(c.pass.TypesInfo, l); obj != nil {
+					c.assignCount[obj]++
+				}
+			}
+		}
+		return true
+	})
+	c.walk(c.loop.Body, false)
+	if len(c.condReturns) > 1 {
+		for _, ret := range c.condReturns[1:] {
+			c.pass.Reportf(ret.Pos(), "multiple conditional returns inside range over map: which one fires first depends on iteration order; iterate over sorted keys")
+		}
+	}
+}
+
+func (c *loopChecker) propagate(lhs, rhs []ast.Expr) {
+	anyTainted := false
+	for _, r := range rhs {
+		if c.taintedExpr(r) {
+			anyTainted = true
+		}
+	}
+	if !anyTainted {
+		return
+	}
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.declaredInside(obj) {
+				c.tainted[obj] = true
+			}
+		}
+	}
+}
+
+// walk visits the loop body; condTaint is true inside branches whose
+// condition depends on the iteration.
+func (c *loopChecker) walk(n ast.Node, condTaint bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		c.walkStmt(n.Init, condTaint)
+		if n.Cond != nil && c.taintedExpr(n.Cond) {
+			condTaint = true
+		}
+		c.walk(n.Body, condTaint)
+		c.walk(n.Else, condTaint)
+		return
+	case *ast.SwitchStmt:
+		c.walkStmt(n.Init, condTaint)
+		if n.Tag != nil && c.taintedExpr(n.Tag) {
+			condTaint = true
+		}
+		for _, cl := range n.Body.List {
+			cc := cl.(*ast.CaseClause)
+			ct := condTaint
+			for _, e := range cc.List {
+				if c.taintedExpr(e) {
+					ct = true
+				}
+			}
+			for _, s := range cc.Body {
+				c.walk(s, ct)
+			}
+		}
+		return
+	case *ast.TypeSwitchStmt:
+		ct := condTaint || c.taintedNode(n.Assign)
+		for _, cl := range n.Body.List {
+			for _, s := range cl.(*ast.CaseClause).Body {
+				c.walk(s, ct)
+			}
+		}
+		return
+	case *ast.AssignStmt:
+		c.checkAssign(n, condTaint)
+	case *ast.SendStmt:
+		if c.taintedExpr(n.Value) || condTaint {
+			c.pass.Reportf(n.Pos(), "send inside range over map publishes values in iteration order; collect and sort first")
+		}
+	case *ast.ReturnStmt:
+		c.checkReturn(n, condTaint)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			c.checkSinkCall(call)
+		}
+	}
+	for _, child := range childNodes(n) {
+		c.walk(child, condTaint)
+	}
+}
+
+func (c *loopChecker) walkStmt(s ast.Stmt, condTaint bool) {
+	if s != nil {
+		c.walk(s, condTaint)
+	}
+}
+
+func (c *loopChecker) checkAssign(n *ast.AssignStmt, condTaint bool) {
+	for i, lhs := range n.Lhs {
+		target := rootObject(c.pass.TypesInfo, lhs)
+		if target == nil || c.declaredInside(target) || c.isLoopVar(target) {
+			continue
+		}
+		// Keyed map writes are order-independent.
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := c.pass.TypesInfo.TypeOf(idx.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					continue
+				}
+			}
+		}
+		var rhs ast.Expr
+		if len(n.Rhs) == len(n.Lhs) {
+			rhs = n.Rhs[i]
+		} else if len(n.Rhs) == 1 {
+			rhs = n.Rhs[0]
+		}
+		rhsTainted := rhs != nil && c.taintedExpr(rhs)
+
+		// x = append(x, tainted...) — accumulation in iteration order.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+				if b, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "append" {
+					argsTainted := false
+					for _, a := range call.Args[1:] {
+						if c.taintedExpr(a) {
+							argsTainted = true
+						}
+					}
+					if (argsTainted || condTaint) && !c.sortedAfter(target) {
+						c.pass.Reportf(n.Pos(), "append inside range over map accumulates in iteration order; sort %s afterwards (sort.*/slices.Sort*) or iterate over sorted keys", target.Name())
+					}
+					continue
+				}
+			}
+		}
+
+		switch n.Tok {
+		case token.ASSIGN:
+			if rhsTainted || condTaint {
+				// found = true, a single constant-assignment site: the
+				// latched value cannot depend on iteration order.
+				if !rhsTainted && rhs != nil && c.pass.TypesInfo.Types[rhs].Value != nil && c.assignCount[target] == 1 {
+					continue
+				}
+				// x = e directly under `if e > x`: the extremum idiom;
+				// max/min over a set is commutative.
+				if rhs != nil && c.isExtremumAssign(n, lhs, rhs) {
+					continue
+				}
+				c.pass.Reportf(n.Pos(), "assignment to %s inside range over map: the surviving value depends on iteration order; iterate over sorted keys or make the reduction commutative", target.Name())
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			if !rhsTainted && !condTaint {
+				continue
+			}
+			if t := c.pass.TypesInfo.TypeOf(lhs); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok {
+					info := b.Info()
+					if info&types.IsInteger != 0 || info&types.IsBoolean != 0 {
+						continue // commutative: order-independent
+					}
+					kind := "accumulation on this type"
+					if info&types.IsFloat != 0 || info&types.IsComplex != 0 {
+						kind = "floating-point accumulation (rounding)"
+					} else if info&types.IsString != 0 {
+						kind = "string concatenation"
+					}
+					c.pass.Reportf(n.Pos(), "%s inside range over map is order-sensitive; iterate over sorted keys", kind)
+				}
+			}
+		case token.QUO_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+			if rhsTainted || condTaint {
+				c.pass.Reportf(n.Pos(), "non-commutative compound assignment inside range over map is order-sensitive; iterate over sorted keys")
+			}
+		}
+	}
+}
+
+// isExtremumAssign reports whether n assigns rhs to lhs in the then
+// branch of an if whose condition orders exactly that pair (if m > h
+// { h = m }). The surviving value is the maximum (or minimum) of the
+// iterated set, which no iteration order can change.
+func (c *loopChecker) isExtremumAssign(n *ast.AssignStmt, lhs, rhs ast.Expr) bool {
+	blk, ok := c.parents[n].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	ifs, ok := c.parents[blk].(*ast.IfStmt)
+	if !ok || ifs.Body != blk {
+		return false
+	}
+	cmp, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	x, y := types.ExprString(ast.Unparen(cmp.X)), types.ExprString(ast.Unparen(cmp.Y))
+	l, r := types.ExprString(ast.Unparen(lhs)), types.ExprString(ast.Unparen(rhs))
+	return (x == l && y == r) || (x == r && y == l)
+}
+
+func (c *loopChecker) checkReturn(n *ast.ReturnStmt, condTaint bool) {
+	for _, r := range n.Results {
+		if c.taintedExpr(r) {
+			c.pass.Reportf(n.Pos(), "return of an iteration-dependent value inside range over map: which element is returned depends on iteration order; iterate over sorted keys")
+			return
+		}
+	}
+	if condTaint {
+		c.condReturns = append(c.condReturns, n)
+	}
+}
+
+// checkSinkCall flags statement-position calls that push tainted values
+// into outer sinks (writers, hashes, collectors). Per-element calls —
+// tainted receiver, e.g. v.Close() — and builtin delete/clear are
+// order-independent.
+func (c *loopChecker) checkSinkCall(call *ast.CallExpr) {
+	argTainted := false
+	for _, a := range call.Args {
+		if c.taintedExpr(a) {
+			argTainted = true
+		}
+	}
+	if !argTainted {
+		return
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "delete", "clear", "panic", "print", "println":
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if recv := rootObject(c.pass.TypesInfo, fun.X); recv != nil && c.tainted[recv] {
+			return // per-element operation on the iterated value
+		}
+	}
+	c.pass.Reportf(call.Pos(), "call publishes iteration-dependent values in map order; collect into a slice and sort first")
+}
+
+// sortedAfter reports whether a sort.*/slices.Sort* call on obj follows
+// the loop in its enclosing statement list: the sanctioned
+// collect-then-sort pattern.
+func (c *loopChecker) sortedAfter(obj types.Object) bool {
+	list := stmtList(c.parents[c.loop])
+	idx := -1
+	for i, s := range list {
+		if s == ast.Stmt(c.loop) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, s := range list[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		arg := ast.Unparen(call.Args[0])
+		// Unwrap sort.Sort(byName(keys))-style adapter conversions.
+		if conv, ok := arg.(*ast.CallExpr); ok && len(conv.Args) == 1 && c.pass.TypesInfo.Types[conv.Fun].IsType() {
+			arg = ast.Unparen(conv.Args[0])
+		}
+		if rootObject(c.pass.TypesInfo, arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *loopChecker) isLoopVar(obj types.Object) bool {
+	return c.tainted[obj] && !c.declaredInside(obj)
+}
+
+// declaredInside reports whether obj is declared within the loop body.
+func (c *loopChecker) declaredInside(obj types.Object) bool {
+	return obj.Pos() >= c.loop.Body.Lbrace && obj.Pos() <= c.loop.Body.Rbrace
+}
+
+// taintedExpr reports whether e references a tainted variable.
+func (c *loopChecker) taintedExpr(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return c.taintedNode(e)
+}
+
+func (c *loopChecker) taintedNode(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil && c.tainted[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the base variable of x / x.f / x[i] / (*x).f.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// stmtList extracts the statement list of a block-like parent node.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// buildParents maps every node of f to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// childNodes returns the direct children of n.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

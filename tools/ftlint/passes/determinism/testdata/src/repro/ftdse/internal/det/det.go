@@ -1,0 +1,178 @@
+// Package det is the determinism fixture: every flagged line carries a
+// want expectation; the unflagged functions pin the sanctioned
+// patterns (collect-then-sort, keyed writes, commutative accumulation,
+// extremum, latch, per-element calls, seeded randomness).
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock and global randomness ---
+
+func Clock() time.Duration {
+	start := time.Now()      // want `time\.Now in the deterministic core`
+	return time.Since(start) // want `time\.Since in the deterministic core`
+}
+
+func AllowedClock() time.Time {
+	return time.Now() //ftlint:allow determinism fixture: sanctioned wrapper
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn uses the shared process source`
+}
+
+func SeededRand(r *rand.Rand) int {
+	return r.Intn(10) // seeded source, method call: fine
+}
+
+// --- map iteration order reaching results ---
+
+func LastWins(m map[string]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want `assignment to last inside range over map`
+	}
+	return last
+}
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside range over map`
+	}
+	return keys
+}
+
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation`
+	}
+	return sum
+}
+
+func Concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `string concatenation`
+	}
+	return s
+}
+
+func IntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // commutative: fine
+	}
+	return sum
+}
+
+func Keyed(m, out map[string]int) {
+	for k, v := range m {
+		out[k] = 2 * v // keyed map write: fine
+	}
+}
+
+func FirstMatch(m map[string]int) string {
+	for k, v := range m {
+		if v > 10 {
+			return k // want `return of an iteration-dependent value`
+		}
+	}
+	return ""
+}
+
+func WhichFirst(m map[string]int) string {
+	for _, v := range m {
+		if v == 1 {
+			return "one"
+		}
+		if v == 2 {
+			return "two" // want `multiple conditional returns`
+		}
+	}
+	return ""
+}
+
+func Exists(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true // one conditional return: an existence check
+		}
+	}
+	return false
+}
+
+func Extremum(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v // max over the values: commutative
+		}
+	}
+	return best
+}
+
+func Latch(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true // single-site constant latch: order-free
+		}
+	}
+	return found
+}
+
+func Publish(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `call publishes iteration-dependent values`
+	}
+}
+
+func PerElement(m map[string]*Closer) {
+	for _, v := range m {
+		v.Close() // per-element call on the iterated value: fine
+	}
+}
+
+type Closer struct{ open bool }
+
+func (c *Closer) Close() { c.open = false }
+
+func Send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send inside range over map`
+	}
+}
+
+func Nested(m map[string][]int) int {
+	var last int
+	for _, vs := range m {
+		for _, v := range vs {
+			last = v // want `assignment to last inside range over map`
+		}
+	}
+	return last
+}
+
+func Allowed(m map[string]int) int {
+	var last int
+	for _, v := range m {
+		last = v //ftlint:allow determinism fixture: order independence proven elsewhere
+	}
+	return last
+}

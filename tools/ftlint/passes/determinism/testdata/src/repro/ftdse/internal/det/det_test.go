@@ -1,0 +1,10 @@
+package det
+
+import "time"
+
+// Test files are exempt from the determinism pass: wall-clock reads in
+// tests (timeouts, benchmarks) are fine.
+func testOnlyClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,347 @@
+// Package hotpath statically guards the allocation-free hot path that
+// PR 5's benchmarks established dynamically (−92% allocs/op on the
+// move evaluator). Functions annotated with a //ftdse:hotpath doc
+// directive must not contain allocation sites in their own bodies.
+//
+// The pass flags, inside annotated functions (non-test files only):
+//
+//   - make, new, and address-taken or reference-kind composite
+//     literals (&T{...}, []T{...}, map[K]V{...})
+//   - append (growth cannot be excluded statically)
+//   - function literals (closure allocation + captures)
+//   - go statements (new goroutine ⇒ new stack)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//     (except conversions the compiler elides, e.g. m[string(b)])
+//   - calls to well-known allocating helpers (fmt.Sprintf & friends,
+//     strings.Join/Repeat, strconv.Itoa/Format*/Quote, *.Clone)
+//   - implicit boxing: a non-constant concrete value meeting an
+//     interface type at a call argument, assignment, or return
+//
+// Escapes are deliberate and visible: error exits are exempt (any
+// allocation inside a return statement that also returns a non-nil
+// error — failure paths abort the hot loop), and every remaining
+// intentional site (arena warm-up, amortized capacity growth) carries
+// an //ftlint:allow hotpath <reason> directive. The annotation guards
+// a function's own body only; annotate callees to extend coverage down
+// the call chain.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: `flag allocation sites inside //ftdse:hotpath-annotated functions
+
+The scheduler's steady-state build path (sched.BuildInto and the
+builder methods under it), the move evaluator's per-candidate path, the
+policy expansion arena, and the TTP bus recycler are annotated; this
+pass fails any new allocation introduced into them. Intentional
+cold-start allocations carry //ftlint:allow hotpath directives with
+reasons.`,
+	Run: run,
+}
+
+// allocatingCalls are package-level stdlib helpers that allocate their
+// result by contract (their Append*/WriteTo shaped siblings do not).
+var allocatingCalls = map[string]bool{
+	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true, "fmt.Errorf": true,
+	"strings.Join": true, "strings.Repeat": true, "strings.ToUpper": true, "strings.ToLower": true,
+	"strconv.Itoa": true, "strconv.FormatInt": true, "strconv.FormatUint": true,
+	"strconv.FormatFloat": true, "strconv.Quote": true,
+	"bytes.Clone": true, "slices.Clone": true, "maps.Clone": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !directive.IsHotpath(fn) {
+				continue
+			}
+			if pass.IsTestFile(fn.Pos()) {
+				continue
+			}
+			w := &walker{pass: pass, info: pass.TypesInfo}
+			if sig, ok := pass.TypesInfo.TypeOf(fn.Name).(*types.Signature); ok {
+				w.sigs = append(w.sigs, sig)
+			}
+			w.node(fn.Body, nil)
+		}
+	}
+	return nil, nil
+}
+
+// walker traverses one hot function. Traversal is manual so that each
+// node knows its parent (for elided-conversion contexts) and the
+// signature stack (for return boxing through nested literals).
+type walker struct {
+	pass *analysis.Pass
+	info *types.Info
+	sigs []*types.Signature // enclosing function signatures, innermost last
+}
+
+func (w *walker) node(n ast.Node, parent ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		if w.isErrorReturn(n) {
+			return // failure exit: allocations here do not run in steady state
+		}
+		w.checkReturnBoxing(n)
+
+	case *ast.GoStmt:
+		w.pass.Reportf(n.Pos(), "go statement in hot path: goroutine start allocates; hoist the worker spawn out of the annotated function")
+
+	case *ast.FuncLit:
+		w.pass.Reportf(n.Pos(), "function literal in hot path: closures allocate; hoist the literal or use a named method")
+		if sig, ok := w.info.TypeOf(n).(*types.Signature); ok {
+			w.sigs = append(w.sigs, sig)
+			defer func() { w.sigs = w.sigs[:len(w.sigs)-1] }()
+		}
+
+	case *ast.CompositeLit:
+		w.checkComposite(n, parent)
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && w.info.Types[n].Value == nil {
+			if t := w.info.TypeOf(n); t != nil && isString(t) {
+				w.pass.Reportf(n.Pos(), "string concatenation in hot path allocates; append into a reused byte buffer instead")
+			}
+		}
+
+	case *ast.CallExpr:
+		w.checkCall(n, parent)
+
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if len(n.Lhs) == len(n.Rhs) {
+				w.checkBoxing(rhs, w.info.TypeOf(n.Lhs[i]), "assignment")
+			}
+		}
+
+	case *ast.ValueSpec:
+		if n.Type != nil {
+			want := w.info.TypeOf(n.Type)
+			for _, v := range n.Values {
+				w.checkBoxing(v, want, "assignment")
+			}
+		}
+	}
+
+	for _, child := range children(n) {
+		w.node(child, n)
+	}
+}
+
+// isErrorReturn reports whether ret returns a non-nil error value —
+// the statically recognizable failure exit.
+func (w *walker) isErrorReturn(ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := w.info.TypeOf(r)
+		if t != nil && types.AssignableTo(t, errType) {
+			return true
+		}
+	}
+	return false
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func (w *walker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	if len(w.sigs) == 0 {
+		return
+	}
+	results := w.sigs[len(w.sigs)-1].Results()
+	if results.Len() != len(ret.Results) {
+		return // naked return or single call expansion
+	}
+	for i, r := range ret.Results {
+		w.checkBoxing(r, results.At(i).Type(), "return")
+	}
+}
+
+func (w *walker) checkComposite(lit *ast.CompositeLit, parent ast.Node) {
+	t := w.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		w.pass.Reportf(u.Pos(), "&%s composite literal in hot path allocates; reuse an arena slot", typeLabel(t))
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		if _, inKV := parent.(*ast.CompositeLit); inKV && w.info.Types[lit].IsValue() && lit.Type == nil {
+			// elided inner literal of an outer (already flagged) literal
+			return
+		}
+		w.pass.Reportf(lit.Pos(), "%s literal in hot path allocates; reuse a scratch buffer", typeLabel(t))
+	}
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, parent ast.Node) {
+	// Conversions.
+	if w.info.Types[call.Fun].IsType() {
+		w.checkConversion(call, parent)
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.pass.Reportf(call.Pos(), "make in hot path allocates; take the buffer from the scratch arena")
+			case "new":
+				w.pass.Reportf(call.Pos(), "new in hot path allocates; reuse an arena slot")
+			case "append":
+				w.pass.Reportf(call.Pos(), "append in hot path may grow its backing array; reserve capacity in the scratch and justify with //ftlint:allow hotpath if growth is amortized")
+			}
+			return
+		}
+	}
+	// Known allocating helpers.
+	if fn := typeutilCallee(w.info, call); fn != nil && fn.Pkg() != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			if allocatingCalls[fn.Pkg().Path()+"."+fn.Name()] {
+				w.pass.Reportf(call.Pos(), "%s.%s in hot path allocates its result; format into a reused buffer instead", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+	// Boxing at call arguments.
+	sig, ok := w.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var want types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			want = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			want = params.At(i).Type()
+		}
+		w.checkBoxing(arg, want, "call argument")
+	}
+}
+
+func (w *walker) checkConversion(call *ast.CallExpr, parent ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to, from := w.info.TypeOf(call), w.info.TypeOf(call.Args[0])
+	if to == nil || from == nil {
+		return
+	}
+	switch {
+	case isString(to) && (isByteSlice(from) || isRuneSlice(from)):
+		// m[string(b)] and comparisons are elided by the compiler.
+		if idx, ok := parent.(*ast.IndexExpr); ok {
+			if t := w.info.TypeOf(idx.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return
+				}
+			}
+		}
+		w.pass.Reportf(call.Pos(), "%s conversion in hot path copies the bytes; keep one representation", typeLabel(to))
+	case (isByteSlice(to) || isRuneSlice(to)) && isString(from):
+		w.pass.Reportf(call.Pos(), "%s conversion in hot path copies the string; keep one representation", typeLabel(to))
+	}
+}
+
+// checkBoxing flags expr when a non-constant concrete value meets an
+// interface type: the conversion heap-allocates in the general case.
+func (w *walker) checkBoxing(expr ast.Expr, want types.Type, where string) {
+	if want == nil || !types.IsInterface(want) {
+		return
+	}
+	if _, isTypeParam := want.(*types.TypeParam); isTypeParam {
+		return
+	}
+	tv, ok := w.info.Types[expr]
+	if !ok || tv.Value != nil { // constants convert to static descriptors
+		return
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) {
+		return
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return // pointer-shaped: the interface data word holds the value directly
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	w.pass.Reportf(expr.Pos(), "%s boxes %s into %s: interface conversion allocates; keep the hot path monomorphic", where, typeLabel(t), typeLabel(want))
+}
+
+// typeutilCallee resolves the static *types.Func of a call, if any.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool { return isSliceOf(t, types.Byte) }
+func isRuneSlice(t types.Type) bool { return isSliceOf(t, types.Rune) }
+
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// children returns the direct child nodes of n, in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,24 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/ftdse/tools/ftlint/ftltest"
+	"repro/ftdse/tools/ftlint/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "hot", hotpath.Analyzer)
+}
+
+// TestDetection fails if the fixture stops depending on the analyzer:
+// without the pass, its expectations must go unmatched.
+func TestDetection(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("fixture passes without the hotpath analyzer; it no longer tests detection")
+	}
+}

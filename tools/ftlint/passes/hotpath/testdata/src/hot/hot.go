@@ -1,0 +1,110 @@
+// Package hot is the hotpath fixture: allocation sites inside
+// //ftdse:hotpath-annotated functions are flagged; unannotated twins,
+// error exits, elided conversions, pointer-shaped boxing and
+// //ftlint:allow'd lines are not.
+package hot
+
+import "fmt"
+
+type S struct{ x int }
+
+//ftdse:hotpath
+func Make(n int) []int {
+	buf := make([]int, n) // want `make in hot path allocates`
+	return buf
+}
+
+// MakeCold is the unannotated twin: same body, no findings.
+func MakeCold(n int) []int {
+	return make([]int, n)
+}
+
+//ftdse:hotpath
+func Grow(dst []int, v int) []int {
+	dst = append(dst, v) // want `append in hot path may grow its backing array`
+	return dst
+}
+
+//ftdse:hotpath
+func GrowAllowed(dst []int, v int) []int {
+	dst = append(dst, v) //ftlint:allow hotpath fixture: capacity reserved by the caller
+	return dst
+}
+
+//ftdse:hotpath
+func GrowUnjustified(dst []int, v int) []int {
+	dst = append(dst, v) /* want `append in hot path` `requires a reason` */ //ftlint:allow hotpath
+	return dst
+}
+
+//ftdse:hotpath
+func New() *S {
+	return new(S) // want `new in hot path allocates`
+}
+
+//ftdse:hotpath
+func Fresh() *S {
+	return &S{} // want `&hot\.S composite literal in hot path allocates`
+}
+
+//ftdse:hotpath
+func Literal() []int {
+	return []int{1, 2, 3} // want `\[\]int literal in hot path allocates`
+}
+
+//ftdse:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf in hot path allocates its result` `call argument boxes int into any`
+}
+
+//ftdse:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation in hot path allocates`
+}
+
+//ftdse:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `\[\]byte conversion in hot path copies the string`
+}
+
+//ftdse:hotpath
+func MapKey(m map[string]int, b []byte) int {
+	return m[string(b)] // elided by the compiler: fine
+}
+
+//ftdse:hotpath
+func Box(v int) any {
+	return v // want `return boxes int into any`
+}
+
+//ftdse:hotpath
+func BoxArg(v int) {
+	sink(v) // want `call argument boxes int into any`
+}
+
+func sink(any) {}
+
+//ftdse:hotpath
+func PointerBox(p *S) any {
+	return p // pointer-shaped: the interface word holds it directly
+}
+
+//ftdse:hotpath
+func Spawn(done chan struct{}) {
+	go waiter(done) // want `go statement in hot path`
+}
+
+func waiter(done chan struct{}) { <-done }
+
+//ftdse:hotpath
+func Closure(n int) func() int {
+	return func() int { return n } // want `function literal in hot path`
+}
+
+//ftdse:hotpath
+func ErrorExit(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative %d", n) // failure exit: exempt
+	}
+	return n, nil
+}

@@ -1,0 +1,59 @@
+// Package stdlibonly enforces the zero-dependency invariant of the
+// main module: every import of every file (tests included — the module
+// has no test dependencies either) is either a standard-library
+// package or a package of the module itself.
+//
+// External packages are recognized by the module-path convention the
+// toolchain itself relies on: an import path whose first segment
+// contains a dot is a module outside the standard library. Cgo
+// ("import C") is also flagged — the module is pure Go.
+package stdlibonly
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "stdlibonly",
+	Doc: `enforce that the module imports only the standard library and itself
+
+The main module's go.mod carries zero require directives, which keeps
+the reproduction hermetic: it builds offline, forever, with nothing but
+a Go toolchain. This pass fails any import whose first path segment
+contains a dot (the conventional marker of a non-stdlib module) unless
+the path belongs to the analyzed module, and fails "C" (cgo).`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	modPath := ""
+	if pass.Module != nil {
+		modPath = pass.Module.Path
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "C" {
+				pass.Reportf(imp.Pos(), "import %q: the module is pure Go; cgo is not available", path)
+				continue
+			}
+			if modPath != "" && (path == modPath || strings.HasPrefix(path, modPath+"/")) {
+				continue
+			}
+			first := path
+			if i := strings.IndexByte(first, '/'); i >= 0 {
+				first = first[:i]
+			}
+			if strings.Contains(first, ".") {
+				pass.Reportf(imp.Pos(), "import %q: the module is stdlib-only (go.mod has zero requirements); vendoring-by-dependency is not an option here", path)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,24 @@
+package stdlibonly_test
+
+import (
+	"testing"
+
+	"repro/ftdse/tools/ftlint/ftltest"
+	"repro/ftdse/tools/ftlint/passes/stdlibonly"
+)
+
+func TestStdlibOnly(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse/dep", stdlibonly.Analyzer)
+}
+
+// TestDetection fails if the fixture stops depending on the analyzer:
+// without the pass, its expectations must go unmatched.
+func TestDetection(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "repro/ftdse/dep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("fixture passes without the stdlibonly analyzer; it no longer tests detection")
+	}
+}

@@ -1,0 +1,5 @@
+// Package extdep stands in for a third-party module.
+package extdep
+
+// Use does nothing.
+func Use() {}

@@ -1,0 +1,3 @@
+package dep
+
+import "C" // want `the module is pure Go; cgo is not available`

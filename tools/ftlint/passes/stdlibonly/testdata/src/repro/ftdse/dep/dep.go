@@ -1,0 +1,18 @@
+// Package dep is the stdlibonly fixture: stdlib and module-own imports
+// pass, external modules and cgo are flagged.
+package dep
+
+import (
+	"sort"
+
+	"example.com/extdep" // want `the module is stdlib-only`
+
+	"repro/ftdse/internal/guts"
+)
+
+// Use references every import.
+func Use(xs []int) int {
+	sort.Ints(xs)
+	extdep.Use()
+	return guts.Answer()
+}

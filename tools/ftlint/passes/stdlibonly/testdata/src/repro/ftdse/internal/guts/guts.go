@@ -1,0 +1,5 @@
+// Package guts stands in for a module-internal package.
+package guts
+
+// Answer is the only export.
+func Answer() int { return 42 }

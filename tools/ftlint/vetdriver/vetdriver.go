@@ -1,0 +1,334 @@
+// Package vetdriver implements the command-line protocol that "go vet
+// -vettool" speaks to an analysis tool, using only the standard
+// library. The protocol (normally provided by x/tools' unitchecker,
+// which this module cannot depend on) is:
+//
+//	tool -V=full      print "<tool> version devel ... buildID=<hex>"
+//	                  (the build system's cache key for the tool)
+//	tool -flags       print the tool's flags as JSON
+//	                  (the build system validates user flags against it)
+//	tool foo.cfg      analyze the one compilation unit described by the
+//	                  JSON config file: parse its Go files, type-check
+//	                  against the export data the build system already
+//	                  produced, run the passes, print diagnostics as
+//	                  "file:line:col: message" on stderr, exit non-zero
+//	                  on findings, and write the (empty — ftlint has no
+//	                  cross-package facts) VetxOutput file
+//
+// Selection flags named after each pass (-determinism, -boundary, ...)
+// restrict the run, mirroring multichecker semantics: any flag set true
+// runs only those passes; flags set false run all but those.
+package vetdriver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/directive"
+)
+
+// Config mirrors the JSON compilation-unit description written by
+// cmd/go for vet tools. Field names are the wire format; unused fields
+// are kept so the whole file round-trips during debugging.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the protocol for the given passes and does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "ftlint"
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the build system)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for the build system)")
+	enabled := make(map[*analysis.Analyzer]*bool)
+	for _, a := range analyzers {
+		enabled[a] = flag.Bool(a.Name, false, "enable "+a.Name+" analysis")
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `ftlint statically enforces this repository's invariants.
+
+Usage (driven by the build system, not directly):
+	go vet -vettool=$(command -v ftlint) ./...
+	go vet -vettool=... -boundary ./...      # one pass only
+
+Passes:
+`)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "	%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		os.Exit(1)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// Multichecker-style selection: explicit true flags win; with none,
+	// everything runs. (go vet passes -NAME=false for deselection.)
+	var anyTrue bool
+	for _, a := range analyzers {
+		if *enabled[a] {
+			anyTrue = true
+		}
+	}
+	if anyTrue {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			if *enabled[a] {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+	}
+	os.Exit(Run(args[0], analyzers))
+}
+
+// Run analyzes the unit described by cfgFile and returns the process
+// exit code.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ftlint exports no facts, but the build system caches the vetx
+	// output file as this action's artifact; write it unconditionally.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("ftlint has no facts\n"), 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, and we have none
+	}
+
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// analyze parses, type-checks and runs the passes over one unit,
+// returning rendered diagnostics.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil // the compiler will report it
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	module := &analysis.Module{Path: cfg.ModulePath}
+	return RunAnalyzers(fset, files, pkg, info, module, analyzers), nil
+}
+
+// RunAnalyzers executes the passes over one type-checked package,
+// applies //ftlint:allow suppression, appends malformed-directive
+// findings, and returns rendered, position-sorted diagnostics. Shared
+// by the vet protocol and by in-process callers (the fixture harness
+// and the repo's boundary test).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module *analysis.Module, analyzers []*analysis.Analyzer) []string {
+	sheet := directive.ParseSheet(fset, files)
+
+	type located struct {
+		pos  token.Position
+		text string
+	}
+	var out []located
+	report := func(name string, d analysis.Diagnostic) {
+		out = append(out, located{fset.Position(d.Pos), fmt.Sprintf("%s [ftlint:%s]", d.Message, name)})
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Module:    module,
+			Report: func(d analysis.Diagnostic) {
+				if !sheet.Suppressed(fset, a.Name, d.Pos) {
+					report(a.Name, d)
+				}
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			report(a.Name, analysis.Diagnostic{Pos: token.NoPos, Message: "analyzer failed: " + err.Error()})
+		}
+	}
+	for _, d := range sheet.Malformed() {
+		report("directive", d)
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	rendered := make([]string, len(out))
+	for i, d := range out {
+		rendered[i] = fmt.Sprintf("%s: %s", d.pos, d.text)
+	}
+	return rendered
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full contract of cmd/go's toolID: the
+// output must be "<name> version devel ... buildID=<content-id>" so the
+// build cache invalidates vet results when the tool binary changes.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel buildID=%x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
