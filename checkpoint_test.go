@@ -1,0 +1,191 @@
+package ftdse_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/ftdse"
+)
+
+// checkpointProblem builds a small three-process pipeline used by the
+// checkpoint and warm-start tests.
+func checkpointProblem(t testing.TB) ftdse.Problem {
+	t.Helper()
+	b := ftdse.NewProblem("ckpt").Nodes(2)
+	g := b.Graph("G", ftdse.Ms(1000), ftdse.Ms(400))
+	p1 := g.Process("P1", ftdse.Ms(10), ftdse.Ms(12))
+	p2 := g.Process("P2", ftdse.Ms(20), ftdse.Ms(22))
+	p3 := g.Process("P3", ftdse.Ms(30), ftdse.Ms(32))
+	g.Edge(p1, p2, 2).Edge(p2, p3, 2)
+	p, err := b.Faults(1, ftdse.Ms(5)).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p := checkpointProblem(t)
+	var last ftdse.Improvement
+	res, err := ftdse.NewSolver(ftdse.WithProgress(func(imp ftdse.Improvement) {
+		last = imp
+	})).Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(last.Design) == 0 {
+		t.Fatal("progress observer saw no design snapshot")
+	}
+
+	c, err := ftdse.NewCheckpoint(p, "fp-123", last)
+	if err != nil {
+		t.Fatalf("NewCheckpoint: %v", err)
+	}
+	if c.Version != ftdse.CheckpointVersion || c.Fingerprint != "fp-123" {
+		t.Fatalf("checkpoint header = %+v", c)
+	}
+	if len(c.Design) != p.NumProcesses() {
+		t.Fatalf("checkpoint covers %d processes, want %d", len(c.Design), p.NumProcesses())
+	}
+
+	var first bytes.Buffer
+	if err := ftdse.WriteCheckpoint(&first, c); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	c2, err := ftdse.ReadCheckpoint(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCheckpoint: %v\ndoc:\n%s", err, first.Bytes())
+	}
+	var second bytes.Buffer
+	if err := ftdse.WriteCheckpoint(&second, c2); err != nil {
+		t.Fatalf("re-serializing: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("checkpoint round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+			first.Bytes(), second.Bytes())
+	}
+
+	// The design must resolve back to the exact incumbent assignment.
+	d, err := ftdse.CheckpointDesign(p, c2)
+	if err != nil {
+		t.Fatalf("CheckpointDesign: %v", err)
+	}
+	if !reflect.DeepEqual(d, res.Design) {
+		t.Fatalf("resolved design differs from incumbent:\ngot  %v\nwant %v", d, res.Design)
+	}
+}
+
+func TestCheckpointRejectsInvalid(t *testing.T) {
+	p := checkpointProblem(t)
+	cases := []struct{ name, doc string }{
+		{"empty", `{}`},
+		{"bad version", `{"version":2,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N1"}]}}`},
+		{"unknown field", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N1"}]},"extra":1}`},
+		{"no design", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{}}`},
+		{"no replicas", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[]}}`},
+		{"trailing", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N1"}]}}{}`},
+		{"schedulable with tardiness", `{"version":1,"iteration":0,"schedulable":true,"makespan_ms":1,"tardiness_ms":3,"design":{"P1":[{"node":"N1"}]}}`},
+	}
+	for _, tc := range cases {
+		if _, err := ftdse.ReadCheckpoint(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: ReadCheckpoint accepted %s", tc.name, tc.doc)
+		}
+	}
+
+	// A checkpoint that parses but does not fit the problem must be
+	// rejected by CheckpointDesign, not silently mis-resolved.
+	for _, tc := range []struct{ name, doc string }{
+		{"unknown process", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N1"}],"P2":[{"node":"N1"}],"P3":[{"node":"N1"}],"P9":[{"node":"N1"}]}}`},
+		{"unknown node", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N9"}],"P2":[{"node":"N1"}],"P3":[{"node":"N1"}]}}`},
+		{"missing process", `{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P1":[{"node":"N1"}]}}`},
+	} {
+		c, err := ftdse.ReadCheckpoint(strings.NewReader(tc.doc))
+		if err != nil {
+			t.Fatalf("%s: doc does not parse: %v", tc.name, err)
+		}
+		if _, err := ftdse.CheckpointDesign(p, c); err == nil {
+			t.Errorf("%s: CheckpointDesign resolved an ill-fitting checkpoint", tc.name)
+		}
+	}
+}
+
+func TestWarmStartNeverWorse(t *testing.T) {
+	p := checkpointProblem(t)
+	full, err := ftdse.NewSolver().Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+
+	// A warm start from the cold incumbent with almost no search budget
+	// must still end at or below the incumbent's cost: the warm start is
+	// adopted through the monotone publish gate before the engines run.
+	warm, err := ftdse.NewSolver(
+		ftdse.WithMaxIterations(1),
+		ftdse.WithWarmStart(full.Design),
+	).Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if full.Cost.Less(warm.Cost) {
+		t.Fatalf("warm-started cost %v regressed past warm start %v", warm.Cost, full.Cost)
+	}
+
+	// Determinism: the same problem, options and warm start twice.
+	again, err := ftdse.NewSolver(
+		ftdse.WithMaxIterations(1),
+		ftdse.WithWarmStart(full.Design),
+	).Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("second warm solve: %v", err)
+	}
+	if !reflect.DeepEqual(warm.Design, again.Design) || warm.Cost != again.Cost {
+		t.Fatalf("warm-started solve is not deterministic:\nfirst  %v %v\nsecond %v %v",
+			warm.Cost, warm.Design, again.Cost, again.Design)
+	}
+}
+
+func TestWarmStartInvalidIsSkipped(t *testing.T) {
+	p := checkpointProblem(t)
+	cold, err := ftdse.NewSolver().Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+
+	// An ill-fitting warm start (unknown node) degrades to a cold start
+	// instead of failing the solve.
+	bad := ftdse.Design{}
+	for _, proc := range p.Processes() {
+		bad[proc.ID] = ftdse.Reexecution(99, p.Faults().K)
+	}
+	got, err := ftdse.NewSolver(ftdse.WithWarmStart(bad)).Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("solve with invalid warm start: %v", err)
+	}
+	if !reflect.DeepEqual(got.Design, cold.Design) {
+		t.Fatalf("invalid warm start changed the result:\ngot  %v\nwant %v", got.Design, cold.Design)
+	}
+}
+
+func TestWarmStartObserverOwnsDesign(t *testing.T) {
+	p := checkpointProblem(t)
+	// Mutating the snapshot delivered to the observer must not disturb
+	// the search: the Improvement carries a private clone.
+	res, err := ftdse.NewSolver(ftdse.WithProgress(func(imp ftdse.Improvement) {
+		for id := range imp.Design {
+			imp.Design[id] = ftdse.Policy{}
+		}
+	})).Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ref, err := ftdse.NewSolver().Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	if !reflect.DeepEqual(res.Design, ref.Design) {
+		t.Fatal("observer mutation of Improvement.Design leaked into the search")
+	}
+}

@@ -5,7 +5,10 @@
 //
 // The client maps the service's backpressure onto a typed error:
 // submissions rejected by a full queue return a *QueueFullError
-// carrying the server's Retry-After hint.
+// carrying the server's Retry-After hint. By default the error is
+// surfaced immediately; WithRetry turns it into bounded, jittered
+// waiting, and WithFallback adds spare base URLs (a coordinator's
+// nodes, or replicas) tried when the current one is unreachable.
 package client
 
 import (
@@ -18,25 +21,56 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/ftdse"
 	"repro/ftdse/service"
 )
 
-// Client talks to one ftdsed instance.
+// Client talks to one ftdsed (or ftclusterd) instance, with optional
+// retry and base-URL failover. All methods are safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	http  *http.Client
+	retry retryPolicy
+
+	mu    sync.Mutex
+	bases []string // rotation order; bases[cur] is the current target
+	cur   int
+	rng   jitterSource
 }
+
+// Option configures a Client (see WithRetry, WithFallback).
+type Option func(*Client)
 
 // New returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:8385"). A nil httpClient uses http.DefaultClient.
-func New(baseURL string, httpClient *http.Client) *Client {
+func New(baseURL string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{bases: []string{strings.TrimRight(baseURL, "/")}, http: httpClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// base returns the current base URL.
+func (c *Client) baseURL() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[c.cur]
+}
+
+// failover rotates to the next base URL after from failed, unless a
+// concurrent caller already rotated away from it.
+func (c *Client) failover(from string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bases[c.cur] == from && len(c.bases) > 1 {
+		c.cur = (c.cur + 1) % len(c.bases)
+	}
 }
 
 // QueueFullError reports a submission rejected by the service's
@@ -77,21 +111,57 @@ func apiError(resp *http.Response) error {
 	return &StatusError{Code: resp.StatusCode, Message: msg}
 }
 
-// do runs one JSON request/response exchange.
+// do runs one JSON request/response exchange, retrying per the
+// configured policy. Retrying any of the service's endpoints is safe:
+// reads are idempotent, and re-POSTing a submission coalesces onto the
+// in-flight job (or hits the cache) by fingerprint.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
 			return err
 		}
+	}
+	attempts := max(c.retry.attempts, 1)
+	var last error
+	for a := 0; a < attempts; a++ {
+		base := c.baseURL()
+		err := c.once(ctx, method, base+path, raw, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		wait, retryable := c.classify(err, a)
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+		if transportError(err) {
+			// The target may be down for good: rotate to a fallback so
+			// the next attempt (and subsequent calls) try elsewhere.
+			c.failover(base)
+		}
+		if a == attempts-1 {
+			break // out of attempts: skip the useless final sleep
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return last
+		}
+	}
+	return last
+}
+
+// once runs a single JSON exchange against an absolute URL.
+func (c *Client) once(ctx context.Context, method, url string, raw []byte, out any) error {
+	var rd io.Reader
+	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if raw != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -190,12 +260,18 @@ func Result(st service.JobStatus) (service.JobResult, error) {
 // The stream replays the full improvement history first, so late
 // subscribers see every event.
 func (c *Client) Stream(ctx context.Context, id string, onEvent func(service.ProgressEvent)) (service.JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	base := c.baseURL()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/events", nil)
 	if err != nil {
 		return service.JobStatus{}, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// Rotate like do does so the caller's re-subscription (and every
+		// other call on this client) targets a live base.
+		if transportError(err) {
+			c.failover(base)
+		}
 		return service.JobStatus{}, err
 	}
 	defer resp.Body.Close()

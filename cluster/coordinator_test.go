@@ -1,0 +1,505 @@
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/ftdse"
+	"repro/ftdse/cluster"
+	"repro/ftdse/service"
+)
+
+// testNode is one in-process solver node behind an httptest server.
+type testNode struct {
+	svc *service.Service
+	srv *httptest.Server
+}
+
+// kill severs the node's HTTP surface abruptly — from the coordinator's
+// point of view the node is dead (transport errors), even though the
+// in-process solve goroutines wind down in the background.
+func (n *testNode) kill() {
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+}
+
+// startNodes brings up n solver nodes.
+func startNodes(t *testing.T, n int, cfg service.Config) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		svc := service.New(cfg)
+		srv := httptest.NewServer(svc.Handler())
+		nodes[i] = &testNode{svc: svc, srv: srv}
+		t.Cleanup(func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			svc.Close(ctx)
+		})
+	}
+	return nodes
+}
+
+// fastCfg makes the coordinator's loops test-speed.
+func fastCfg(nodes []*testNode) cluster.Config {
+	cfg := cluster.Config{
+		CheckpointInterval: 25 * time.Millisecond,
+		HealthInterval:     50 * time.Millisecond,
+		PollInterval:       20 * time.Millisecond,
+		FailAfter:          2,
+	}
+	for i, n := range nodes {
+		cfg.Nodes = append(cfg.Nodes, cluster.Node{Name: fmt.Sprintf("n%d", i+1), URL: n.srv.URL})
+	}
+	return cfg
+}
+
+// startCoordinator brings up a coordinator over the nodes.
+func startCoordinator(t *testing.T, cfg cluster.Config) (*cluster.Coordinator, *httptest.Server) {
+	t.Helper()
+	coord, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	if err := coord.Start(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		coord.Close(ctx)
+		srv.Close()
+	})
+	return coord, srv
+}
+
+func genProblem(procs int, seed int64) ftdse.Problem {
+	return ftdse.GenerateProblem(
+		ftdse.GenSpec{Procs: procs, Nodes: 2, Seed: seed},
+		ftdse.FaultModel{K: 1, Mu: ftdse.Ms(5)})
+}
+
+func submitBody(t *testing.T, p ftdse.Problem, opts service.SolveOptions) []byte {
+	t.Helper()
+	var doc bytes.Buffer
+	if err := ftdse.WriteProblem(&doc, p); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	body, err := json.Marshal(service.SubmitRequest{Problem: doc.Bytes(), Options: opts})
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	return body
+}
+
+func postSolve(t *testing.T, url string, body []byte, wantCode int, wait ...string) service.JobStatus {
+	t.Helper()
+	path := "/solve"
+	if len(wait) > 0 {
+		path = "/solve?wait=1"
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s = %d, want %d", path, resp.StatusCode, wantCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+func getJob(t *testing.T, url, id string) service.JobStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+func waitState(t *testing.T, url, id string, timeout time.Duration, ok func(service.JobStatus) bool) service.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getJob(t, url, id)
+		if ok(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q (%d improvements)", id, st.State, st.Improvements)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func metric(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	var f float64
+	if err := json.Unmarshal(m[name], &f); err != nil {
+		t.Fatalf("metric %q: %v (raw %s)", name, err, m[name])
+	}
+	return f
+}
+
+func shards(t *testing.T, url string) []cluster.ShardStat {
+	t.Helper()
+	resp, err := http.Get(url + "/cluster/shards")
+	if err != nil {
+		t.Fatalf("GET /cluster/shards: %v", err)
+	}
+	defer resp.Body.Close()
+	var sr cluster.ShardsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding shards: %v", err)
+	}
+	return sr.Nodes
+}
+
+// slowBody keeps a solve running until canceled or killed: a huge
+// iteration budget, one worker.
+func slowBody(t *testing.T, seed int64) []byte {
+	return submitBody(t, genProblem(14, seed),
+		service.SolveOptions{MaxIterations: 1_000_000, Workers: 1})
+}
+
+func TestClusterSolveAndNodeCacheAffinity(t *testing.T) {
+	nodes := startNodes(t, 2, service.Config{})
+	_, srv := startCoordinator(t, fastCfg(nodes))
+
+	body := submitBody(t, genProblem(6, 1), service.SolveOptions{})
+	st := postSolve(t, srv.URL, body, http.StatusOK, "wait")
+	if st.State != service.StateDone || len(st.Result) == 0 {
+		t.Fatalf("first solve = %+v", st)
+	}
+	// An identical resubmission is a new coordinator job, but the owning
+	// node answers it from its result cache without re-solving.
+	st2 := postSolve(t, srv.URL, body, http.StatusOK, "wait")
+	if st2.State != service.StateDone {
+		t.Fatalf("resubmission = %+v", st2)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("terminal job reused for a fresh submission")
+	}
+	if !bytes.Equal(st.Result, st2.Result) {
+		t.Fatalf("cache hit returned a different result document")
+	}
+	if got := metric(t, srv.URL, "node_cache_hits"); got < 1 {
+		t.Fatalf("node_cache_hits = %v, want >= 1 (affinity should route to the same shard)", got)
+	}
+}
+
+func TestClusterCoalescesDuplicateSubmissions(t *testing.T) {
+	nodes := startNodes(t, 2, service.Config{})
+	_, srv := startCoordinator(t, fastCfg(nodes))
+
+	body := slowBody(t, 2)
+	st1 := postSolve(t, srv.URL, body, http.StatusAccepted)
+	st2 := postSolve(t, srv.URL, body, http.StatusAccepted)
+	if st1.ID != st2.ID {
+		t.Fatalf("duplicate submissions got distinct jobs %s / %s", st1.ID, st2.ID)
+	}
+	if got := metric(t, srv.URL, "jobs_coalesced"); got != 1 {
+		t.Fatalf("jobs_coalesced = %v, want 1", got)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st1.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	waitState(t, srv.URL, st1.ID, 15*time.Second, func(st service.JobStatus) bool {
+		return service.TerminalState(st.State)
+	})
+}
+
+func TestClusterValidationAndAdmission(t *testing.T) {
+	nodes := startNodes(t, 1, service.Config{})
+	cfg := fastCfg(nodes)
+	cfg.MaxPending = 1
+	_, srv := startCoordinator(t, cfg)
+
+	// Garbage problems never reach the journal or a node.
+	resp, err := http.Post(srv.URL+"/solve", "application/json",
+		bytes.NewReader([]byte(`{"problem":{"nonsense":true}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed problem = %d, want 400", resp.StatusCode)
+	}
+
+	st := postSolve(t, srv.URL, slowBody(t, 3), http.StatusAccepted)
+	// The admission cap is full: a second distinct problem bounces with a
+	// retry hint, while a duplicate of the open job still coalesces.
+	resp, err = http.Post(srv.URL+"/solve", "application/json",
+		bytes.NewReader(slowBody(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submission = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	dup := postSolve(t, srv.URL, slowBody(t, 3), http.StatusAccepted)
+	if dup.ID != st.ID {
+		t.Fatalf("duplicate rejected by the admission cap instead of coalescing")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// ckCost extracts the (tardiness, makespan) incumbent cost of a stored
+// checkpoint document.
+func ckCost(t *testing.T, doc json.RawMessage) (float64, float64) {
+	t.Helper()
+	ck, err := ftdse.ReadCheckpoint(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("stored checkpoint does not parse: %v", err)
+	}
+	return ck.TardinessMs, ck.MakespanMs
+}
+
+// TestClusterFailoverResumesFromCheckpoint is the heart of the
+// subsystem: kill the node that owns an in-flight solve and the job
+// must finish on the survivor, warm-started from the last pushed
+// checkpoint, with a final cost no worse than the checkpointed
+// incumbent.
+func TestClusterFailoverResumesFromCheckpoint(t *testing.T) {
+	nodes := startNodes(t, 2, service.Config{})
+	coord, srv := startCoordinator(t, fastCfg(nodes))
+
+	// A bounded-but-slow solve: the time limit restarts on the surviving
+	// node, so the job finishes a few seconds after failover at worst.
+	body := submitBody(t, genProblem(14, 5),
+		service.SolveOptions{MaxIterations: 1_000_000, Workers: 1, TimeLimitMs: 4000})
+	st := postSolve(t, srv.URL, body, http.StatusAccepted)
+
+	// Wait for the first checkpoint to land, then find the owning shard.
+	deadline := time.Now().Add(15 * time.Second)
+	for coord.LatestCheckpoint(st.Fingerprint) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint arrived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ckT, ckM := ckCost(t, coord.LatestCheckpoint(st.Fingerprint))
+	var owner string
+	for _, sh := range shards(t, srv.URL) {
+		if sh.OpenJobs > 0 {
+			owner = sh.Node
+		}
+	}
+	if owner == "" {
+		t.Fatal("no shard owns the open job")
+	}
+	for i, n := range nodes {
+		if fmt.Sprintf("n%d", i+1) == owner {
+			n.kill()
+		}
+	}
+
+	final := waitState(t, srv.URL, st.ID, 30*time.Second, func(st service.JobStatus) bool {
+		return service.TerminalState(st.State)
+	})
+	if final.State != service.StateDone {
+		t.Fatalf("job after failover = %+v", final)
+	}
+	var res service.JobResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	// The warm start makes regression impossible: the resumed search
+	// adopts the checkpointed incumbent before improving on it.
+	if res.TardinessMs > ckT || (res.TardinessMs == ckT && res.MakespanMs > ckM) {
+		t.Fatalf("final cost (%v, %v) regressed past checkpoint (%v, %v)",
+			res.TardinessMs, res.MakespanMs, ckT, ckM)
+	}
+	if got := metric(t, srv.URL, "redispatches"); got < 1 {
+		t.Fatalf("redispatches = %v, want >= 1", got)
+	}
+	if got := metric(t, srv.URL, "warm_dispatches"); got < 1 {
+		t.Fatalf("warm_dispatches = %v, want >= 1", got)
+	}
+	// A duplicate arriving after the failover still coalesces onto the
+	// finished job's fingerprint via the node result cache (new job, same
+	// bytes back).
+	dup := postSolve(t, srv.URL, body, http.StatusOK, "wait")
+	if dup.State != service.StateDone {
+		t.Fatalf("post-failover duplicate = %+v", dup)
+	}
+}
+
+// TestClusterJournalSurvivesCoordinatorRestart pins durability: jobs
+// acknowledged by one coordinator incarnation are adopted and finished
+// by the next.
+func TestClusterJournalSurvivesCoordinatorRestart(t *testing.T) {
+	nodes := startNodes(t, 1, service.Config{})
+	cfg := fastCfg(nodes)
+	cfg.Journal = filepath.Join(t.TempDir(), "jobs.wal")
+
+	coordA, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := httptest.NewServer(coordA.Handler())
+	if err := coordA.Start(srvA.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	// One finished job and one still in flight when the coordinator dies.
+	doneSt := postSolve(t, srvA.URL, submitBody(t, genProblem(6, 11), service.SolveOptions{}),
+		http.StatusOK, "wait")
+	openSt := postSolve(t, srvA.URL, slowBody(t, 12), http.StatusAccepted)
+	waitState(t, srvA.URL, openSt.ID, 15*time.Second, func(st service.JobStatus) bool {
+		return st.State == service.StateRunning
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	coordA.Close(ctx)
+	cancel()
+	srvA.Close()
+
+	coordB, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(coordB.Handler())
+	if err := coordB.Start(srvB.URL); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		coordB.Close(ctx)
+		srvB.Close()
+	})
+
+	// The finished job still answers, result and all, from the journal.
+	if st := getJob(t, srvB.URL, doneSt.ID); st.State != service.StateDone || len(st.Result) == 0 {
+		t.Fatalf("replayed terminal job = %+v", st)
+	}
+	// The open job was re-adopted (same ID) and is dispatchable: cancel
+	// it through the new coordinator and it concludes.
+	if st := getJob(t, srvB.URL, openSt.ID); service.TerminalState(st.State) {
+		t.Fatalf("replayed open job already terminal: %+v", st)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srvB.URL+"/jobs/"+openSt.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	waitState(t, srvB.URL, openSt.ID, 15*time.Second, func(st service.JobStatus) bool {
+		return service.TerminalState(st.State)
+	})
+}
+
+func TestClusterEventsProxyStaysMonotone(t *testing.T) {
+	nodes := startNodes(t, 2, service.Config{})
+	_, srv := startCoordinator(t, fastCfg(nodes))
+
+	st := postSolve(t, srv.URL, slowBody(t, 21), http.StatusAccepted)
+	waitState(t, srv.URL, st.ID, 15*time.Second, func(s service.JobStatus) bool {
+		return s.Improvements >= 2
+	})
+
+	type ev = service.ProgressEvent
+	events := make(chan ev, 256)
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/events")
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		var event string
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event:"):
+				event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+			case strings.HasPrefix(line, "data:"):
+				data := strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+				if event == "done" {
+					streamDone <- nil
+					return
+				}
+				var e ev
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					streamDone <- err
+					return
+				}
+				events <- e
+			}
+		}
+		streamDone <- sc.Err()
+	}()
+
+	// Give the stream a moment to replay, then cancel the job so the
+	// stream terminates.
+	time.Sleep(300 * time.Millisecond)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("stream never terminated after cancel")
+	}
+	close(events)
+	var got []ev
+	for e := range events {
+		got = append(got, e)
+	}
+	if len(got) == 0 {
+		t.Fatal("proxy delivered no improvement events")
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if b.TardinessMs > a.TardinessMs ||
+			(b.TardinessMs == a.TardinessMs && b.MakespanMs >= a.MakespanMs) {
+			t.Fatalf("event %d (%v, %v) does not improve on (%v, %v)",
+				i, b.TardinessMs, b.MakespanMs, a.TardinessMs, a.MakespanMs)
+		}
+	}
+}

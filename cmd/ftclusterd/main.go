@@ -1,0 +1,138 @@
+// ftclusterd is the ftdse cluster coordinator: it shards solve jobs
+// across a set of ftdsed nodes by consistent-hashing their canonical
+// fingerprints (cache affinity), health-checks the nodes and re-maps
+// shards when one dies, steals work from hot shards, journals every
+// admitted job to a write-ahead log, and ingests periodic search
+// checkpoints so an in-flight solve killed with its node resumes on a
+// survivor from its last incumbent design.
+//
+// Usage:
+//
+//	ftclusterd -node n1=http://host1:8385 -node n2=http://host2:8385
+//	           [-addr :8390] [-self http://this-host:8390]
+//	           [-journal jobs.wal] [-checkpoint 1s] [-health 1s]
+//	           [-fail-after 3] [-max-pending 1024] [-drain 30s]
+//
+// The job surface speaks the ftdsed wire protocol — POST /solve
+// (?wait=1), POST /solve/batch, GET/DELETE /jobs/{id},
+// GET /jobs/{id}/events (SSE) — so the typed client works unchanged.
+// The cluster surface adds POST /cluster/checkpoints (node pushes),
+// GET /cluster/checkpoints/{fp} (warm-start fetch),
+// GET /cluster/shards, GET /metrics, GET /healthz and GET /readyz.
+//
+// On SIGINT/SIGTERM the coordinator stops its loops and exits; solves
+// in flight keep running on their nodes, and a restarted coordinator
+// re-adopts them from the journal.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/ftdse/cluster"
+)
+
+// nodeFlags collects repeated -node name=url flags.
+type nodeFlags []cluster.Node
+
+func (n *nodeFlags) String() string {
+	parts := make([]string, len(*n))
+	for i, nd := range *n {
+		parts[i] = nd.Name + "=" + nd.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n *nodeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*n = append(*n, cluster.Node{Name: name, URL: strings.TrimRight(url, "/")})
+	return nil
+}
+
+func main() {
+	var nodes nodeFlags
+	flag.Var(&nodes, "node", "solver node as name=url (repeat per node)")
+	addr := flag.String("addr", ":8390", "listen address")
+	self := flag.String("self", "", "advertised base URL nodes push checkpoints to (default http://127.0.0.1<addr>)")
+	journal := flag.String("journal", "", "write-ahead job journal path (empty = no durability)")
+	checkpoint := flag.Duration("checkpoint", time.Second, "search checkpoint push cadence")
+	health := flag.Duration("health", time.Second, "node readiness probe cadence")
+	failAfter := flag.Int("fail-after", 3, "consecutive probe failures before a node is dead")
+	maxPending := flag.Int("max-pending", 1024, "open job cap (submissions beyond it get 429)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member (0 = default 128)")
+	drain := flag.Duration("drain", 30*time.Second, "loop shutdown timeout on exit")
+	flag.Parse()
+
+	if len(nodes) == 0 {
+		log.Fatal("ftclusterd: at least one -node name=url is required")
+	}
+	if *self == "" {
+		a := *addr
+		if strings.HasPrefix(a, ":") {
+			a = "127.0.0.1" + a
+		}
+		*self = "http://" + a
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Nodes:              nodes,
+		Journal:            *journal,
+		CheckpointInterval: *checkpoint,
+		HealthInterval:     *health,
+		FailAfter:          *failAfter,
+		MaxPending:         *maxPending,
+		VNodes:             *vnodes,
+	})
+	if err != nil {
+		log.Fatalf("ftclusterd: %v", err)
+	}
+	expvar.Publish("ftclusterd", coord.Vars())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", coord.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	if err := coord.Start(*self); err != nil {
+		log.Fatalf("ftclusterd: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ftclusterd listening on %s (self %s, %d nodes, journal %q)",
+			*addr, *self, len(nodes), *journal)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("ftclusterd: %v", err)
+	case s := <-sig:
+		log.Printf("ftclusterd: %v — stopping (timeout %v)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := coord.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ftclusterd: shutdown incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "ftclusterd: server shutdown: %v\n", err)
+	}
+	log.Printf("ftclusterd: stopped")
+}

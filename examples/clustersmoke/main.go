@@ -1,0 +1,159 @@
+// clustersmoke is the end-to-end smoke test of the cluster tier, run by
+// CI against a freshly started ftclusterd + two ftdsed nodes: it
+// submits a batch of solve jobs through the coordinator with the
+// retrying client, SIGKILLs one solver node mid-batch (when -kill-pid
+// is given), then waits for every job and verifies drain-free recovery:
+// zero lost jobs — every submission reaches "done" with a result —
+// plus at least one live shard left standing. It exits non-zero on any
+// violation and writes the shard-stats document to -shards-out for CI
+// to upload as an artifact.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/ftdse"
+	"repro/ftdse/client"
+	"repro/ftdse/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8390", "ftclusterd base URL")
+	jobs := flag.Int("jobs", 6, "distinct problems to submit")
+	killPid := flag.Int("kill-pid", 0, "solver node PID to SIGKILL mid-batch (0 = no kill)")
+	shardsOut := flag.String("shards-out", "", "write the final /cluster/shards document here")
+	flag.Parse()
+	log.SetFlags(0)
+
+	c := client.New(*addr, nil, client.WithRetry(5, 10*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for !c.Healthy(ctx) {
+		if time.Now().After(deadline) {
+			log.Fatalf("clustersmoke: %s did not become healthy within 20s", *addr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// A batch of distinct problems, slow enough (bounded by the time
+	// limit) that the node kill lands mid-solve.
+	reqs := make([]service.SubmitRequest, *jobs)
+	for i := range reqs {
+		prob := ftdse.GenerateProblem(
+			ftdse.GenSpec{Procs: 12, Nodes: 3, Seed: int64(100 + i)},
+			ftdse.FaultModel{K: 1, Mu: ftdse.Ms(5)})
+		req, err := client.NewRequest(prob, service.SolveOptions{
+			MaxIterations: 1_000_000, Workers: 1, TimeLimitMs: 5000,
+		})
+		if err != nil {
+			log.Fatalf("clustersmoke: building request: %v", err)
+		}
+		reqs[i] = req
+	}
+	sts, err := c.SubmitBatch(ctx, reqs)
+	if err != nil {
+		log.Fatalf("clustersmoke: batch submit: %v", err)
+	}
+	fmt.Printf("submitted %d jobs\n", len(sts))
+
+	if *killPid != 0 {
+		// Let the batch spread onto the shards, then kill one node hard.
+		time.Sleep(1 * time.Second)
+		proc, err := os.FindProcess(*killPid)
+		if err == nil {
+			err = proc.Kill()
+		}
+		if err != nil {
+			log.Fatalf("clustersmoke: SIGKILL pid %d: %v", *killPid, err)
+		}
+		fmt.Printf("SIGKILLed node pid %d mid-batch\n", *killPid)
+	}
+
+	// Zero lost jobs: every submission must reach "done" with a result,
+	// even the ones that were in flight on the killed node.
+	lost := 0
+	for _, st := range sts {
+		final := st
+		for !service.TerminalState(final.State) {
+			time.Sleep(250 * time.Millisecond)
+			final, err = c.Job(ctx, st.ID)
+			if err != nil {
+				log.Fatalf("clustersmoke: polling %s: %v", st.ID, err)
+			}
+		}
+		if final.State != service.StateDone || len(final.Result) == 0 {
+			fmt.Printf("LOST: job %s ended %q (%s)\n", final.ID, final.State, final.Error)
+			lost++
+			continue
+		}
+		res, err := client.Result(final)
+		if err != nil {
+			log.Fatalf("clustersmoke: result of %s: %v", final.ID, err)
+		}
+		fmt.Printf("  %s done: δ=%.3fms schedulable=%v\n", final.ID, res.MakespanMs, res.Schedulable)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatalf("clustersmoke: metrics: %v", err)
+	}
+	fmt.Printf("dispatches=%v redispatches=%v steals=%v warm_dispatches=%v nodes_alive=%v\n",
+		m["dispatches"], m["redispatches"], m["steals"], m["warm_dispatches"], m["nodes_alive"])
+
+	shards, err := fetchShards(ctx, *addr)
+	if err != nil {
+		log.Fatalf("clustersmoke: shards: %v", err)
+	}
+	fmt.Printf("shard map: %s\n", shards)
+	if *shardsOut != "" {
+		if err := os.WriteFile(*shardsOut, shards, 0o644); err != nil {
+			log.Fatalf("clustersmoke: writing %s: %v", *shardsOut, err)
+		}
+	}
+
+	if lost > 0 {
+		log.Fatalf("clustersmoke: %d of %d jobs lost", lost, len(sts))
+	}
+	if *killPid != 0 {
+		if m["redispatches"] < 1 {
+			log.Fatalf("clustersmoke: node killed but redispatches = %v", m["redispatches"])
+		}
+		if m["nodes_alive"] < 1 {
+			log.Fatalf("clustersmoke: no live nodes left")
+		}
+	}
+	fmt.Printf("ok: %d/%d jobs done, zero lost\n", len(sts), len(sts))
+}
+
+// fetchShards grabs the raw /cluster/shards document (pretty-printed).
+func fetchShards(ctx context.Context, base string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/cluster/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var pretty json.RawMessage = raw
+	out, err := json.MarshalIndent(pretty, "", "  ")
+	if err != nil {
+		return raw, nil
+	}
+	return out, nil
+}

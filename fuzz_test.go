@@ -66,6 +66,63 @@ func FuzzReadProblem(f *testing.F) {
 	})
 }
 
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed with real checkpoints: each distinct corpus problem's naive
+	// single-node re-execution design snapshotted as an improvement (no
+	// search — seeding must be fast and deterministic).
+	for _, seed := range fuzzProblemSeeds(f) {
+		p, err := ftdse.ReadProblem(bytes.NewReader(seed))
+		if err != nil {
+			f.Fatalf("re-reading corpus seed: %v", err)
+		}
+		d := ftdse.Design{}
+		for _, proc := range p.Processes() {
+			d[proc.ID] = ftdse.Reexecution(0, p.Faults().K)
+		}
+		s, err := p.Evaluate(d)
+		if err != nil {
+			f.Fatalf("evaluating naive design: %v", err)
+		}
+		c, err := ftdse.NewCheckpoint(p, "seed", ftdse.Improvement{
+			Phase:       "initial",
+			Cost:        ftdse.Cost{Tardiness: s.Tardiness, Makespan: s.Makespan},
+			Design:      d,
+			Schedulable: s.Schedulable(),
+		})
+		if err != nil {
+			f.Fatalf("building checkpoint: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ftdse.WriteCheckpoint(&buf, c); err != nil {
+			f.Fatalf("serializing checkpoint: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"iteration":0,"schedulable":false,"makespan_ms":1,"design":{"P":[{"node":"N1"}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ftdse.ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var first bytes.Buffer
+		if err := ftdse.WriteCheckpoint(&first, c); err != nil {
+			t.Fatalf("accepted checkpoint does not serialize: %v\ninput:\n%s", err, data)
+		}
+		c2, err := ftdse.ReadCheckpoint(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := ftdse.WriteCheckpoint(&second, c2); err != nil {
+			t.Fatalf("re-parsed checkpoint does not serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("checkpoint round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}
+
 func FuzzReadSchedule(f *testing.F) {
 	// Seed with real exports: each distinct corpus problem scheduled
 	// under a naive single-node re-execution design (no search — seeding

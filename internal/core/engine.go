@@ -73,8 +73,11 @@ type board struct {
 // publish reports one incumbent: the observer fires only when the cost
 // improves the run-global best (keeping the stream monotone), while
 // the first-schedulable hooks fire regardless of the monotone gate.
-// Serialized so portfolio racers can publish concurrently.
-func (b *board) publish(phase string, iter int, c Cost) {
+// Serialized so portfolio racers can publish concurrently. The design
+// is cloned into the Improvement only when the observer actually fires,
+// so the observer owns its snapshot and non-improving publishes stay
+// allocation-free.
+func (b *board) publish(phase string, iter int, d policy.Assignment, c Cost) {
 	b.mu.Lock()
 	var hooks []func()
 	if b.stopOnSched && c.Schedulable() && len(b.schedHooks) > 0 {
@@ -95,6 +98,7 @@ func (b *board) publish(phase string, iter int, c Cost) {
 				Phase:       phase,
 				Iteration:   iter,
 				Cost:        c,
+				Design:      d.Clone(),
 				Schedulable: c.Schedulable(),
 				Elapsed:     wallElapsed(b.start),
 			})
@@ -238,7 +242,7 @@ func (s *Search) Publish(phase string, d policy.Assignment, sch *sched.Schedule,
 	// Clone defensively: engines may keep mutating their working design
 	// after publishing, and the incumbent must not move with it.
 	s.bestD, s.bestSch, s.bestC, s.hasBest = d.Clone(), sch, c, true
-	s.board.publish(s.label+phase, s.iter, c)
+	s.board.publish(s.label+phase, s.iter, s.bestD, c)
 	return true
 }
 

@@ -110,6 +110,20 @@ type Options struct {
 	// MaxCheckpoints caps the checkpoints per replica; <= 0 selects 4.
 	MaxCheckpoints int
 
+	// WarmStart, when non-empty, seeds the search with a previously
+	// found design: it is evaluated right after the initial solution and
+	// adopted as the incumbent (and the engines' starting point) when it
+	// costs less. The run's result therefore never costs more than the
+	// warm-start design — this is the checkpoint/resume guarantee the
+	// cluster tier builds on. A warm start that does not fit the problem
+	// (unknown processes, unmappable replicas, a policy the fault budget
+	// rejects) is skipped silently: warm starts are best-effort hints
+	// carried over from *similar* problems, and the cold path must
+	// remain available. The run stays deterministic: the same problem,
+	// options and warm start always produce the same result. Ignored by
+	// SFX, whose design is derived structurally rather than searched.
+	WarmStart policy.Assignment
+
 	// OnImprovement, when non-nil, is called synchronously from the
 	// search goroutine every time a new incumbent (best-so-far) design
 	// is found, including the initial solution. The callback must be
@@ -133,6 +147,11 @@ type Improvement struct {
 	Iteration int
 	// Cost is the incumbent's cost.
 	Cost Cost
+	// Design is a private snapshot of the incumbent design — the
+	// observer owns it and may retain or mutate it freely. It is what
+	// the service's checkpointer serializes so a killed node's solve can
+	// resume elsewhere from the incumbent.
+	Design policy.Assignment
 	// Schedulable reports whether the incumbent meets all deadlines.
 	Schedulable bool
 	// Elapsed is the time since the optimization started.
@@ -276,6 +295,18 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	s := newSearch(st, start)
 	s.Publish("initial", asgn, best, bestCost)
 
+	// Warm start: adopt a prior incumbent when it beats the initial
+	// solution, so a resumed or re-submitted solve continues from where
+	// a previous search stood instead of from scratch. Publish's
+	// monotone gate makes this safe: a stale or worse warm start is
+	// simply ignored, and an invalid one (evaluate fails) falls back to
+	// the cold path.
+	if len(opts.WarmStart) > 0 && !s.ShouldStop() {
+		if wsch, wc, werr := st.evaluate(opts.WarmStart); werr == nil {
+			s.Publish("warmstart", opts.WarmStart, wsch, wc)
+		}
+	}
+
 	// Steps 2+3: hand the run to the search engine (the paper's
 	// greedy→tabu pipeline unless the caller plugged in another one).
 	eng := opts.Engine
@@ -313,6 +344,9 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 	nftOpts := opts
 	nftOpts.Strategy = NFT
 	nftOpts.StopWhenSchedulable = false
+	// SFX derives its design structurally from the NFT mapping; a warm
+	// start (a fault-tolerant design) has no meaning for either phase.
+	nftOpts.WarmStart = nil
 	// The caller already merged TimeLimit into ctx; clearing it here
 	// avoids stacking a second (later, and therefore inert) deadline.
 	nftOpts.TimeLimit = 0

@@ -30,6 +30,15 @@ import (
 // the first schedulable incumbent cancels the race mid-flight — so,
 // like a timed request, it keeps its worker count in the key and its
 // cached answer is best-effort for exactly that configuration.
+//
+// A submission's warm start (SubmitRequest.WarmStart) is deliberately
+// NOT part of the fingerprint: it only changes the search's starting
+// point, never what the submitter asked for, so failover resubmissions
+// carrying a checkpoint coalesce with plain duplicates and later
+// identical submissions hit the cache. The price is that a cached
+// warm-started result may reflect a different — by construction never
+// worse than the warm start — trajectory than a cold solve; DESIGN.md
+// §13 documents the trade.
 func Fingerprint(p ftdse.Problem, o SolveOptions) (string, error) {
 	no, err := o.normalized()
 	if err != nil {

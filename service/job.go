@@ -18,7 +18,11 @@ type job struct {
 	fingerprint string
 	opts        SolveOptions // normalized
 	problem     ftdse.Problem
-	submitted   time.Time
+	// warm optionally seeds the solve with a prior incumbent (from a
+	// checkpoint); it rides outside the fingerprint, see
+	// SubmitRequest.WarmStart.
+	warm      ftdse.Design
+	submitted time.Time
 
 	// ctx governs the solve; cancel fires on DELETE /jobs/{id}, on
 	// wait-mode client disconnect, and on drain.
@@ -32,9 +36,10 @@ type job struct {
 	started  *time.Time
 	finished *time.Time
 	events   []ProgressEvent
-	notify   chan struct{} // closed and replaced on every event/transition
-	done     chan struct{} // closed once, on reaching a terminal state
-	result   []byte        // encoded JobResult, set at terminality when available
+	lastImp  ftdse.Improvement // latest incumbent incl. design (checkpoint source)
+	notify   chan struct{}     // closed and replaced on every event/transition
+	done     chan struct{}     // closed once, on reaching a terminal state
+	result   []byte            // encoded JobResult, set at terminality when available
 	errMsg   string
 }
 
@@ -122,8 +127,20 @@ func (j *job) publish(imp ftdse.Improvement) {
 	}
 	j.mu.Lock()
 	j.events = append(j.events, ev)
+	// The observer owns imp.Design (a private clone), so retaining it
+	// for the checkpoint loop is safe.
+	j.lastImp = imp
 	j.wakeLocked()
 	j.mu.Unlock()
+}
+
+// latest snapshots the newest incumbent for the checkpoint push loop:
+// the improvement, a sequence number (the event count) to dedupe
+// pushes, and whether any incumbent exists yet.
+func (j *job) latest() (ftdse.Improvement, int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastImp, len(j.events), len(j.events) > 0
 }
 
 // finish moves the job to a terminal state exactly once, reporting

@@ -24,6 +24,13 @@ type metrics struct {
 	jobsCoalesced  expvar.Int // submissions attached to an identical in-flight solve
 	engines        expvar.Map // solves executed per engine name
 
+	// Cluster tier (see cluster.go): solves seeded from a checkpoint,
+	// and incumbent checkpoints pushed to (or dropped on the way to)
+	// the coordinator.
+	warmStarts           expvar.Int
+	checkpointsPushed    expvar.Int
+	checkpointPushErrors expvar.Int
+
 	mu  sync.Mutex
 	lat []float64 // sliding window of solve latencies in ms
 	idx int
@@ -66,9 +73,9 @@ func (m *metrics) quantile(q float64) float64 {
 	return window[i]
 }
 
-// expvarMap builds the exported view. queueDepth and cacheLen are read
-// live on every render.
-func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func() int) *expvar.Map {
+// expvarMap builds the exported view. queueDepth, cacheLen and
+// clusterNode are read live on every render.
+func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func() int, clusterNode func() string) *expvar.Map {
 	out := new(expvar.Map).Init()
 	m.engines.Init()
 	out.Set("solves_total", &m.solvesTotal)
@@ -91,6 +98,10 @@ func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func()
 	}))
 	out.Set("solve_latency_p50_ms", expvar.Func(func() any { return m.quantile(0.50) }))
 	out.Set("solve_latency_p99_ms", expvar.Func(func() any { return m.quantile(0.99) }))
+	out.Set("warm_starts", &m.warmStarts)
+	out.Set("checkpoints_pushed", &m.checkpointsPushed)
+	out.Set("checkpoint_push_errors", &m.checkpointPushErrors)
+	out.Set("cluster_node", expvar.Func(func() any { return clusterNode() }))
 	// The solver's move-evaluation hot path: scheduling passes, memo
 	// cache traffic, and scratch-arena allocs vs. reuses. Process-wide
 	// (the evaluator is per-run, the counters are global), so services

@@ -29,9 +29,20 @@
 //	GET    /metrics          the service's expvar map (queue depth,
 //	                         cache hit rate, solve latency quantiles…).
 //	GET    /healthz          liveness ("ok", or 503 while draining).
+//	GET    /readyz           readiness: 200 when the queue has room and
+//	                         the service is not draining, 503 otherwise;
+//	                         the JSON body carries the backlog and the
+//	                         cluster node name (see cluster.go).
+//	POST   /cluster/register node mode: a coordinator registers itself;
+//	                         the service then pushes periodic search
+//	                         checkpoints of running solves to it.
+//
+// A submission may carry a warm start (a checkpoint document from a
+// previous solve); see SubmitRequest.WarmStart.
 //
 // Everything is stdlib-only. Use New + Handler to embed the service in
-// any mux; cmd/ftdsed wraps it in a daemon.
+// any mux; cmd/ftdsed wraps it in a daemon. The cluster package builds
+// the sharded coordinator on top of this API.
 package service
 
 import (
@@ -89,11 +100,12 @@ func (c Config) withDefaults() Config {
 // Service is a concurrent solve service. Create with New, mount
 // Handler, and Close to drain.
 type Service struct {
-	cfg    Config
-	solver *ftdse.Solver // shared base; per-job variants derived With()
-	cache  *resultCache
-	met    *metrics
-	vars   *expvar.Map
+	cfg     Config
+	solver  *ftdse.Solver // shared base; per-job variants derived With()
+	cache   *resultCache
+	met     *metrics
+	vars    *expvar.Map
+	cluster clusterState // node-mode identity (set by registration)
 
 	mu       sync.Mutex // guards pending, jobs, inflight, retired, closed
 	workCond *sync.Cond // signaled on new pending work and on Close
@@ -121,7 +133,7 @@ func New(cfg Config) *Service {
 		inflight: make(map[string]*job),
 	}
 	s.workCond = sync.NewCond(&s.mu)
-	s.vars = s.met.expvarMap(s.queueDepth, cfg.QueueSize, s.cache.len)
+	s.vars = s.met.expvarMap(s.queueDepth, cfg.QueueSize, s.cache.len, s.clusterNode)
 	s.wg.Add(cfg.PoolWorkers)
 	for i := 0; i < cfg.PoolWorkers; i++ {
 		go s.worker()
@@ -213,9 +225,16 @@ func (s *Service) runJob(j *job) {
 	s.met.solvesInFlight.Add(1)
 	s.met.solvesTotal.Add(1)
 	s.met.engines.Add(j.opts.Engine, 1)
+	opts := append(j.opts.solverOptions(), ftdse.WithProgress(j.publish))
+	if len(j.warm) > 0 {
+		opts = append(opts, ftdse.WithWarmStart(j.warm))
+		s.met.warmStarts.Add(1)
+	}
+	stopCk := s.startCheckpoints(j)
 	start := time.Now()
-	solver := s.solver.With(append(j.opts.solverOptions(), ftdse.WithProgress(j.publish))...)
+	solver := s.solver.With(opts...)
 	res, err := solver.Solve(j.ctx, j.problem)
+	stopCk()
 	s.met.solvesInFlight.Add(-1)
 	s.met.observeLatency(float64(time.Since(start)) / float64(time.Millisecond))
 
@@ -298,35 +317,48 @@ type submitErr struct {
 func (e *submitErr) Error() string { return e.err.Error() }
 
 // prepare validates one request and computes its fingerprint.
-func (s *Service) prepare(req SubmitRequest) (SolveOptions, ftdse.Problem, string, error) {
+func (s *Service) prepare(req SubmitRequest) (prepared, error) {
 	opts, err := req.Options.normalized()
 	if err != nil {
-		return opts, ftdse.Problem{}, "", err
+		return prepared{}, err
 	}
 	if s.cfg.MaxTimeLimit > 0 && (opts.timeLimit() <= 0 || opts.timeLimit() > s.cfg.MaxTimeLimit) {
 		opts.TimeLimitMs = float64(s.cfg.MaxTimeLimit) / float64(time.Millisecond)
 	}
 	if len(req.Problem) == 0 {
-		return opts, ftdse.Problem{}, "", errors.New("missing problem document")
+		return prepared{}, errors.New("missing problem document")
 	}
 	prob, err := ftdse.ReadProblem(bytes.NewReader(req.Problem))
 	if err != nil {
-		return opts, ftdse.Problem{}, "", err
+		return prepared{}, err
 	}
 	fp, err := Fingerprint(prob, opts)
 	if err != nil {
-		return opts, ftdse.Problem{}, "", err
+		return prepared{}, err
 	}
-	return opts, prob, fp, nil
+	p := prepared{opts: opts, problem: prob, fp: fp}
+	if len(req.WarmStart) > 0 {
+		// A malformed checkpoint is a client bug (reject); one that
+		// parses but does not fit this problem is a stale best-effort
+		// hint (ignore) — the warm-start contract of WithWarmStart.
+		ck, err := ftdse.ReadCheckpoint(bytes.NewReader(req.WarmStart))
+		if err != nil {
+			return prepared{}, fmt.Errorf("warm start: %w", err)
+		}
+		if d, err := ftdse.CheckpointDesign(prob, ck); err == nil {
+			p.warm = d
+		}
+	}
+	return p, nil
 }
 
 // submit enqueues one prepared request (or answers it from the cache).
 func (s *Service) submit(req SubmitRequest) (*job, error) {
-	opts, prob, fp, err := s.prepare(req)
+	p, err := s.prepare(req)
 	if err != nil {
 		return nil, &submitErr{code: http.StatusBadRequest, err: err}
 	}
-	jobs, err := s.enqueue([]prepared{{opts: opts, problem: prob, fp: fp}})
+	jobs, err := s.enqueue([]prepared{p})
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +370,7 @@ type prepared struct {
 	opts    SolveOptions
 	problem ftdse.Problem
 	fp      string
+	warm    ftdse.Design // optional warm start (outside the fingerprint)
 }
 
 // enqueue atomically admits a set of prepared submissions: cache hits
@@ -410,6 +443,12 @@ func (s *Service) enqueue(reqs []prepared) ([]*job, error) {
 			s.met.cacheMisses.Add(1)
 			s.met.jobsSubmitted.Add(1)
 			j := newJob(s.newIDLocked(), r.fp, r.opts, r.problem)
+			// When identical submissions coalesce, the first one's warm
+			// start wins: later hints could only steer the same
+			// deterministic search from a different (never worse for the
+			// submitter) starting point, and a job must not change under
+			// clients already attached to it.
+			j.warm = r.warm
 			jobs[i] = j
 			s.jobs[j.id] = j
 			s.inflight[r.fp] = j
@@ -460,6 +499,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("POST /cluster/register", s.handleRegister)
 	return mux
 }
 
@@ -539,12 +580,12 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	preps := make([]prepared, len(req.Jobs))
 	for i, jr := range req.Jobs {
-		opts, prob, fp, err := s.prepare(jr)
+		p, err := s.prepare(jr)
 		if err != nil {
 			writeError(w, fmt.Errorf("batch job %d: %w", i, err))
 			return
 		}
-		preps[i] = prepared{opts: opts, problem: prob, fp: fp}
+		preps[i] = p
 	}
 	jobs, err := s.enqueue(preps)
 	if err != nil {

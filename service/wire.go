@@ -170,6 +170,18 @@ func (o SolveOptions) canonical() string {
 type SubmitRequest struct {
 	Problem json.RawMessage `json:"problem"`
 	Options SolveOptions    `json:"options"`
+	// WarmStart optionally carries a checkpoint document (the
+	// ftdse.WriteCheckpoint JSON format) whose design seeds the solve:
+	// the result never costs more than a warm start that fits the
+	// problem, and one that does not fit is skipped silently. The warm
+	// start is deliberately NOT part of the job fingerprint. That keeps
+	// coalescing and caching working across failover — a resubmission
+	// carrying a checkpoint coalesces with (and answers) plain
+	// duplicates of the same problem, and an identical later submission
+	// is a cache hit — at the price that a warm-started result may
+	// reflect a different (never worse) search trajectory than a cold
+	// solve of the same fingerprint. DESIGN.md §13 spells out the trade.
+	WarmStart json.RawMessage `json:"warm_start,omitempty"`
 }
 
 // BatchRequest is the body of POST /solve/batch.
@@ -261,4 +273,57 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// RetryAfterS mirrors the Retry-After header on 429 answers.
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+// ReadyStatus is the body of GET /readyz: whether the node is able to
+// accept new work right now (the queue has room and the service is not
+// draining). The coordinator's health checker polls it; the Node field
+// doubles as the re-registration signal — a node that restarted comes
+// back with an empty Node and is re-registered by the next health pass.
+type ReadyStatus struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
+	// QueueDepth and QueueCapacity expose the backlog that decides
+	// readiness; the coordinator also uses them to pick steal targets.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// SolvesInFlight counts running solves (load signal for stealing).
+	SolvesInFlight int `json:"solves_in_flight"`
+	// Node is the cluster name this service was registered under, empty
+	// when the service runs standalone (or restarted and lost it).
+	Node string `json:"node,omitempty"`
+}
+
+// RegisterRequest is the body of POST /cluster/register: the
+// coordinator introduces itself to a solver node. Registration turns on
+// node mode: the service pushes a checkpoint of every running solve's
+// incumbent design to {coordinator}/cluster/checkpoints every
+// CheckpointMs, so an in-flight solve can resume elsewhere if this
+// process dies. Re-registration (a later request) replaces the previous
+// identity, so a coordinator restart heals itself on its first health
+// pass.
+type RegisterRequest struct {
+	// Node is the coordinator's name for this solver node.
+	Node string `json:"node"`
+	// Coordinator is the base URL checkpoints are pushed to.
+	Coordinator string `json:"coordinator"`
+	// CheckpointMs is the push cadence; <= 0 selects 1000.
+	CheckpointMs float64 `json:"checkpoint_ms,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	Node string `json:"node"`
+}
+
+// CheckpointPush is the body of POST /cluster/checkpoints on the
+// coordinator: one solve's latest incumbent, pushed by the node that
+// runs it. The checkpoint document embeds the fingerprint, but it is
+// repeated here so the coordinator can index without parsing the
+// document.
+type CheckpointPush struct {
+	Node        string          `json:"node"`
+	JobID       string          `json:"job_id"`
+	Fingerprint string          `json:"fingerprint"`
+	Checkpoint  json.RawMessage `json:"checkpoint"`
 }

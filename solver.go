@@ -139,6 +139,21 @@ func WithProgress(fn func(Improvement)) Option {
 	return func(s *Solver) { s.opts.OnImprovement = fn }
 }
 
+// WithWarmStart seeds the search with a previously found design: it is
+// evaluated right after the initial solution and adopted as the
+// incumbent (and the engines' starting point) when it costs less, so
+// the result never costs more than a valid warm start. A design that
+// does not fit the problem (unknown processes or nodes, missing
+// processes) is skipped silently — the solve degrades to a cold start
+// rather than failing. The warm start never influences anything but
+// the starting point, so solves stay deterministic given the same
+// problem, options and warm-start design. SFX ignores it (its design
+// is derived structurally, not searched). An empty or nil design is a
+// no-op.
+func WithWarmStart(d Design) Option {
+	return func(s *Solver) { s.opts.WarmStart = d.Clone() }
+}
+
 // Solve runs the optimization strategy on the problem under the given
 // context. Solve is read-only on the Solver: the configuration is
 // copied into the run, so concurrent Solve calls on one Solver (even on
