@@ -29,6 +29,19 @@ type CaseResult struct {
 	MakespanUS  int64   `json:"makespan_us"`
 	TardinessUS int64   `json:"tardiness_us"`
 	Schedulable bool    `json:"schedulable"`
+
+	// Evaluator hot-path deltas, bracketed around this case's solve: how
+	// many scheduling passes the search paid for, how often the move memo
+	// cache answered instead, and how the evaluation scratch arenas were
+	// recycled. Deterministic for a fixed corpus (single-worker solves),
+	// so a pass-count increase between reports is a genuine search-cost
+	// change. Zero-valued in reports written before these fields existed.
+	SchedulingPasses int64   `json:"scheduling_passes"`
+	EvalCacheHits    int64   `json:"eval_cache_hits"`
+	EvalCacheMisses  int64   `json:"eval_cache_misses"`
+	EvalCacheHitRate float64 `json:"eval_cache_hit_rate"`
+	ScratchAllocs    int64   `json:"scratch_allocs"`
+	ScratchReuses    int64   `json:"scratch_reuses"`
 }
 
 // Summary aggregates a report corpus-wide.
@@ -168,6 +181,7 @@ func Compare(old, new *Report, threshold float64) []Regression {
 		worse(n.Name, "allocs_per_op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), allocNoiseFloor)
 		worse(n.Name, "makespan_us", float64(o.MakespanUS), float64(n.MakespanUS), 0)
 		worse(n.Name, "tardiness_us", float64(o.TardinessUS), float64(n.TardinessUS), 0)
+		worse(n.Name, "scheduling_passes", float64(o.SchedulingPasses), float64(n.SchedulingPasses), 0)
 		if o.Schedulable && !n.Schedulable {
 			out = append(out, Regression{Case: n.Name, Metric: "schedulable", Old: 1, New: 0, DeltaPct: 100})
 		}

@@ -52,9 +52,11 @@ func runCase(ctx context.Context, c CorpusCase) (CaseResult, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	evBefore := ftdse.ReadEvaluatorMetrics()
 	start := time.Now()
 	res, err := solver.Solve(ctx, prob)
 	wall := time.Since(start)
+	evAfter := ftdse.ReadEvaluatorMetrics()
 	runtime.ReadMemStats(&after)
 	if err != nil {
 		return CaseResult{}, fmt.Errorf("bench: case %s: %w", c.Name, err)
@@ -63,6 +65,14 @@ func runCase(ctx context.Context, c CorpusCase) (CaseResult, error) {
 		return CaseResult{}, fmt.Errorf("bench: case %s interrupted (%v)", c.Name, res.Stopped)
 	}
 
+	// The evaluator counters are process-global; corpus cases run
+	// sequentially, so the bracket delta is this solve's own traffic.
+	hits := evAfter.CacheHits - evBefore.CacheHits
+	misses := evAfter.CacheMisses - evBefore.CacheMisses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
 	return CaseResult{
 		Name:        c.Name,
 		Size:        c.Size,
@@ -78,6 +88,13 @@ func runCase(ctx context.Context, c CorpusCase) (CaseResult, error) {
 		MakespanUS:  int64(res.Cost.Makespan),
 		TardinessUS: int64(res.Cost.Tardiness),
 		Schedulable: res.Cost.Schedulable(),
+
+		SchedulingPasses: evAfter.SchedulingPasses - evBefore.SchedulingPasses,
+		EvalCacheHits:    hits,
+		EvalCacheMisses:  misses,
+		EvalCacheHitRate: hitRate,
+		ScratchAllocs:    evAfter.ScratchAllocs - evBefore.ScratchAllocs,
+		ScratchReuses:    evAfter.ScratchReuses - evBefore.ScratchReuses,
 	}, nil
 }
 

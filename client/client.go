@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -78,10 +79,20 @@ func (c *Client) failover(from string) {
 type QueueFullError struct {
 	// RetryAfter is the server's estimate of when queue space frees up.
 	RetryAfter time.Duration
+	// Fingerprint identifies the rejected submission (when the server
+	// reported it), so operators can correlate the rejection with later
+	// resubmissions of the same problem.
+	Fingerprint string
+	// QueueDepth is the server's queue backlog at rejection time.
+	QueueDepth int
 }
 
 func (e *QueueFullError) Error() string {
-	return fmt.Sprintf("ftdsed queue full (retry after %v)", e.RetryAfter)
+	msg := fmt.Sprintf("ftdsed queue full (retry after %v)", e.RetryAfter)
+	if e.Fingerprint != "" {
+		msg += fmt.Sprintf("; rejected fingerprint %s at queue depth %d", e.Fingerprint, e.QueueDepth)
+	}
+	return msg
 }
 
 // StatusError reports any other non-2xx answer.
@@ -106,7 +117,11 @@ func apiError(resp *http.Response) error {
 		if after <= 0 {
 			after = time.Second
 		}
-		return &QueueFullError{RetryAfter: after}
+		return &QueueFullError{
+			RetryAfter:  after,
+			Fingerprint: body.Fingerprint,
+			QueueDepth:  body.QueueDepth,
+		}
 	}
 	return &StatusError{Code: resp.StatusCode, Message: msg}
 }
@@ -178,13 +193,16 @@ func (c *Client) once(ctx context.Context, method, url string, raw []byte, out a
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// request encodes a problem into a SubmitRequest.
+// request encodes a problem into a SubmitRequest, minting a trace ID so
+// the submission is traceable end to end — through the coordinator's
+// journal, the solving node's logs, the SSE stream, and the final
+// result — from the moment it leaves this process.
 func request(p ftdse.Problem, opts service.SolveOptions) (service.SubmitRequest, error) {
 	var doc bytes.Buffer
 	if err := ftdse.WriteProblem(&doc, p); err != nil {
 		return service.SubmitRequest{}, err
 	}
-	return service.SubmitRequest{Problem: doc.Bytes(), Options: opts}, nil
+	return service.SubmitRequest{Problem: doc.Bytes(), Options: opts, TraceID: obs.NewTraceID()}, nil
 }
 
 // Submit enqueues one problem and returns immediately with the job's
@@ -322,21 +340,23 @@ func (c *Client) Stream(ctx context.Context, id string, onEvent func(service.Pro
 	return service.JobStatus{}, errors.New("event stream ended without a done event")
 }
 
-// Metrics fetches the service's metrics document as flat name → value
-// pairs (counters and gauges are numbers).
+// Metrics scrapes the service's Prometheus text exposition into flat
+// name → value pairs. Labeled samples key as name{label="value"}, and
+// histograms contribute their _bucket/_sum/_count series.
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	var raw map[string]json.RawMessage
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &raw); err != nil {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL()+"/metrics", nil)
+	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(raw))
-	for k, v := range raw {
-		var f float64
-		if err := json.Unmarshal(v, &f); err == nil {
-			out[k] = f
-		}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return obs.ParseText(io.LimitReader(resp.Body, 16<<20))
 }
 
 // Healthy reports whether the service answers its liveness probe.

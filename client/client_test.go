@@ -106,8 +106,8 @@ func TestClientEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Metrics: %v", err)
 	}
-	if m["solves_total"] != 1 {
-		t.Errorf("solves_total = %v, want 1", m["solves_total"])
+	if m["ftdse_solves_total"] != 1 {
+		t.Errorf("ftdse_solves_total = %v, want 1", m["ftdse_solves_total"])
 	}
 
 	if _, err := c.Job(ctx, "no-such-job"); err == nil {

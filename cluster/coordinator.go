@@ -7,11 +7,13 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -57,6 +59,10 @@ type Config struct {
 	StealMargin int
 	// HTTPTimeout bounds each HTTP exchange with a node (default 15s).
 	HTTPTimeout time.Duration
+	// Logger receives the coordinator's structured log lines (dispatches,
+	// failovers, steals, node deaths), each tagged with the job's trace
+	// ID when one applies. nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -108,9 +114,14 @@ func (m *member) snapshot() (alive, ready bool, depth int) {
 // own IDs and maps them to (node, remote job id); the mapping changes
 // on failover, the ID never does.
 type cjob struct {
-	id        string
-	fp        string
-	req       service.SubmitRequest
+	id  string
+	fp  string
+	req service.SubmitRequest
+	// traceID is the request identity minted (or accepted) at the submit
+	// edge; it never changes across failover re-dispatches, so one solve
+	// is one trace ID in the journal, every node's logs, the SSE stream
+	// and the final result. Coalesced submissions share the first one.
+	traceID   string
 	submitted time.Time
 
 	mu           sync.Mutex
@@ -144,8 +155,9 @@ type Coordinator struct {
 	started bool
 	closed  bool
 
-	met  coordMetrics
+	met  *coordMetrics
 	vars *expvar.Map
+	log  *slog.Logger
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -185,7 +197,12 @@ func New(cfg Config) (*Coordinator, error) {
 		ckpts:   make(map[string]json.RawMessage),
 		stop:    make(chan struct{}),
 	}
+	c.met = newCoordMetrics(c)
 	c.vars = c.met.expvarMap(c)
+	c.log = cfg.Logger
+	if c.log == nil {
+		c.log = obs.Discard()
+	}
 	if cfg.Journal != "" {
 		wal, recs, err := openJournal(cfg.Journal)
 		if err != nil {
@@ -208,9 +225,16 @@ func (c *Coordinator) replay(recs []journalRecord) {
 			}
 			j := &cjob{
 				id: r.ID, fp: r.Fingerprint, req: req,
+				traceID:   req.TraceID,
 				submitted: time.Now(),
 				state:     service.StateQueued,
 				done:      make(chan struct{}),
+			}
+			if j.traceID == "" {
+				// A journal written before trace propagation: the resumed
+				// solve still gets an identity.
+				j.traceID = obs.NewTraceID()
+				j.req.TraceID = j.traceID
 			}
 			c.jobs[j.id] = j
 			c.open[j.fp] = j
@@ -260,7 +284,8 @@ func (c *Coordinator) Start(selfURL string) error {
 	c.wg.Add(1)
 	go c.healthLoop()
 	for _, j := range resumed {
-		c.met.redispatches.Add(1)
+		c.met.redispatches.Inc()
+		c.log.Info("resuming journaled job", obs.TraceIDKey, j.traceID, "job", j.id)
 		c.spawnMonitor(j)
 	}
 	return nil
@@ -334,9 +359,11 @@ func (c *Coordinator) healthPass() {
 				m.alive, m.ready = false, false
 			}
 			died := wasAlive && !m.alive
+			fails := m.fails
 			m.mu.Unlock()
 			if died {
-				c.met.nodeDeaths.Add(1)
+				c.met.nodeDeaths.Inc()
+				c.log.Warn("node died", "node", name, "fails", fails, "error", err.Error())
 				c.failoverNode(name)
 			}
 			continue
@@ -414,7 +441,9 @@ func (c *Coordinator) failoverNode(name string) {
 		}
 		j.mu.Unlock()
 		if owned {
-			c.met.redispatches.Add(1)
+			c.met.redispatches.Inc()
+			c.log.Warn("failing over job", obs.TraceIDKey, j.traceID,
+				"job", j.id, "from_node", name)
 		}
 	}
 }
@@ -510,16 +539,27 @@ func (c *Coordinator) dispatch(j *cjob) {
 		return // no live node; the monitor retries next tick
 	}
 	req := j.req
+	req.TraceID = j.traceID
+	warm := false
 	if ck := c.LatestCheckpoint(j.fp); ck != nil {
 		req.WarmStart = ck
-		c.met.warmDispatches.Add(1)
+		warm = true
+		c.met.warmDispatches.Inc()
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		c.conclude(j, service.StateFailed, nil, "encoding dispatch: "+err.Error())
 		return
 	}
-	resp, err := c.hc.Post(m.url+"/solve", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, m.url+"/solve", bytes.NewReader(body))
+	if err != nil {
+		c.conclude(j, service.StateFailed, nil, "building dispatch: "+err.Error())
+		return
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceHeader, j.traceID)
+	start := time.Now()
+	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return // transport failure; health loop judges the node, monitor retries
 	}
@@ -545,20 +585,30 @@ func (c *Coordinator) dispatch(j *cjob) {
 		return
 	}
 	if stole {
-		c.met.steals.Add(1)
+		c.met.steals.Inc()
 	}
-	c.met.dispatches.Add(1)
-	c.met.byNode.Add(m.name, 1)
+	c.met.dispatches.Inc()
+	c.met.byNode.With(m.name).Inc()
 	j.mu.Lock()
 	j.attempts++
+	attempt := j.attempts
 	j.node, j.remoteID = m.name, st.ID
 	if !service.TerminalState(j.state) {
 		j.state = service.StateRunning
 	}
 	j.mu.Unlock()
+	if attempt == 1 {
+		// Time from admission to the first node accepting the job — the
+		// cluster-level analogue of the node's queue wait.
+		c.met.queueWait.Observe(time.Since(j.submitted).Seconds())
+	}
+	c.log.Info("job dispatched", obs.TraceIDKey, j.traceID,
+		"job", j.id, "node", m.name, "remote_id", st.ID, "attempt", attempt,
+		"stolen", stole, "warm", warm,
+		"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
 	if service.TerminalState(st.State) {
 		// Answered in place (result-cache hit on the node).
-		c.met.cacheHits.Add(1)
+		c.met.cacheHits.Inc()
 		c.conclude(j, st.State, st.Result, st.Error)
 	}
 }
@@ -612,7 +662,9 @@ func (c *Coordinator) unassign(j *cjob, from string) {
 		j.node, j.remoteID = "", ""
 	}
 	j.mu.Unlock()
-	c.met.redispatches.Add(1)
+	c.met.redispatches.Inc()
+	c.log.Warn("job lost by node, re-dispatching", obs.TraceIDKey, j.traceID,
+		"job", j.id, "node", from)
 }
 
 // conclude moves a job to a terminal state exactly once: journal first
@@ -626,7 +678,8 @@ func (c *Coordinator) conclude(j *cjob, state string, result json.RawMessage, er
 	}
 	j.mu.Unlock()
 	if c.wal != nil {
-		c.wal.append(journalRecord{Type: recDone, ID: j.id, Fingerprint: j.fp, State: state, Result: result})
+		c.wal.append(journalRecord{Type: recDone, ID: j.id, Fingerprint: j.fp,
+			TraceID: j.traceID, State: state, Result: result})
 	}
 	j.mu.Lock()
 	j.state = state
@@ -644,14 +697,17 @@ func (c *Coordinator) conclude(j *cjob, state string, result json.RawMessage, er
 		c.retired = c.retired[1:]
 	}
 	c.mu.Unlock()
+	c.met.jobDuration.Observe(time.Since(j.submitted).Seconds())
 	switch state {
 	case service.StateDone:
-		c.met.completed.Add(1)
+		c.met.completed.Inc()
 	case service.StateFailed:
-		c.met.failed.Add(1)
+		c.met.failed.Inc()
 	case service.StateCanceled:
-		c.met.canceled.Add(1)
+		c.met.canceled.Inc()
 	}
+	c.log.Info("job concluded", obs.TraceIDKey, j.traceID,
+		"job", j.id, "state", state, "error", errMsg)
 }
 
 // status snapshots a job's public view in the service wire shape, so
@@ -663,6 +719,7 @@ func (j *cjob) status() service.JobStatus {
 		ID:           j.id,
 		State:        j.state,
 		Fingerprint:  j.fp,
+		TraceID:      j.traceID,
 		Improvements: j.improvements,
 		SubmittedAt:  j.submitted,
 		Error:        j.errMsg,
@@ -672,54 +729,104 @@ func (j *cjob) status() service.JobStatus {
 
 // ---- metrics ----
 
+// coordMetrics aggregates the coordinator's counters on an obs.Registry
+// (one per coordinator, nothing process-global), exposed twice: GET
+// /metrics renders the Prometheus text format under ftcluster_* names,
+// and expvarMap keeps the legacy JSON view with its historical keys.
 type coordMetrics struct {
-	submitted      expvar.Int
-	coalesced      expvar.Int
-	rejected       expvar.Int
-	dispatches     expvar.Int
-	redispatches   expvar.Int
-	steals         expvar.Int
-	cacheHits      expvar.Int
-	warmDispatches expvar.Int
-	completed      expvar.Int
-	failed         expvar.Int
-	canceled       expvar.Int
-	ckptsReceived  expvar.Int
-	nodeDeaths     expvar.Int
-	byNode         expvar.Map // dispatches per node name
+	reg *obs.Registry
+
+	submitted      *obs.Counter
+	coalesced      *obs.Counter
+	rejected       *obs.Counter
+	dispatches     *obs.Counter
+	byNode         *obs.CounterVec // dispatches per node name
+	redispatches   *obs.Counter
+	steals         *obs.Counter
+	cacheHits      *obs.Counter
+	warmDispatches *obs.Counter
+	completed      *obs.Counter
+	failed         *obs.Counter
+	canceled       *obs.Counter
+	ckptsReceived  *obs.Counter
+	nodeDeaths     *obs.Counter
+	queueWait      *obs.Histogram // admission → first successful dispatch
+	jobDuration    *obs.Histogram // admission → terminal state
 }
 
+func newCoordMetrics(c *Coordinator) *coordMetrics {
+	r := obs.NewRegistry()
+	buckets := obs.ExponentialBuckets(0.001, 2, 21)
+	m := &coordMetrics{
+		reg:            r,
+		submitted:      r.NewCounter("ftcluster_jobs_submitted_total", "Jobs admitted by the coordinator."),
+		coalesced:      r.NewCounter("ftcluster_jobs_coalesced_total", "Submissions coalesced onto an open job with the same fingerprint."),
+		rejected:       r.NewCounter("ftcluster_jobs_rejected_total", "Submissions rejected by the admission cap (429)."),
+		dispatches:     r.NewCounter("ftcluster_dispatches_total", "Successful job dispatches to nodes."),
+		byNode:         r.NewCounterVec("ftcluster_dispatches_by_node_total", "Successful job dispatches per node.", "node"),
+		redispatches:   r.NewCounter("ftcluster_redispatches_total", "Jobs re-dispatched after failover, drain, or restart."),
+		steals:         r.NewCounter("ftcluster_steals_total", "Dispatches stolen from a busy shard owner by a lighter node."),
+		cacheHits:      r.NewCounter("ftcluster_node_cache_hits_total", "Dispatches answered terminally in place by a node's result cache."),
+		warmDispatches: r.NewCounter("ftcluster_warm_dispatches_total", "Dispatches seeded with a stored checkpoint."),
+		completed:      r.NewCounter("ftcluster_jobs_completed_total", "Jobs that reached the done state."),
+		failed:         r.NewCounter("ftcluster_jobs_failed_total", "Jobs that reached the failed state."),
+		canceled:       r.NewCounter("ftcluster_jobs_canceled_total", "Jobs that reached the canceled state."),
+		ckptsReceived:  r.NewCounter("ftcluster_checkpoints_received_total", "Checkpoint documents accepted from nodes."),
+		nodeDeaths:     r.NewCounter("ftcluster_node_deaths_total", "Nodes declared dead after consecutive probe failures."),
+		queueWait: r.NewHistogram("ftcluster_queue_wait_seconds",
+			"Time from job admission to the first node accepting it.", buckets),
+		jobDuration: r.NewHistogram("ftcluster_job_duration_seconds",
+			"Time from job admission to its terminal state.", buckets),
+	}
+	r.NewGaugeFunc("ftcluster_open_jobs", "Admitted jobs not yet terminal.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.open))
+		})
+	r.NewGaugeFunc("ftcluster_nodes_alive", "Members currently passing health probes.",
+		func() float64 { return float64(c.aliveNodes()) })
+	return m
+}
+
+// aliveNodes counts members currently considered reachable.
+func (c *Coordinator) aliveNodes() int {
+	n := 0
+	for _, name := range c.ring.members {
+		if alive, _, _ := c.members[name].snapshot(); alive {
+			n++
+		}
+	}
+	return n
+}
+
+// expvarMap builds the legacy exported view with the historical key
+// names, rendering from the same registry state.
 func (m *coordMetrics) expvarMap(c *Coordinator) *expvar.Map {
 	out := new(expvar.Map).Init()
-	m.byNode.Init()
-	out.Set("jobs_submitted", &m.submitted)
-	out.Set("jobs_coalesced", &m.coalesced)
-	out.Set("jobs_rejected", &m.rejected)
-	out.Set("jobs_completed", &m.completed)
-	out.Set("jobs_failed", &m.failed)
-	out.Set("jobs_canceled", &m.canceled)
-	out.Set("dispatches", &m.dispatches)
-	out.Set("dispatches_by_node", &m.byNode)
-	out.Set("redispatches", &m.redispatches)
-	out.Set("steals", &m.steals)
-	out.Set("node_cache_hits", &m.cacheHits)
-	out.Set("warm_dispatches", &m.warmDispatches)
-	out.Set("checkpoints_received", &m.ckptsReceived)
-	out.Set("node_deaths", &m.nodeDeaths)
+	intVar := func(name string, read func() int64) {
+		out.Set(name, expvar.Func(func() any { return read() }))
+	}
+	intVar("jobs_submitted", m.submitted.Value)
+	intVar("jobs_coalesced", m.coalesced.Value)
+	intVar("jobs_rejected", m.rejected.Value)
+	intVar("jobs_completed", m.completed.Value)
+	intVar("jobs_failed", m.failed.Value)
+	intVar("jobs_canceled", m.canceled.Value)
+	intVar("dispatches", m.dispatches.Value)
+	out.Set("dispatches_by_node", expvar.Func(func() any { return m.byNode.Values() }))
+	intVar("redispatches", m.redispatches.Value)
+	intVar("steals", m.steals.Value)
+	intVar("node_cache_hits", m.cacheHits.Value)
+	intVar("warm_dispatches", m.warmDispatches.Value)
+	intVar("checkpoints_received", m.ckptsReceived.Value)
+	intVar("node_deaths", m.nodeDeaths.Value)
 	out.Set("open_jobs", expvar.Func(func() any {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		return len(c.open)
 	}))
-	out.Set("nodes_alive", expvar.Func(func() any {
-		n := 0
-		for _, name := range c.ring.members {
-			if alive, _, _ := c.members[name].snapshot(); alive {
-				n++
-			}
-		}
-		return n
-	}))
+	out.Set("nodes_alive", expvar.Func(func() any { return c.aliveNodes() }))
 	return out
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/ftdse"
 	"repro/ftdse/cluster"
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -153,6 +154,8 @@ func waitState(t *testing.T, url, id string, timeout time.Duration, ok func(serv
 	}
 }
 
+// metric reads one sample from the coordinator's Prometheus text
+// exposition at GET /metrics, validating the format on every scrape.
 func metric(t *testing.T, url, name string) float64 {
 	t.Helper()
 	resp, err := http.Get(url + "/metrics")
@@ -160,13 +163,16 @@ func metric(t *testing.T, url, name string) float64 {
 		t.Fatalf("GET /metrics: %v", err)
 	}
 	defer resp.Body.Close()
-	var m map[string]json.RawMessage
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
 		t.Fatalf("decoding metrics: %v", err)
 	}
-	var f float64
-	if err := json.Unmarshal(m[name], &f); err != nil {
-		t.Fatalf("metric %q: %v (raw %s)", name, err, m[name])
+	f, ok := m[name]
+	if !ok {
+		t.Fatalf("metric %q absent from /metrics", name)
 	}
 	return f
 }
@@ -213,7 +219,7 @@ func TestClusterSolveAndNodeCacheAffinity(t *testing.T) {
 	if !bytes.Equal(st.Result, st2.Result) {
 		t.Fatalf("cache hit returned a different result document")
 	}
-	if got := metric(t, srv.URL, "node_cache_hits"); got < 1 {
+	if got := metric(t, srv.URL, "ftcluster_node_cache_hits_total"); got < 1 {
 		t.Fatalf("node_cache_hits = %v, want >= 1 (affinity should route to the same shard)", got)
 	}
 }
@@ -228,7 +234,7 @@ func TestClusterCoalescesDuplicateSubmissions(t *testing.T) {
 	if st1.ID != st2.ID {
 		t.Fatalf("duplicate submissions got distinct jobs %s / %s", st1.ID, st2.ID)
 	}
-	if got := metric(t, srv.URL, "jobs_coalesced"); got != 1 {
+	if got := metric(t, srv.URL, "ftcluster_jobs_coalesced_total"); got != 1 {
 		t.Fatalf("jobs_coalesced = %v, want 1", got)
 	}
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+st1.ID, nil)
@@ -350,10 +356,10 @@ func TestClusterFailoverResumesFromCheckpoint(t *testing.T) {
 		t.Fatalf("final cost (%v, %v) regressed past checkpoint (%v, %v)",
 			res.TardinessMs, res.MakespanMs, ckT, ckM)
 	}
-	if got := metric(t, srv.URL, "redispatches"); got < 1 {
+	if got := metric(t, srv.URL, "ftcluster_redispatches_total"); got < 1 {
 		t.Fatalf("redispatches = %v, want >= 1", got)
 	}
-	if got := metric(t, srv.URL, "warm_dispatches"); got < 1 {
+	if got := metric(t, srv.URL, "ftcluster_warm_dispatches_total"); got < 1 {
 		t.Fatalf("warm_dispatches = %v, want >= 1", got)
 	}
 	// A duplicate arriving after the failover still coalesces onto the

@@ -159,16 +159,16 @@ func TestE2ESIGKILLFailoverResumesFromCheckpoint(t *testing.T) {
 		t.Fatalf("final cost (%v, %v) regressed past the checkpointed incumbent (%v, %v)",
 			res.TardinessMs, res.MakespanMs, ckT, ckM)
 	}
-	if got := metric(t, srv.URL, "redispatches"); got < 1 {
+	if got := metric(t, srv.URL, "ftcluster_redispatches_total"); got < 1 {
 		t.Fatalf("redispatches = %v, want >= 1", got)
 	}
-	if got := metric(t, srv.URL, "warm_dispatches"); got < 1 {
+	if got := metric(t, srv.URL, "ftcluster_warm_dispatches_total"); got < 1 {
 		t.Fatalf("warm_dispatches = %v, want >= 1", got)
 	}
 
 	// An identical resubmission after the failover is answered by the
 	// surviving shard's result cache: same bytes, no re-solve.
-	before := metric(t, srv.URL, "node_cache_hits")
+	before := metric(t, srv.URL, "ftcluster_node_cache_hits_total")
 	dup := postSolve(t, srv.URL, body, http.StatusOK, "wait")
 	if dup.State != service.StateDone {
 		t.Fatalf("post-failover duplicate = %+v", dup)
@@ -176,7 +176,7 @@ func TestE2ESIGKILLFailoverResumesFromCheckpoint(t *testing.T) {
 	if !bytes.Equal(dup.Result, final.Result) {
 		t.Fatal("post-failover duplicate returned a different result document")
 	}
-	if got := metric(t, srv.URL, "node_cache_hits"); got != before+1 {
+	if got := metric(t, srv.URL, "ftcluster_node_cache_hits_total"); got != before+1 {
 		t.Fatalf("node_cache_hits went %v -> %v, want a cache hit on the surviving shard", before, got)
 	}
 }

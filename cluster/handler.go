@@ -11,6 +11,7 @@ import (
 
 	"repro/ftdse"
 	"repro/ftdse/client"
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -64,6 +65,9 @@ func (c *Coordinator) validate(req service.SubmitRequest) (string, error) {
 	if len(req.Problem) == 0 {
 		return "", errors.New("missing problem document")
 	}
+	if req.TraceID != "" && !obs.ValidTraceID(req.TraceID) {
+		return "", fmt.Errorf("invalid trace id %q", req.TraceID)
+	}
 	prob, err := ftdse.ReadProblem(bytes.NewReader(req.Problem))
 	if err != nil {
 		return "", err
@@ -104,19 +108,29 @@ func (c *Coordinator) admit(reqs []service.SubmitRequest, fps []string) ([]*cjob
 	}
 	if len(c.open)+need > c.cfg.MaxPending {
 		c.met.rejected.Add(int64(need))
+		c.log.Warn("admission cap reached, rejecting batch",
+			"rejected", need, "open_jobs", len(c.open), "max_pending", c.cfg.MaxPending)
 		return nil, errTooManyJobs
 	}
 	jobs := make([]*cjob, len(reqs))
 	var started []*cjob
 	for i, req := range reqs {
 		if j := c.open[fps[i]]; j != nil {
-			c.met.coalesced.Add(1)
+			// Coalesced submissions adopt the open job's trace ID (first
+			// submission wins), matching the node's contract.
+			c.met.coalesced.Inc()
 			jobs[i] = j
 			continue
+		}
+		// Mint the trace identity before journaling so the submit record —
+		// and every re-dispatch after a restart — carries it.
+		if req.TraceID == "" {
+			req.TraceID = obs.NewTraceID()
 		}
 		c.nextID++
 		j := &cjob{
 			id: fmt.Sprintf("c%06d", c.nextID), fp: fps[i], req: req,
+			traceID:   req.TraceID,
 			submitted: time.Now(),
 			state:     service.StateQueued,
 			done:      make(chan struct{}),
@@ -131,7 +145,9 @@ func (c *Coordinator) admit(reqs []service.SubmitRequest, fps []string) ([]*cjob
 				return nil, fmt.Errorf("journaling submission: %w", err)
 			}
 		}
-		c.met.submitted.Add(1)
+		c.met.submitted.Inc()
+		c.log.Info("job admitted", obs.TraceIDKey, j.traceID,
+			"job", j.id, "fingerprint", j.fp)
 		c.jobs[j.id] = j
 		c.open[j.fp] = j
 		jobs[i] = j
@@ -162,6 +178,9 @@ func (c *Coordinator) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	if req.TraceID == "" {
+		req.TraceID = r.Header.Get(obs.TraceHeader)
+	}
 	fp, err := c.validate(req)
 	if err != nil {
 		writeBadRequest(w, err)
@@ -173,6 +192,7 @@ func (c *Coordinator) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := jobs[0]
+	w.Header().Set(obs.TraceHeader, j.traceID)
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
 		select {
 		case <-j.done:
@@ -394,7 +414,9 @@ func (c *Coordinator) handleCheckpointPush(w http.ResponseWriter, r *http.Reques
 	c.mu.Lock()
 	c.ckpts[push.Fingerprint] = push.Checkpoint
 	c.mu.Unlock()
-	c.met.ckptsReceived.Add(1)
+	c.met.ckptsReceived.Inc()
+	c.log.Info("checkpoint received", obs.TraceIDKey, r.Header.Get(obs.TraceHeader),
+		"node", push.Node, "remote_job", push.JobID, "fingerprint", push.Fingerprint)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -434,8 +456,8 @@ func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, c.vars.String())
+	w.Header().Set("Content-Type", obs.ContentType)
+	c.met.reg.WriteText(w)
 }
 
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {

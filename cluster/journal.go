@@ -33,6 +33,10 @@ type journalRecord struct {
 	ID string `json:"id,omitempty"`
 	// Fingerprint keys checkpoints and lets replay coalesce.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// TraceID carries the job's request identity on done records, so one
+	// solve is greppable end to end in the journal (submit records carry
+	// it inside Request as trace_id).
+	TraceID string `json:"trace_id,omitempty"`
 	// Request is the full SubmitRequest document of a submit record —
 	// everything needed to redispatch the job after a restart.
 	Request json.RawMessage `json:"request,omitempty"`

@@ -12,13 +12,22 @@
 //	           [-addr :8390] [-self http://this-host:8390]
 //	           [-journal jobs.wal] [-checkpoint 1s] [-health 1s]
 //	           [-fail-after 3] [-max-pending 1024] [-drain 30s]
+//	           [-pprof] [-log-level info]
 //
 // The job surface speaks the ftdsed wire protocol — POST /solve
 // (?wait=1), POST /solve/batch, GET/DELETE /jobs/{id},
 // GET /jobs/{id}/events (SSE) — so the typed client works unchanged.
 // The cluster surface adds POST /cluster/checkpoints (node pushes),
 // GET /cluster/checkpoints/{fp} (warm-start fetch),
-// GET /cluster/shards, GET /metrics, GET /healthz and GET /readyz.
+// GET /cluster/shards, GET /metrics (Prometheus text exposition),
+// GET /healthz and GET /readyz. With -pprof the net/http/pprof profiles
+// mount under /debug/pprof/ and an on-demand runtime/trace capture
+// under /debug/rtrace; the legacy expvar view stays at /debug/vars.
+//
+// Logs are structured JSON (log/slog) on stderr; every job's lines —
+// admission, dispatches, failovers, conclusion — carry its trace_id,
+// propagated from the Ftdse-Trace-Id request header (or minted at
+// admission).
 //
 // On SIGINT/SIGTERM the coordinator stops its loops and exits; solves
 // in flight keep running on their nodes, and a restarted coordinator
@@ -31,7 +40,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"repro/ftdse/cluster"
+	"repro/ftdse/obs"
 )
 
 // nodeFlags collects repeated -node name=url flags.
@@ -74,10 +84,15 @@ func main() {
 	maxPending := flag.Int("max-pending", 1024, "open job cap (submissions beyond it get 429)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member (0 = default 128)")
 	drain := flag.Duration("drain", 30*time.Second, "loop shutdown timeout on exit")
+	pprof := flag.Bool("pprof", false, "serve /debug/pprof/ and /debug/rtrace profiling endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
+
 	if len(nodes) == 0 {
-		log.Fatal("ftclusterd: at least one -node name=url is required")
+		logger.Error("ftclusterd: at least one -node name=url is required")
+		os.Exit(1)
 	}
 	if *self == "" {
 		a := *addr
@@ -95,25 +110,31 @@ func main() {
 		FailAfter:          *failAfter,
 		MaxPending:         *maxPending,
 		VNodes:             *vnodes,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatalf("ftclusterd: %v", err)
+		logger.Error("ftclusterd failed to start", "error", err.Error())
+		os.Exit(1)
 	}
 	expvar.Publish("ftclusterd", coord.Vars())
 
 	mux := http.NewServeMux()
 	mux.Handle("/", coord.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	if *pprof {
+		obs.RegisterDebug(mux)
+	}
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	if err := coord.Start(*self); err != nil {
-		log.Fatalf("ftclusterd: %v", err)
+		logger.Error("ftclusterd failed to start", "error", err.Error())
+		os.Exit(1)
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ftclusterd listening on %s (self %s, %d nodes, journal %q)",
-			*addr, *self, len(nodes), *journal)
+		logger.Info("ftclusterd listening", "addr", *addr, "self", *self,
+			"nodes", len(nodes), "journal", *journal, "pprof", *pprof)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -121,9 +142,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("ftclusterd: %v", err)
+		logger.Error("ftclusterd server failed", "error", err.Error())
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("ftclusterd: %v — stopping (timeout %v)", s, *drain)
+		logger.Info("ftclusterd stopping", "signal", s.String(), "timeout", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -134,5 +156,20 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "ftclusterd: server shutdown: %v\n", err)
 	}
-	log.Printf("ftclusterd: stopped")
+	logger.Info("ftclusterd stopped")
+}
+
+// parseLevel maps the -log-level flag onto slog levels, defaulting to
+// info for unknown values.
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
 }

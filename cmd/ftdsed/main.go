@@ -6,12 +6,19 @@
 // Usage:
 //
 //	ftdsed [-addr :8385] [-queue 64] [-pool N] [-cache 128]
-//	       [-max-time-limit 0] [-drain 30s]
+//	       [-max-time-limit 0] [-drain 30s] [-pprof] [-log-level info]
 //
 // Endpoints: POST /solve (?wait=1), POST /solve/batch, GET /jobs/{id},
-// DELETE /jobs/{id}, GET /jobs/{id}/events (SSE), GET /metrics,
-// GET /healthz, plus the process-wide expvar page at /debug/vars with
-// the service metrics published as "ftdsed".
+// DELETE /jobs/{id}, GET /jobs/{id}/events (SSE), GET /metrics
+// (Prometheus text exposition), GET /healthz, plus the process-wide
+// expvar page at /debug/vars with the service metrics published as
+// "ftdsed". With -pprof the net/http/pprof profiles mount under
+// /debug/pprof/ and an on-demand runtime/trace capture under
+// /debug/rtrace.
+//
+// Logs are structured JSON (log/slog) on stderr; every solve's lines
+// carry its trace_id, propagated from the Ftdse-Trace-Id request header
+// (or minted on arrival).
 //
 // On SIGINT/SIGTERM the daemon drains: it stops admitting work, cancels
 // running solves — each returns its best-so-far design within one
@@ -25,7 +32,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -43,24 +51,33 @@ func main() {
 	cache := flag.Int("cache", 128, "result cache entries (negative disables)")
 	maxLimit := flag.Duration("max-time-limit", 0, "cap on per-request time limits (0 = uncapped)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain timeout on shutdown")
+	pprof := flag.Bool("pprof", false, "serve /debug/pprof/ and /debug/rtrace profiling endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel))
 
 	svc := service.New(service.Config{
 		QueueSize:    *queue,
 		PoolWorkers:  *pool,
 		CacheSize:    *cache,
 		MaxTimeLimit: *maxLimit,
+		Logger:       logger,
 	})
 	expvar.Publish("ftdsed", svc.Vars())
 
 	mux := http.NewServeMux()
 	mux.Handle("/", svc.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	if *pprof {
+		obs.RegisterDebug(mux)
+	}
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ftdsed listening on %s (queue %d, pool %d, cache %d)", *addr, *queue, *pool, *cache)
+		logger.Info("ftdsed listening", "addr", *addr,
+			"queue", *queue, "pool", *pool, "cache", *cache, "pprof", *pprof)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -68,9 +85,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("ftdsed: %v", err)
+		logger.Error("ftdsed server failed", "error", err.Error())
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("ftdsed: %v — draining (timeout %v)", s, *drain)
+		logger.Info("ftdsed draining", "signal", s.String(), "timeout", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -81,5 +99,20 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "ftdsed: server shutdown: %v\n", err)
 	}
-	log.Printf("ftdsed: stopped")
+	logger.Info("ftdsed stopped")
+}
+
+// parseLevel maps the -log-level flag onto slog levels, defaulting to
+// info for unknown values.
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
 }

@@ -1,0 +1,50 @@
+// Command ftpromlint validates a Prometheus text-format exposition
+// (version 0.0.4) against the guarantees the repo's /metrics endpoints
+// promise: parseable samples, HELP/TYPE ordering, contiguous metric
+// families, no duplicate samples, and cumulative histogram buckets
+// with a +Inf bucket equal to _count. CI pipes live daemon scrapes
+// through it so the exposition format stays valid as metrics evolve.
+//
+// Usage:
+//
+//	ftpromlint [metrics.txt]
+//
+// With no file argument the exposition is read from stdin. Exit
+// status: 0 when the exposition is valid, 1 on a violation or usage
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/ftdse/obs"
+)
+
+func main() {
+	flag.Parse()
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r, name = f, flag.Arg(0)
+	default:
+		fatalf("at most one exposition file argument (got %d)", flag.NArg())
+	}
+	if err := obs.ValidateExposition(r); err != nil {
+		fatalf("%s: %v", name, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftpromlint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -8,7 +8,7 @@
 //
 //	ftsched -in app.json [-strategy mxr] [-engine default] [-iters 500]
 //	        [-time 30s] [-workers 0] [-stop-schedulable] [-progress]
-//	        [-gantt] [-width 100]
+//	        [-gantt] [-width 100] [-trace run.jsonl]
 //
 // Exit status: 0 when the synthesized design meets all deadlines in the
 // worst case, 2 when the best design found is unschedulable, and 1 on
@@ -45,6 +45,7 @@ func main() {
 		width    = flag.Int("width", 100, "Gantt chart width")
 		export   = flag.String("export", "", "write the schedule tables + MEDL as JSON to this file")
 		dotOut   = flag.String("dot", "", "write the synthesized design as Graphviz DOT to this file")
+		traceOut = flag.String("trace", "", "record the search flight recorder and write the trace JSONL to this file (render with fttrace)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -80,6 +81,9 @@ func main() {
 		ftdse.WithCheckpointing(*ckpt),
 		ftdse.WithWorkers(*workers),
 	}
+	if *traceOut != "" {
+		opts = append(opts, ftdse.WithFlightRecorder(ftdse.DefaultFlightRecorderEvents))
+	}
 	if *progress {
 		opts = append(opts, ftdse.WithProgress(func(imp ftdse.Improvement) {
 			fmt.Fprintf(os.Stderr, "ftsched: %-7s iter %-5d %v (%v)\n",
@@ -106,6 +110,16 @@ func main() {
 			fatalf("%v", err)
 		}
 		if err := ftdse.WriteSchedule(f, res.Schedule); err != nil {
+			fatalf("%v", err)
+		}
+		f.Close()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := ftdse.WriteTrace(f, res.Trace); err != nil {
 			fatalf("%v", err)
 		}
 		f.Close()

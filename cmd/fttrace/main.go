@@ -1,0 +1,198 @@
+// Command fttrace renders a flight-recorder trace (the JSONL document
+// written by ftdse.WriteTrace, ftsched -trace, or a cluster job with
+// the flight recorder enabled) as a human-readable timeline plus a
+// per-phase summary.
+//
+// Usage:
+//
+//	fttrace [-summary] [-max 0] [trace.jsonl]
+//
+// With no file argument the trace is read from stdin. Exit status: 0 on
+// success, 1 on usage, input, or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/ftdse"
+)
+
+func main() {
+	var (
+		summary = flag.Bool("summary", false, "print only the per-phase summary, no timeline")
+		maxRows = flag.Int("max", 0, "timeline rows to print (0 = all)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	default:
+		fatalf("at most one trace file argument (got %d)", flag.NArg())
+	}
+
+	tr, err := ftdse.ReadTrace(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	render(os.Stdout, tr, *summary, *maxRows)
+}
+
+// render prints the trace header, the event timeline (unless
+// summaryOnly), and the per-phase summary.
+func render(w io.Writer, tr *ftdse.Trace, summaryOnly bool, maxRows int) {
+	fmt.Fprintf(w, "trace: %d events", len(tr.Events))
+	if tr.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped by the ring)", tr.Dropped)
+	}
+	if n := len(tr.Events); n > 0 {
+		fmt.Fprintf(w, ", %.1fms", tr.Events[n-1].ElapsedMs)
+	}
+	fmt.Fprintln(w)
+
+	if !summaryOnly {
+		fmt.Fprintf(w, "%8s %10s  %s\n", "seq", "elapsed", "event")
+		rows := tr.Events
+		truncated := 0
+		if maxRows > 0 && len(rows) > maxRows {
+			truncated = len(rows) - maxRows
+			rows = rows[:maxRows]
+		}
+		for i := range rows {
+			ev := &rows[i]
+			fmt.Fprintf(w, "%8d %8.2fms  %s\n", ev.Seq, ev.ElapsedMs, describe(ev))
+		}
+		if truncated > 0 {
+			fmt.Fprintf(w, "%8s %10s  ... %d more events (raise -max)\n", "", "", truncated)
+		}
+	}
+
+	printSummary(w, tr)
+}
+
+// describe renders one event as a single human-readable line body.
+func describe(ev *ftdse.SearchEvent) string {
+	var b strings.Builder
+	b.WriteString(ev.Kind)
+	if ev.Phase != "" {
+		b.WriteString(" ")
+		b.WriteString(ev.Phase)
+	}
+	switch ev.Kind {
+	case ftdse.EventRunStart:
+		fmt.Fprintf(&b, " strategy=%s engine=%s", ev.Strategy, ev.Engine)
+	case ftdse.EventIncumbent, ftdse.EventWarmStart, ftdse.EventRunEnd:
+		if ev.Kind == ftdse.EventWarmStart {
+			fmt.Fprintf(&b, " adopted=%v", ev.Adopted)
+		}
+		if ev.Iteration > 0 {
+			fmt.Fprintf(&b, " iter=%d", ev.Iteration)
+		}
+		fmt.Fprintf(&b, " makespan=%dµs", ev.MakespanUs)
+		if ev.Schedulable {
+			b.WriteString(" schedulable")
+		} else {
+			fmt.Fprintf(&b, " tardy=%dµs", ev.TardinessUs)
+		}
+		if ev.Cause != "" {
+			fmt.Fprintf(&b, " cause=%s", ev.Cause)
+		}
+	case ftdse.EventSweep:
+		fmt.Fprintf(&b, " moves=%d evaluated=%d cache_hits=%d", ev.Moves, ev.Evaluated, ev.CacheHits)
+	case ftdse.EventPhaseExit:
+		if ev.Iteration > 0 {
+			fmt.Fprintf(&b, " iter=%d", ev.Iteration)
+		}
+	}
+	return b.String()
+}
+
+// phaseStat aggregates one phase label across the trace. Time is the
+// sum of enter→exit spans; with forked racers (portfolio engines) the
+// spans of concurrently open phases overlap, so the per-phase times can
+// legitimately sum to more than the run's wall clock.
+type phaseStat struct {
+	name       string
+	spans      int
+	timeMs     float64
+	incumbents int
+	openedAt   float64
+	openDepth  int
+}
+
+// printSummary renders the per-phase table plus the evaluator sweep
+// totals.
+func printSummary(w io.Writer, tr *ftdse.Trace) {
+	stats := map[string]*phaseStat{}
+	get := func(name string) *phaseStat {
+		s := stats[name]
+		if s == nil {
+			s = &phaseStat{name: name}
+			stats[name] = s
+		}
+		return s
+	}
+	var moves, evaluated, hits int
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case ftdse.EventPhaseEnter:
+			s := get(ev.Phase)
+			if s.openDepth == 0 {
+				s.openedAt = ev.ElapsedMs
+			}
+			s.openDepth++
+		case ftdse.EventPhaseExit:
+			s := get(ev.Phase)
+			if s.openDepth > 0 {
+				s.openDepth--
+				if s.openDepth == 0 {
+					s.timeMs += ev.ElapsedMs - s.openedAt
+					s.spans++
+				}
+			}
+		case ftdse.EventIncumbent:
+			if ev.Phase != "" {
+				get(ev.Phase).incumbents++
+			}
+		case ftdse.EventSweep:
+			moves += ev.Moves
+			evaluated += ev.Evaluated
+			hits += ev.CacheHits
+		}
+	}
+	if len(stats) > 0 {
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "per-phase summary:")
+		fmt.Fprintf(w, "  %-24s %6s %10s %11s\n", "phase", "spans", "time", "incumbents")
+		for _, name := range names {
+			s := stats[name]
+			fmt.Fprintf(w, "  %-24s %6d %8.2fms %11d\n", s.name, s.spans, s.timeMs, s.incumbents)
+		}
+	}
+	if moves > 0 {
+		fmt.Fprintf(w, "evaluator: %d moves, %d scheduling passes, %d cache hits (%.1f%% hit rate)\n",
+			moves, evaluated, hits, 100*float64(hits)/float64(moves))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fttrace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,7 +6,10 @@
 // zero lost jobs — every submission reaches "done" with a result —
 // plus at least one live shard left standing. It exits non-zero on any
 // violation and writes the shard-stats document to -shards-out for CI
-// to upload as an artifact.
+// to upload as an artifact. With -trace-out it additionally submits one
+// flight-recorded solve through the coordinator, verifies the single
+// trace ID contract (submission status, every SSE event, and the final
+// result carry the same id), and writes the search trace JSONL there.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	jobs := flag.Int("jobs", 6, "distinct problems to submit")
 	killPid := flag.Int("kill-pid", 0, "solver node PID to SIGKILL mid-batch (0 = no kill)")
 	shardsOut := flag.String("shards-out", "", "write the final /cluster/shards document here")
+	traceOut := flag.String("trace-out", "", "run one flight-recorded solve and write its trace JSONL here")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -108,7 +112,9 @@ func main() {
 		log.Fatalf("clustersmoke: metrics: %v", err)
 	}
 	fmt.Printf("dispatches=%v redispatches=%v steals=%v warm_dispatches=%v nodes_alive=%v\n",
-		m["dispatches"], m["redispatches"], m["steals"], m["warm_dispatches"], m["nodes_alive"])
+		m["ftcluster_dispatches_total"], m["ftcluster_redispatches_total"],
+		m["ftcluster_steals_total"], m["ftcluster_warm_dispatches_total"],
+		m["ftcluster_nodes_alive"])
 
 	shards, err := fetchShards(ctx, *addr)
 	if err != nil {
@@ -125,14 +131,62 @@ func main() {
 		log.Fatalf("clustersmoke: %d of %d jobs lost", lost, len(sts))
 	}
 	if *killPid != 0 {
-		if m["redispatches"] < 1 {
-			log.Fatalf("clustersmoke: node killed but redispatches = %v", m["redispatches"])
+		if m["ftcluster_redispatches_total"] < 1 {
+			log.Fatalf("clustersmoke: node killed but redispatches = %v", m["ftcluster_redispatches_total"])
 		}
-		if m["nodes_alive"] < 1 {
+		if m["ftcluster_nodes_alive"] < 1 {
 			log.Fatalf("clustersmoke: no live nodes left")
 		}
 	}
+	if *traceOut != "" {
+		traceRun(ctx, c, *traceOut)
+	}
 	fmt.Printf("ok: %d/%d jobs done, zero lost\n", len(sts), len(sts))
+}
+
+// traceRun submits one flight-recorded solve through the coordinator,
+// verifies the single-trace-ID contract across the submission status,
+// every SSE event and the final result, and writes the search trace
+// JSONL to path for CI to upload.
+func traceRun(ctx context.Context, c *client.Client, path string) {
+	prob := ftdse.GenerateProblem(
+		ftdse.GenSpec{Procs: 12, Nodes: 3, Seed: 7},
+		ftdse.FaultModel{K: 1, Mu: ftdse.Ms(5)})
+	st, err := c.Submit(ctx, prob, service.SolveOptions{
+		MaxIterations: 60, Workers: 1, FlightRecorder: true,
+	})
+	if err != nil {
+		log.Fatalf("clustersmoke: trace submit: %v", err)
+	}
+	if st.TraceID == "" {
+		log.Fatalf("clustersmoke: trace submission came back without a trace id")
+	}
+	final, err := c.Stream(ctx, st.ID, func(ev service.ProgressEvent) {
+		if ev.TraceID != st.TraceID {
+			log.Fatalf("clustersmoke: event trace id %q, want %q", ev.TraceID, st.TraceID)
+		}
+	})
+	if err != nil {
+		log.Fatalf("clustersmoke: trace stream: %v", err)
+	}
+	if final.State != service.StateDone {
+		log.Fatalf("clustersmoke: trace job ended %q (%s)", final.State, final.Error)
+	}
+	res, err := client.Result(final)
+	if err != nil {
+		log.Fatalf("clustersmoke: trace result: %v", err)
+	}
+	if res.TraceID != st.TraceID {
+		log.Fatalf("clustersmoke: result trace id %q, want %q", res.TraceID, st.TraceID)
+	}
+	if res.TraceJSONL == "" {
+		log.Fatalf("clustersmoke: flight-recorded solve returned no trace document")
+	}
+	if err := os.WriteFile(path, []byte(res.TraceJSONL), 0o644); err != nil {
+		log.Fatalf("clustersmoke: writing %s: %v", path, err)
+	}
+	fmt.Printf("trace %s: %d spans, flight recording written to %s\n",
+		st.TraceID, len(res.Spans), path)
 }
 
 // fetchShards grabs the raw /cluster/shards document (pretty-printed).

@@ -48,9 +48,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("serviceclient: submit: %v", err)
 	}
-	fmt.Printf("submitted %s (fingerprint %.24s…)\n", st.ID, st.Fingerprint)
+	if st.TraceID == "" {
+		log.Fatalf("serviceclient: submission came back without a trace id")
+	}
+	fmt.Printf("submitted %s (fingerprint %.24s…, trace %s)\n", st.ID, st.Fingerprint, st.TraceID)
 
 	final, err := c.Stream(ctx, st.ID, func(ev service.ProgressEvent) {
+		if ev.TraceID != st.TraceID {
+			log.Fatalf("serviceclient: event trace id %q, want %q", ev.TraceID, st.TraceID)
+		}
 		fmt.Printf("  %-8s iter %3d  δ=%.3fms  schedulable=%v\n",
 			ev.Phase, ev.Iteration, ev.MakespanMs, ev.Schedulable)
 	})
@@ -64,8 +70,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("serviceclient: result: %v", err)
 	}
-	fmt.Printf("done: %s δ=%.3fms schedulable=%v after %d iterations\n",
-		res.Strategy, res.MakespanMs, res.Schedulable, res.Iterations)
+	if res.TraceID != st.TraceID {
+		log.Fatalf("serviceclient: result trace id %q, want %q", res.TraceID, st.TraceID)
+	}
+	fmt.Printf("done: %s δ=%.3fms schedulable=%v after %d iterations (trace %s, %d spans)\n",
+		res.Strategy, res.MakespanMs, res.Schedulable, res.Iterations, res.TraceID, len(res.Spans))
 
 	before, err := c.Metrics(ctx)
 	if err != nil {
@@ -82,14 +91,14 @@ func main() {
 	if !again.Cached {
 		log.Fatalf("serviceclient: resubmission was not served from cache")
 	}
-	if after["solves_total"] != before["solves_total"] {
-		log.Fatalf("serviceclient: cache hit re-solved (solves_total %v → %v)",
-			before["solves_total"], after["solves_total"])
+	if after["ftdse_solves_total"] != before["ftdse_solves_total"] {
+		log.Fatalf("serviceclient: cache hit re-solved (ftdse_solves_total %v → %v)",
+			before["ftdse_solves_total"], after["ftdse_solves_total"])
 	}
 	if !bytes.Equal(final.Result, again.Result) {
 		log.Fatalf("serviceclient: cached result differs from the original")
 	}
-	fmt.Printf("cache hit confirmed: identical result, solves_total steady at %v\n",
-		after["solves_total"])
+	fmt.Printf("cache hit confirmed: identical result, ftdse_solves_total steady at %v\n",
+		after["ftdse_solves_total"])
 	os.Exit(0)
 }

@@ -1,0 +1,72 @@
+package ftdse
+
+import (
+	"io"
+
+	"repro/ftdse/internal/core"
+	"repro/ftdse/internal/sysio"
+)
+
+// Trace is the flight-recorder capture of one Solve run: the structured
+// search events (phase transitions, incumbents, evaluator sweeps,
+// warm-start adoption, stop cause) in emission order, plus the count of
+// events the bounded ring overwrote. Enable capture with
+// WithFlightRecorder; the trace arrives on Result.Trace and exports as
+// canonical JSONL through WriteTrace (rendered by cmd/fttrace).
+type Trace = core.Trace
+
+// SearchEvent is one flight-recorder entry; Kind selects which of the
+// optional fields are meaningful.
+type SearchEvent = core.SearchEvent
+
+// Flight-recorder event kinds (SearchEvent.Kind).
+const (
+	EventRunStart   = core.EventRunStart
+	EventPhaseEnter = core.EventPhaseEnter
+	EventPhaseExit  = core.EventPhaseExit
+	EventIncumbent  = core.EventIncumbent
+	EventWarmStart  = core.EventWarmStart
+	EventSweep      = core.EventSweep
+	EventRunEnd     = core.EventRunEnd
+)
+
+// ValidEventKind reports whether kind is a known flight-recorder event
+// kind (the set ReadTrace accepts).
+func ValidEventKind(kind string) bool { return core.ValidEventKind(kind) }
+
+// DefaultFlightRecorderEvents is the ring capacity WithFlightRecorder
+// selects when given a non-positive size.
+const DefaultFlightRecorderEvents = core.DefaultFlightRecorderEvents
+
+// TraceVersion is the current trace document version of WriteTrace.
+const TraceVersion = sysio.TraceVersion
+
+// WithFlightRecorder enables the search flight recorder with a ring of
+// the given capacity (events <= 0 selects DefaultFlightRecorderEvents).
+// Once the ring is full the oldest events are overwritten and counted
+// in Trace.Dropped, so a runaway search bounds its own telemetry. The
+// recorder is pure observability: it never influences the search, and
+// a solver without it pays only a nil check per emission site.
+func WithFlightRecorder(events int) Option {
+	return func(s *Solver) {
+		if events <= 0 {
+			events = DefaultFlightRecorderEvents
+		}
+		s.opts.FlightRecorder = events
+	}
+}
+
+// ReadTrace parses a trace document written by WriteTrace. The parse is
+// strict — unknown fields, unknown event kinds, non-monotone sequence
+// or elapsed stamps, and trailing content are rejected — so an accepted
+// document re-serializes to identical bytes.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	return sysio.ReadTrace(r)
+}
+
+// WriteTrace serializes a trace in the canonical JSON-Lines form: a
+// header line carrying the version and dropped-event count, then one
+// event object per line in emission order.
+func WriteTrace(w io.Writer, t *Trace) error {
+	return sysio.WriteTrace(w, t)
+}

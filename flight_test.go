@@ -1,0 +1,184 @@
+package ftdse_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/ftdse"
+)
+
+// solveWithRecorder runs a small deterministic solve with the flight
+// recorder enabled and returns the captured trace.
+func solveWithRecorder(t *testing.T, events int) *ftdse.Trace {
+	t.Helper()
+	prob := testProblem(12, 3, 2)
+	solver := ftdse.NewSolver(
+		ftdse.WithMaxIterations(8),
+		ftdse.WithFlightRecorder(events))
+	res, err := solver.Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Trace == nil {
+		t.Fatal("WithFlightRecorder enabled but Result.Trace is nil")
+	}
+	return res.Trace
+}
+
+// TestFlightRecorderCapturesRun pins the shape of a captured trace: it
+// opens with run_start, closes with run_end carrying the stop cause,
+// brackets every phase, reports monotonically improving incumbents, and
+// round-trips byte-identically through the JSONL document form.
+func TestFlightRecorderCapturesRun(t *testing.T) {
+	tr := solveWithRecorder(t, ftdse.DefaultFlightRecorderEvents)
+	if tr.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (ring far larger than the run)", tr.Dropped)
+	}
+	if len(tr.Events) < 4 {
+		t.Fatalf("trace has %d events, want at least run_start, phases, run_end", len(tr.Events))
+	}
+	if first := tr.Events[0]; first.Kind != ftdse.EventRunStart {
+		t.Errorf("first event kind = %q, want %q", first.Kind, ftdse.EventRunStart)
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Kind != ftdse.EventRunEnd {
+		t.Errorf("last event kind = %q, want %q", last.Kind, ftdse.EventRunEnd)
+	}
+	if last.Cause != ftdse.StopCompleted.String() {
+		t.Errorf("run_end cause = %q, want %q", last.Cause, ftdse.StopCompleted)
+	}
+
+	var (
+		prevSeq     int
+		prevElapsed float64
+		incumbents  int
+		hasInc      bool
+		prevCost    ftdse.Cost
+		open        = map[string]int{}
+	)
+	for i, ev := range tr.Events {
+		if !ftdse.ValidEventKind(ev.Kind) {
+			t.Fatalf("event %d: unknown kind %q", i, ev.Kind)
+		}
+		if ev.Seq <= prevSeq {
+			t.Fatalf("event %d: seq %d not increasing after %d", i, ev.Seq, prevSeq)
+		}
+		if ev.ElapsedMs < prevElapsed {
+			t.Fatalf("event %d: elapsed %v before %v", i, ev.ElapsedMs, prevElapsed)
+		}
+		prevSeq, prevElapsed = ev.Seq, ev.ElapsedMs
+		switch ev.Kind {
+		case ftdse.EventPhaseEnter:
+			open[ev.Phase]++
+		case ftdse.EventPhaseExit:
+			if open[ev.Phase] == 0 {
+				t.Fatalf("event %d: phase_exit %q without matching enter", i, ev.Phase)
+			}
+			open[ev.Phase]--
+		case ftdse.EventIncumbent:
+			incumbents++
+			c := ftdse.Cost{Tardiness: ftdse.Us(ev.TardinessUs), Makespan: ftdse.Us(ev.MakespanUs)}
+			if hasInc && prevCost.Less(c) {
+				t.Fatalf("event %d: incumbent cost %v worse than previous %v", i, c, prevCost)
+			}
+			prevCost, hasInc = c, true
+		}
+	}
+	for phase, n := range open {
+		if n != 0 {
+			t.Errorf("phase %q entered %d more times than exited", phase, n)
+		}
+	}
+	if incumbents == 0 {
+		t.Error("trace records no incumbent events (the initial solution must appear)")
+	}
+
+	var first bytes.Buffer
+	if err := ftdse.WriteTrace(&first, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !strings.HasPrefix(first.String(), `{"version":1,"dropped":0}`) {
+		t.Errorf("trace header not canonical: %q", firstLine(first.String()))
+	}
+	tr2, err := ftdse.ReadTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace on canonical form: %v", err)
+	}
+	var second bytes.Buffer
+	if err := ftdse.WriteTrace(&second, tr2); err != nil {
+		t.Fatalf("re-serializing trace: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("trace round trip is not a fixed point")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TestFlightRecorderDisabled pins the off-by-default contract: without
+// WithFlightRecorder the result carries no trace.
+func TestFlightRecorderDisabled(t *testing.T) {
+	prob := testProblem(12, 3, 2)
+	res, err := ftdse.NewSolver(ftdse.WithMaxIterations(4)).Solve(context.Background(), prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Trace != nil {
+		t.Fatalf("recorder disabled but Result.Trace has %d events", len(res.Trace.Events))
+	}
+}
+
+// TestFlightRecorderRingBounds pins the bounded-ring contract: a tiny
+// capacity keeps the newest events, counts the overwritten ones, and
+// the truncated trace still validates and round-trips (sequence numbers
+// keep increasing across the drop point).
+func TestFlightRecorderRingBounds(t *testing.T) {
+	const capacity = 8
+	tr := solveWithRecorder(t, capacity)
+	if len(tr.Events) != capacity {
+		t.Fatalf("ring of %d kept %d events", capacity, len(tr.Events))
+	}
+	if tr.Dropped == 0 {
+		t.Fatal("tiny ring over a full solve dropped nothing")
+	}
+	if last := tr.Events[len(tr.Events)-1]; last.Kind != ftdse.EventRunEnd {
+		t.Errorf("last event kind = %q, want %q (newest events win)", last.Kind, ftdse.EventRunEnd)
+	}
+	var buf bytes.Buffer
+	if err := ftdse.WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace on truncated trace: %v", err)
+	}
+	if _, err := ftdse.ReadTrace(&buf); err != nil {
+		t.Fatalf("ReadTrace on truncated trace: %v", err)
+	}
+}
+
+// TestReadTraceRejects pins the strict-parse contract of the trace
+// document reader.
+func TestReadTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty document":    "",
+		"unknown version":   `{"version":99,"dropped":0}` + "\n",
+		"unknown header":    `{"version":1,"dropped":0,"x":1}` + "\n",
+		"negative dropped":  `{"version":1,"dropped":-1}` + "\n",
+		"unknown kind":      "{\"version\":1,\"dropped\":0}\n{\"seq\":1,\"elapsed_ms\":0,\"kind\":\"bogus\"}\n",
+		"unknown field":     "{\"version\":1,\"dropped\":0}\n{\"seq\":1,\"elapsed_ms\":0,\"kind\":\"run_start\",\"x\":1}\n",
+		"seq not monotone":  "{\"version\":1,\"dropped\":0}\n{\"seq\":2,\"elapsed_ms\":0,\"kind\":\"run_start\"}\n{\"seq\":2,\"elapsed_ms\":0,\"kind\":\"run_end\"}\n",
+		"elapsed regresses": "{\"version\":1,\"dropped\":0}\n{\"seq\":1,\"elapsed_ms\":5,\"kind\":\"run_start\"}\n{\"seq\":2,\"elapsed_ms\":1,\"kind\":\"run_end\"}\n",
+		"sweep overflow":    "{\"version\":1,\"dropped\":0}\n{\"seq\":1,\"elapsed_ms\":0,\"kind\":\"sweep\",\"moves\":2,\"evaluated\":2,\"cache_hits\":1}\n",
+		"trailing garbage":  "{\"version\":1,\"dropped\":0} junk\n",
+		"blank line":        "{\"version\":1,\"dropped\":0}\n\n{\"seq\":1,\"elapsed_ms\":0,\"kind\":\"run_start\"}\n",
+	}
+	for name, doc := range cases {
+		if _, err := ftdse.ReadTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadTrace accepted invalid document", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ftdse_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/ftdse"
@@ -118,6 +119,55 @@ func FuzzReadCheckpoint(f *testing.F) {
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatalf("checkpoint round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+func FuzzReadTrace(f *testing.F) {
+	// Seed with real flight-recorder captures: a tiny deterministic
+	// solve per distinct corpus problem (one tabu iteration, one
+	// worker), so the fuzzer starts from traces with every event kind.
+	for _, seed := range fuzzProblemSeeds(f) {
+		p, err := ftdse.ReadProblem(bytes.NewReader(seed))
+		if err != nil {
+			f.Fatalf("re-reading corpus seed: %v", err)
+		}
+		res, err := ftdse.NewSolver(
+			ftdse.WithMaxIterations(1),
+			ftdse.WithWorkers(1),
+			ftdse.WithFlightRecorder(512),
+		).Solve(context.Background(), p)
+		if err != nil {
+			f.Fatalf("solving corpus seed: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ftdse.WriteTrace(&buf, res.Trace); err != nil {
+			f.Fatalf("serializing trace: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("{\"version\":1,\"dropped\":0}\n"))
+	f.Add([]byte("{\"version\":1,\"dropped\":3}\n{\"seq\":4,\"elapsed_ms\":0.5,\"kind\":\"run_start\",\"strategy\":\"MXR\",\"engine\":\"default\"}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ftdse.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		var first bytes.Buffer
+		if err := ftdse.WriteTrace(&first, tr); err != nil {
+			t.Fatalf("accepted trace does not serialize: %v\ninput:\n%s", err, data)
+		}
+		tr2, err := ftdse.ReadTrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := ftdse.WriteTrace(&second, tr2); err != nil {
+			t.Fatalf("re-parsed trace does not serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("trace round trip is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
 				first.Bytes(), second.Bytes())
 		}
 	})

@@ -5,18 +5,25 @@ import "time"
 // This file holds the deterministic core's only sanctioned wall-clock
 // reads. Wall time enters an optimization run in exactly two ways, both
 // documented as outside the determinism contract: the TimeLimit/context
-// deadline (an anytime interruption) and the Elapsed stamps on results
-// and improvement events (observability). Neither steers move
-// selection; with no deadline the run is bit-reproducible. Everything
-// else in internal/... must not read the clock — the ftlint determinism
-// pass enforces this.
+// deadline (an anytime interruption) and the Elapsed stamps on results,
+// improvement events, and flight-recorder events (observability).
+// Neither steers move selection; with no deadline the run is
+// bit-reproducible. Everything else in internal/... must not read the
+// clock — the ftlint determinism pass enforces this, and the
+// //ftdse:clock annotations below are the sanctioned escape hatch it
+// recognizes.
 
 // wallStart stamps the beginning of a run.
+//
+//ftdse:clock run start feeds the anytime deadline and Elapsed stamps, never move selection
 func wallStart() time.Time {
-	return time.Now() //ftlint:allow determinism run start feeds the anytime deadline and Elapsed stamps, never move selection
+	return time.Now()
 }
 
-// wallElapsed measures observability durations relative to wallStart.
+// wallElapsed measures observability durations relative to wallStart;
+// flight-recorder event stamps route through here.
+//
+//ftdse:clock elapsed stamps are reporting only; search decisions cannot observe them
 func wallElapsed(start time.Time) time.Duration {
-	return time.Since(start) //ftlint:allow determinism elapsed stamps are reporting only; search decisions cannot observe them
+	return time.Since(start)
 }

@@ -51,6 +51,10 @@ type Engine interface {
 type board struct {
 	start time.Time
 	onImp func(Improvement)
+	// rec mirrors the run's flight recorder (nil when disabled):
+	// run-global incumbent improvements are recorded from the same
+	// monotone gate that fires the observer.
+	rec *flightRecorder
 
 	mu sync.Mutex
 	// best is the best cost any handle has published; the observer only
@@ -93,6 +97,8 @@ func (b *board) publish(phase string, iter int, d policy.Assignment, c Cost) {
 	}
 	if !b.hasBest || c.Less(b.best) {
 		b.best, b.hasBest = c, true
+		b.rec.record(costEvent(SearchEvent{Kind: EventIncumbent,
+			Phase: phase, Iteration: iter}, c))
 		if b.onImp != nil {
 			b.onImp(Improvement{
 				Phase:       phase,
@@ -166,10 +172,25 @@ func newSearch(st *searchState, start time.Time) *Search {
 		board: &board{
 			start:       start,
 			onImp:       st.opts.OnImprovement,
+			rec:         st.rec,
 			stopOnSched: st.opts.StopWhenSchedulable,
 		},
 		total: new(atomic.Int64),
 	}
+}
+
+// enterPhase / exitPhase record the phase brackets of the flight
+// recorder: the driver wraps the top-level engine (and the bus step),
+// the pipeline wraps each stage, the portfolio each racer. Phases nest
+// and racer phases carry their "r<i>:" label prefix, mirroring the
+// progress stream. No-ops when the recorder is disabled.
+func (s *Search) enterPhase(name string) {
+	s.st.rec.record(SearchEvent{Kind: EventPhaseEnter, Phase: s.label + name})
+}
+
+func (s *Search) exitPhase(name string) {
+	s.st.rec.record(SearchEvent{Kind: EventPhaseExit, Phase: s.label + name,
+		Iteration: int(s.total.Load())})
 }
 
 // Options returns the run's configuration.
@@ -285,6 +306,9 @@ func (s *Search) Fork(label string, workers int) (*Search, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Racers share the run's flight recorder: one trace covers the
+	// whole race, with phases attributed through the label prefixes.
+	st.rec = s.st.rec
 	// Labels nest: a racer inside a nested portfolio streams as e.g.
 	// "r1:r0:tabu", so phases stay attributable at any depth.
 	f := &Search{st: st, board: s.board, label: s.label + label, total: s.total}

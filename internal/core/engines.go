@@ -339,9 +339,11 @@ func (p PipelineEngine) Explore(ctx context.Context, s *Search) error {
 			break
 		}
 		s.startFromBest()
+		s.enterPhase(e.Name())
 		if err := e.Explore(ctx, s); err != nil {
 			return err
 		}
+		s.exitPhase(e.Name())
 	}
 	return nil
 }
@@ -421,7 +423,9 @@ func (p PortfolioEngine) Explore(ctx context.Context, s *Search) error {
 		wg.Add(1)
 		go func(i int, e Engine, f *Search) {
 			defer wg.Done()
+			f.enterPhase(e.Name())
 			err := e.Explore(raceCtx, f)
+			f.exitPhase(e.Name())
 			d, sch, c, ok := f.Best()
 			outs[i] = outcome{d: d, sch: sch, c: c, ok: ok, err: err}
 		}(i, e, f)

@@ -184,6 +184,13 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 	evalMetrics.cacheHits.Add(int64(len(moves) - len(pending)))
 	evalMetrics.cacheMisses.Add(int64(len(pending)))
 	if len(pending) == 0 {
+		// The explicit nil guard (rather than relying on record's own)
+		// keeps the disabled path free of event construction — part of
+		// the recorder's zero-cost-when-off contract.
+		if rec := ev.st.rec; rec != nil {
+			rec.record(SearchEvent{Kind: EventSweep,
+				Moves: len(moves), CacheHits: len(moves)})
+		}
 		return out
 	}
 
@@ -224,6 +231,10 @@ func (ev *evaluator) evalMoves(ctx context.Context, base policy.Assignment, move
 		}
 	}
 	evalMetrics.passes.Add(int64(ran))
+	if rec := ev.st.rec; rec != nil {
+		rec.record(SearchEvent{Kind: EventSweep, Moves: len(moves),
+			Evaluated: ran, CacheHits: len(moves) - len(pending)})
+	}
 	return out
 }
 

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// The flight recorder is the search's black box: a bounded ring of
+// structured events (phase transitions, incumbent improvements,
+// evaluator sweep statistics, warm-start adoption, stop cause) captured
+// while a solve runs and surfaced afterwards as Result.Trace. It is
+// observability-plane only — events are emitted from the same seams the
+// progress observer uses, they never feed back into move selection, and
+// a disabled recorder (the default) costs the hot path nothing beyond a
+// nil check. Elapsed stamps come from the sanctioned clock wrappers
+// (clock.go), so the determinism contract is untouched: two identical
+// runs differ only in their elapsed_ms values.
+
+// Event kinds recorded by the flight recorder. The set is closed:
+// sysio.ReadTrace rejects documents with unknown kinds, which is what
+// keeps the JSONL export strict enough to round-trip canonically.
+const (
+	// EventRunStart opens a trace: strategy and engine of the run.
+	EventRunStart = "run_start"
+	// EventPhaseEnter / EventPhaseExit bracket one engine phase
+	// (pipeline stage, portfolio racer, or the top-level engine).
+	EventPhaseEnter = "phase_enter"
+	EventPhaseExit  = "phase_exit"
+	// EventIncumbent is a run-global incumbent improvement: cost and
+	// schedulability of a new best design.
+	EventIncumbent = "incumbent"
+	// EventWarmStart records the warm-start evaluation and whether the
+	// prior design was adopted as the incumbent.
+	EventWarmStart = "warm_start"
+	// EventSweep summarizes one evaluator sweep: neighborhood size,
+	// scheduling passes run, memo-cache hits.
+	EventSweep = "sweep"
+	// EventRunEnd closes a trace: total iterations and the stop cause.
+	EventRunEnd = "run_end"
+)
+
+// ValidEventKind reports whether kind is one of the recorded kinds.
+func ValidEventKind(kind string) bool {
+	switch kind {
+	case EventRunStart, EventPhaseEnter, EventPhaseExit, EventIncumbent,
+		EventWarmStart, EventSweep, EventRunEnd:
+		return true
+	}
+	return false
+}
+
+// SearchEvent is one flight-recorder entry. Seq and ElapsedMs are
+// stamped by the recorder (Seq strictly increasing, ElapsedMs
+// non-decreasing — both monotone under the recorder's lock); the
+// remaining fields depend on Kind and stay zero otherwise. Cost fields
+// are integral microseconds (the model's time base), so every field
+// except ElapsedMs is bit-deterministic run to run.
+type SearchEvent struct {
+	Seq       int     `json:"seq"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Kind      string  `json:"kind"`
+
+	// Phase names the engine phase ("greedy", "r1:sa", "bus", ...).
+	Phase string `json:"phase,omitempty"`
+	// Iteration is the publishing handle's iteration counter on
+	// incumbent events, and the run-wide total on phase_exit/run_end.
+	Iteration int `json:"iteration,omitempty"`
+
+	// Strategy and Engine identify the run (run_start only).
+	Strategy string `json:"strategy,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+
+	// Cost of the design on incumbent, warm_start and run_end events.
+	MakespanUs  int64 `json:"makespan_us,omitempty"`
+	TardinessUs int64 `json:"tardiness_us,omitempty"`
+	Schedulable bool  `json:"schedulable,omitempty"`
+
+	// Adopted reports whether the warm-start design became the
+	// incumbent (warm_start only).
+	Adopted bool `json:"adopted,omitempty"`
+
+	// Sweep statistics (sweep only): Moves is the neighborhood size,
+	// Evaluated the scheduling passes actually run, CacheHits the moves
+	// served from the memo cache.
+	Moves     int `json:"moves,omitempty"`
+	Evaluated int `json:"evaluated,omitempty"`
+	CacheHits int `json:"cache_hits,omitempty"`
+
+	// Cause is the stop cause (run_end only).
+	Cause string `json:"cause,omitempty"`
+}
+
+// Trace is the recorded event sequence of one run. When the run emitted
+// more events than the ring holds, the oldest were overwritten and
+// Dropped counts them; Events is always in emission order.
+type Trace struct {
+	Events  []SearchEvent
+	Dropped int
+}
+
+// DefaultFlightRecorderEvents is the ring capacity selected when the
+// facade enables the recorder without an explicit size. At ~200 bytes
+// per event it bounds a trace near 1 MB while covering every event of
+// typical corpus-size solves (a few hundred to a few thousand).
+const DefaultFlightRecorderEvents = 4096
+
+// flightRecorder is the bounded ring behind Options.FlightRecorder.
+// record is safe for concurrent use (portfolio racers and their sweeps
+// emit concurrently); the mutex also makes Seq/ElapsedMs monotone.
+type flightRecorder struct {
+	start time.Time
+	limit int
+
+	mu      sync.Mutex
+	buf     []SearchEvent
+	next    int // overwrite cursor once len(buf) == limit
+	seq     int
+	dropped int
+}
+
+func newFlightRecorder(capacity int, start time.Time) *flightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRecorderEvents
+	}
+	return &flightRecorder{start: start, limit: capacity}
+}
+
+// record stamps and stores one event. A nil recorder drops it, so
+// emission sites need no enabled-check of their own (the hot path still
+// guards with an explicit nil test to skip building the event).
+func (r *flightRecorder) record(ev SearchEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	ev.ElapsedMs = float64(wallElapsed(r.start)) / float64(time.Millisecond)
+	if len(r.buf) < r.limit {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % r.limit
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the recorded trace in emission order.
+func (r *flightRecorder) snapshot() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]SearchEvent, 0, len(r.buf))
+	events = append(events, r.buf[r.next:]...)
+	events = append(events, r.buf[:r.next]...)
+	return &Trace{Events: events, Dropped: r.dropped}
+}
+
+// costEvent fills the cost fields of an event from a Cost.
+func costEvent(ev SearchEvent, c Cost) SearchEvent {
+	ev.MakespanUs = int64(c.Makespan)
+	ev.TardinessUs = int64(c.Tardiness)
+	ev.Schedulable = c.Schedulable()
+	return ev
+}

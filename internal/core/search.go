@@ -27,6 +27,11 @@ type searchState struct {
 	static *sched.Static // precomputed for the current bus configuration
 	eval   *evaluator    // concurrent, memoizing move evaluation
 
+	// rec is the run's flight recorder; nil (the default) disables
+	// event capture. Forked racer states share the parent's recorder so
+	// one trace covers the whole run.
+	rec *flightRecorder
+
 	// origins are the original (pre-merge) process IDs, sorted.
 	origins []model.ProcID
 	// prio is the priority of each origin: the maximum bottom level over

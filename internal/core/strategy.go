@@ -124,6 +124,15 @@ type Options struct {
 	// SFX, whose design is derived structurally rather than searched.
 	WarmStart policy.Assignment
 
+	// FlightRecorder, when positive, enables the search flight recorder
+	// with a ring capacity of that many events; once full, the oldest
+	// events are overwritten (Trace.Dropped counts them). The recorder
+	// is pure observability: it captures phase transitions, incumbents,
+	// sweep statistics and the stop cause into Result.Trace without
+	// influencing the search, and a zero value (the default) keeps
+	// every emission site at a nil check.
+	FlightRecorder int
+
 	// OnImprovement, when non-nil, is called synchronously from the
 	// search goroutine every time a new incumbent (best-so-far) design
 	// is found, including the initial solution. The callback must be
@@ -222,6 +231,10 @@ type Result struct {
 	// time limit, or caller cancellation (the design is then the best
 	// found before the interruption).
 	Stopped StopCause
+
+	// Trace is the flight-recorder capture of the run; nil unless
+	// Options.FlightRecorder enabled it.
+	Trace *Trace
 }
 
 // Optimize runs the paper's OptimizationStrategy (Figure 6) for the
@@ -282,6 +295,18 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	// The engine is resolved before the first event so run_start can
+	// name it; the flight recorder attaches to the search state (sweep
+	// events) and, via newSearch, to the incumbent board.
+	eng := opts.Engine
+	if eng == nil {
+		eng = DefaultEngine()
+	}
+	if opts.FlightRecorder > 0 {
+		st.rec = newFlightRecorder(opts.FlightRecorder, start)
+		st.rec.record(SearchEvent{Kind: EventRunStart,
+			Strategy: opts.Strategy.String(), Engine: eng.Name()})
+	}
 
 	// Step 1: initial bus access, mapping and policy assignment.
 	asgn, err := st.initialMPA()
@@ -303,28 +328,32 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 	// the cold path.
 	if len(opts.WarmStart) > 0 && !s.ShouldStop() {
 		if wsch, wc, werr := st.evaluate(opts.WarmStart); werr == nil {
-			s.Publish("warmstart", opts.WarmStart, wsch, wc)
+			adopted := s.Publish("warmstart", opts.WarmStart, wsch, wc)
+			st.rec.record(costEvent(SearchEvent{Kind: EventWarmStart,
+				Phase: "warmstart", Adopted: adopted}, wc))
 		}
 	}
 
 	// Steps 2+3: hand the run to the search engine (the paper's
 	// greedy→tabu pipeline unless the caller plugged in another one).
-	eng := opts.Engine
-	if eng == nil {
-		eng = DefaultEngine()
-	}
 	if !s.ShouldStop() {
 		s.startFromBest()
+		s.enterPhase(eng.Name())
 		if err := eng.Explore(ctx, s); err != nil {
 			return nil, err
 		}
+		s.exitPhase(eng.Name())
 	}
 
 	if opts.OptimizeBusAccess {
+		s.enterPhase("bus")
 		s.optimizeBus(ctx)
+		s.exitPhase("bus")
 	}
 
 	d, sch, c, _ := s.Best()
+	st.rec.record(costEvent(SearchEvent{Kind: EventRunEnd,
+		Iteration: int(s.total.Load()), Cause: stopCause(ctx).String()}, c))
 	return &Result{
 		Strategy:   opts.Strategy,
 		Engine:     eng.Name(),
@@ -334,6 +363,7 @@ func OptimizeContext(ctx context.Context, p Problem, opts Options) (*Result, err
 		Iterations: int(s.total.Load()),
 		Elapsed:    wallElapsed(start),
 		Stopped:    stopCause(ctx),
+		Trace:      st.rec.snapshot(),
 	}, nil
 }
 
@@ -350,6 +380,9 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 	// The caller already merged TimeLimit into ctx; clearing it here
 	// avoids stacking a second (later, and therefore inert) deadline.
 	nftOpts.TimeLimit = 0
+	// The outer SFX run keeps the single trace of the job; the inner
+	// NFT run would otherwise record a run of its own.
+	nftOpts.FlightRecorder = 0
 	nft, err := OptimizeContext(ctx, p, nftOpts)
 	if err != nil {
 		return nil, err
@@ -364,11 +397,18 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 	if err != nil {
 		return nil, err
 	}
+	if opts.FlightRecorder > 0 {
+		st.rec = newFlightRecorder(opts.FlightRecorder, start)
+		st.rec.record(SearchEvent{Kind: EventRunStart,
+			Strategy: SFX.String(), Engine: nft.Engine})
+	}
 	sch, cost, err := st.evaluate(asgn)
 	if err != nil {
 		return nil, err
 	}
 	newSearch(st, start).Publish("sfx", asgn, sch, cost)
+	st.rec.record(costEvent(SearchEvent{Kind: EventRunEnd,
+		Iteration: nft.Iterations, Cause: stopCause(ctx).String()}, cost))
 	return &Result{
 		Strategy:   SFX,
 		Engine:     nft.Engine,
@@ -378,5 +418,6 @@ func optimizeSFX(ctx context.Context, p Problem, opts Options, start time.Time) 
 		Iterations: nft.Iterations,
 		Elapsed:    wallElapsed(start),
 		Stopped:    stopCause(ctx),
+		Trace:      st.rec.snapshot(),
 	}, nil
 }

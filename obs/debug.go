@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime/trace"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RegisterDebug mounts the profiling endpoints on mux; the daemons call
+// it behind their -pprof flag so production deployments opt in:
+//
+//	/debug/pprof/...   the standard net/http/pprof handlers
+//	/debug/rtrace      on-demand runtime/trace capture:
+//	                   GET /debug/rtrace?seconds=5 streams a trace file
+//
+// runtime/trace captures are process-global and exclusive, so
+// concurrent /debug/rtrace requests beyond the first are rejected with
+// 409 Conflict.
+func RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/rtrace", handleRuntimeTrace)
+}
+
+// rtraceActive guards the process-global runtime tracer.
+var rtraceActive atomic.Bool
+
+// handleRuntimeTrace captures a runtime execution trace for ?seconds
+// (default 1, max 60) and streams it to the response; feed the file to
+// `go tool trace`.
+func handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
+	secs := 1.0
+	if v := r.URL.Query().Get("seconds"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			http.Error(w, "obs: seconds must be a positive number", http.StatusBadRequest)
+			return
+		}
+		secs = f
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	if !rtraceActive.CompareAndSwap(false, true) {
+		http.Error(w, "obs: a runtime trace capture is already running", http.StatusConflict)
+		return
+	}
+	defer rtraceActive.Store(false)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="rtrace.out"`)
+	if err := trace.Start(w); err != nil {
+		http.Error(w, fmt.Sprintf("obs: starting runtime trace: %v", err), http.StatusInternalServerError)
+		return
+	}
+	select {
+	case <-time.After(time.Duration(secs * float64(time.Second))):
+	case <-r.Context().Done():
+	}
+	trace.Stop()
+}

@@ -1,0 +1,22 @@
+// Package obs is the repo's stdlib-only observability kit, shared by
+// the service and cluster tiers and their daemons. It provides:
+//
+//   - a metrics Registry (counters, labeled counters, gauges and
+//     histograms) with a hand-rolled Prometheus text-format exposition
+//     (WriteText), a matching parser (ParseText, used by the typed
+//     client) and a format checker (ValidateExposition, used by CI and
+//     cmd/ftpromlint);
+//   - trace correlation: NewTraceID mints the job trace IDs the cluster
+//     carries in the TraceHeader header through dispatch, failover,
+//     journal entries, SSE events and results, and Span records one
+//     timed step of a job's life;
+//   - structured logging helpers: NewLogger builds the slog JSON logger
+//     the daemons write, Discard the no-op logger libraries default to;
+//   - profiling hooks: RegisterDebug mounts net/http/pprof and an
+//     on-demand runtime/trace capture endpoint behind a daemon's
+//     -pprof flag.
+//
+// Everything here is observability-plane only: nothing in this package
+// influences a search trajectory, so the solver's determinism contract
+// is untouched.
+package obs

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// TraceIDKey is the slog attribute key log lines carry the trace ID
+// under, chosen to match the JSON field name of journal entries and
+// job results so one grep covers logs and documents alike.
+const TraceIDKey = "trace_id"
+
+// NewLogger builds the structured JSON logger the daemons write to
+// stderr: one JSON object per line, so log streams are greppable and
+// machine-parsable alongside the journal.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard returns a logger that drops everything — the default for
+// library components (service, cluster) constructed without an explicit
+// logger, so embedding them stays silent like before.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler is a no-op slog.Handler (the stdlib gains one only in
+// later Go versions than go.mod pins).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(ctx context.Context, level slog.Level) bool { return false }
+func (discardHandler) Handle(ctx context.Context, r slog.Record) error    { return nil }
+func (d discardHandler) WithAttrs(attrs []slog.Attr) slog.Handler         { return d }
+func (d discardHandler) WithGroup(name string) slog.Handler               { return d }

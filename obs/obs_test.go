@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteTextGolden pins the exposition byte for byte: families
+// sorted by name, HELP before TYPE, labeled samples sorted by label
+// value, cumulative buckets, integer-rendered integral values.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	solves := r.NewCounter("ftdse_solves_total", "Solve jobs executed.")
+	byEngine := r.NewCounterVec("ftdse_solves_by_engine_total", "Solve jobs by engine.", "engine")
+	depth := r.NewGauge("ftdse_queue_depth", "Jobs queued or running.")
+	r.NewGaugeFunc("ftdse_cache_len", "Cached results.", func() float64 { return 7 })
+	lat := r.NewHistogram("ftdse_solve_latency_seconds", "Solve wall time.", []float64{0.1, 1, 10})
+
+	solves.Add(3)
+	byEngine.With("tabu").Add(2)
+	byEngine.With("default").Inc()
+	depth.Set(4)
+	lat.Observe(0.05)
+	lat.Observe(0.5)
+	lat.Observe(0.25)
+	lat.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	want := `# HELP ftdse_cache_len Cached results.
+# TYPE ftdse_cache_len gauge
+ftdse_cache_len 7
+# HELP ftdse_queue_depth Jobs queued or running.
+# TYPE ftdse_queue_depth gauge
+ftdse_queue_depth 4
+# HELP ftdse_solve_latency_seconds Solve wall time.
+# TYPE ftdse_solve_latency_seconds histogram
+ftdse_solve_latency_seconds_bucket{le="0.1"} 1
+ftdse_solve_latency_seconds_bucket{le="1"} 3
+ftdse_solve_latency_seconds_bucket{le="10"} 3
+ftdse_solve_latency_seconds_bucket{le="+Inf"} 4
+ftdse_solve_latency_seconds_sum 99.8
+ftdse_solve_latency_seconds_count 4
+# HELP ftdse_solves_by_engine_total Solve jobs by engine.
+# TYPE ftdse_solves_by_engine_total counter
+ftdse_solves_by_engine_total{engine="default"} 1
+ftdse_solves_by_engine_total{engine="tabu"} 2
+# HELP ftdse_solves_total Solve jobs executed.
+# TYPE ftdse_solves_total counter
+ftdse_solves_total 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition(strings.NewReader(buf.String())); err != nil {
+		t.Errorf("golden exposition fails its own validator: %v", err)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("jobs_total", "jobs").Add(41)
+	r.NewCounterVec("by_node_total", "per node", "node").With("n1").Add(5)
+	h := r.NewHistogram("wait_seconds", "queue wait", []float64{0.5, 5})
+	h.Observe(0.1)
+	h.Observe(7)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	m, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	for key, want := range map[string]float64{
+		"jobs_total":                     41,
+		`by_node_total{node="n1"}`:       5,
+		`wait_seconds_bucket{le="0.5"}`:  1,
+		`wait_seconds_bucket{le="+Inf"}`: 2,
+		"wait_seconds_count":             2,
+		"wait_seconds_sum":               7.1,
+	} {
+		if got := m[key]; got != want {
+			t.Errorf("parsed %s = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"9leading_digit 1\n",
+		"name{le=\"0.1\" 3\n",   // unterminated label block
+		"name{le=unquoted} 3\n", // unquoted label value
+		"name{0bad=\"x\"} 3\n",  // invalid label name
+		"name notanumber\n",     // non-numeric value
+		"name\n",                // no value
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted %q", bad)
+		}
+	}
+}
+
+// TestHistogramBucketsMonotone drives a histogram hard and checks the
+// rendered buckets are always cumulative and coherent with _count —
+// the exposition-format guarantee ValidateExposition enforces on live
+// scrapes.
+func TestHistogramBucketsMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("m_seconds", "m", ExponentialBuckets(0.001, 4, 8))
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i%997) / 400)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("validator rejects histogram exposition: %v", err)
+	}
+	m, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if m["m_seconds_count"] != 10000 {
+		t.Errorf("count = %v, want 10000", m["m_seconds_count"])
+	}
+	prev := 0.0
+	for _, b := range ExponentialBuckets(0.001, 4, 8) {
+		key := `m_seconds_bucket{le="` + formatFloat(b) + `"}`
+		v, ok := m[key]
+		if !ok {
+			t.Fatalf("bucket %s missing", key)
+		}
+		if v < prev {
+			t.Errorf("bucket %s = %v < previous %v", key, v, prev)
+		}
+		prev = v
+	}
+	if inf := m[`m_seconds_bucket{le="+Inf"}`]; inf != m["m_seconds_count"] {
+		t.Errorf("+Inf bucket %v != count %v", inf, m["m_seconds_count"])
+	}
+}
+
+// TestConcurrentScrape races observations against scrapes: every
+// exposition captured mid-flight must still validate (monotone buckets,
+// +Inf == count). Run under -race this also proves the registry's
+// concurrency contract.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("ops_total", "ops")
+	v := r.NewCounterVec("ops_by_kind_total", "ops by kind", "kind")
+	g := r.NewGauge("depth", "depth")
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kinds := []string{"a", "b", "c"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				v.With(kinds[i%3]).Inc()
+				g.Set(int64(i % 10))
+				h.Observe(float64(i%200) / 100)
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if err := ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d invalid mid-flight: %v\n%s", i, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_seconds", "q", []float64{1, 2, 4, 8, 16})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.5 || p50 > 8 {
+		t.Errorf("p50 = %v, want within [0.5, 8]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	// Everything beyond the last bound collapses to it.
+	h2 := r.NewHistogram("q2_seconds", "q2", []float64{1})
+	for i := 0; i < 10; i++ {
+		h2.Observe(100)
+	}
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow p50 = %v, want last bound 1", got)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":         "a_total 1\n",
+		"TYPE after":      "a_total 1\n# TYPE a_total counter\n",
+		"dup sample":      "# TYPE a_total counter\na_total 1\na_total 2\n",
+		"dup TYPE":        "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"HELP after TYPE": "# TYPE a_total counter\n# HELP a_total x\na_total 1\n",
+		"unknown type":    "# TYPE a_total enum\na_total 1\n",
+		"interleaved":     "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{k=\"v\"} 2\n",
+		"non-monotone":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"no +Inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: validator accepted:\n%s", name, text)
+		}
+	}
+	ok := "# HELP a_total fine\n# TYPE a_total counter\na_total 1\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 12.5\nh_count 5\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("validator rejected a valid exposition: %v", err)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Errorf("two minted trace IDs collide: %s", a)
+	}
+	if len(a) != 32 {
+		t.Errorf("trace ID %q is not 32 hex chars", a)
+	}
+	if !ValidTraceID(a) {
+		t.Errorf("minted trace ID %q fails ValidTraceID", a)
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 129), "has space", "semi;colon", "new\nline"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID accepted %q", bad)
+		}
+	}
+	for _, good := range []string{"abc", "A-b_c.9"} {
+		if !ValidTraceID(good) {
+			t.Errorf("ValidTraceID rejected %q", good)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		0:      "0",
+		3:      "3",
+		-2:     "-2",
+		0.25:   "0.25",
+		1e9:    "1000000000",
+		1.5e-7: "1.5e-07",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.Inf(1)); got != "+Inf" && got != "Inf" {
+		// strconv renders +Inf as "+Inf"; pin that it at least parses back.
+		t.Logf("formatFloat(+Inf) = %q", got)
+	}
+}

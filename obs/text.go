@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// the daemons' /metrics endpoints.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE lines followed by its samples, labeled samples
+// sorted by label value, histogram buckets cumulative. The output is a
+// deterministic function of the metric values, so golden tests can pin
+// it byte for byte.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.coll.samples() {
+			bw.WriteString(f.name)
+			bw.WriteString(s.suffix)
+			if s.labelName != "" {
+				bw.WriteByte('{')
+				bw.WriteString(s.labelName)
+				bw.WriteString(`="`)
+				bw.WriteString(escapeLabelValue(s.labelValue))
+				bw.WriteString(`"}`)
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(s.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseText parses a Prometheus text exposition into a flat map from
+// sample key to value. The key is the sample name exactly as exposed —
+// including the label part, e.g. `ftdse_solves_by_engine_total{engine="tabu"}`
+// — so plain metrics are addressed by bare name and labeled ones by
+// their full line prefix. Comment and empty lines are skipped; a
+// malformed sample line is an error. It is the inverse of WriteText for
+// every registry and also accepts any exposition ValidateExposition
+// accepts.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, val, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return out, nil
+}
+
+// parseSampleLine splits one sample line into its key (name plus
+// optional label block, normalized without whitespace) and value.
+func parseSampleLine(text string) (string, float64, error) {
+	name, rest := splitName(text)
+	if name == "" {
+		return "", 0, fmt.Errorf("no metric name in %q", text)
+	}
+	if !validMetricName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	key := name
+	rest = strings.TrimLeft(rest, " \t")
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated label block in %q", text)
+		}
+		labels, err := normalizeLabels(rest[1:end])
+		if err != nil {
+			return "", 0, fmt.Errorf("%w in %q", err, text)
+		}
+		key += "{" + labels + "}"
+		rest = strings.TrimLeft(rest[end+1:], " \t")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", 0, fmt.Errorf("malformed sample %q", text)
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return key, val, nil
+}
+
+// splitName splits the leading metric name off a sample line.
+func splitName(text string) (name, rest string) {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') {
+			continue
+		}
+		return text[:i], text[i:]
+	}
+	return text, ""
+}
+
+// normalizeLabels validates a label block body (without braces) and
+// re-renders it without inter-pair whitespace, so parsed keys match the
+// compact form WriteText emits.
+func normalizeLabels(body string) (string, error) {
+	var pairs []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("label pair without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("unquoted value of label %q", name)
+		}
+		value, remainder, err := scanQuoted(rest)
+		if err != nil {
+			return "", err
+		}
+		pairs = append(pairs, name+`="`+escapeLabelValue(value)+`"`)
+		rest = strings.TrimLeft(remainder, " \t")
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimLeft(rest, " \t")
+	}
+	return strings.Join(pairs, ","), nil
+}
+
+// scanQuoted consumes a double-quoted, backslash-escaped label value
+// and returns the unescaped value plus the remainder of the input.
+func scanQuoted(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("truncated escape in label value")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c in label value", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// integers without an exponent or decimal point, everything else in
+// shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// validMetricName reports whether s matches the Prometheus metric name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition for the format
+// guarantees the repo's /metrics endpoints promise (DESIGN.md §14):
+//
+//   - every sample line parses (valid metric and label names, numeric
+//     value, optional integer timestamp);
+//   - # TYPE declares a known type before the family's first sample,
+//     and at most once; # HELP, when present, appears at most once and
+//     before # TYPE;
+//   - a family's lines are contiguous — no interleaving;
+//   - no duplicate sample (same name and label set);
+//   - histograms are complete and coherent: bucket counts are
+//     cumulative (non-decreasing as le increases), the +Inf bucket is
+//     present, and it equals <name>_count.
+//
+// CI pipes live daemon scrapes through this via cmd/ftpromlint; the
+// exposition golden tests use it as a cross-check on WriteText.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type famState struct {
+		typ       string
+		hasHelp   bool
+		sawSample bool
+		closed    bool // a later family started; more lines = interleaving
+		buckets   map[float64]float64
+		hasInf    bool
+		infCount  float64
+		count     float64
+		hasCount  bool
+	}
+	fams := make(map[string]*famState)
+	order := []string{}
+	var current string
+
+	open := func(name string) *famState {
+		f, ok := fams[name]
+		if !ok {
+			f = &famState{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	enter := func(name string, line int) (*famState, error) {
+		f := open(name)
+		if f.closed {
+			return nil, fmt.Errorf("line %d: family %q interleaved with other families", line, name)
+		}
+		if current != "" && current != name {
+			fams[current].closed = true
+		}
+		current = name
+		return f, nil
+	}
+
+	seen := make(map[string]int) // sample key -> first line
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("obs: line %d: invalid metric name %q in %s comment", line, name, fields[1])
+			}
+			f, err := enter(name, line)
+			if err != nil {
+				return fmt.Errorf("obs: %w", err)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.hasHelp {
+					return fmt.Errorf("obs: line %d: second HELP for %q", line, name)
+				}
+				if f.typ != "" || f.sawSample {
+					return fmt.Errorf("obs: line %d: HELP for %q after its TYPE or samples", line, name)
+				}
+				f.hasHelp = true
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("obs: line %d: second TYPE for %q", line, name)
+				}
+				if f.sawSample {
+					return fmt.Errorf("obs: line %d: TYPE for %q after its samples", line, name)
+				}
+				typ := ""
+				if len(fields) >= 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.typ = typ
+				default:
+					return fmt.Errorf("obs: line %d: unknown type %q for %q", line, typ, name)
+				}
+			}
+			continue
+		}
+
+		key, val, err := parseSampleLine(text)
+		if err != nil {
+			return fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if first, dup := seen[key]; dup {
+			return fmt.Errorf("obs: line %d: duplicate sample %s (first at line %d)", line, key, first)
+		}
+		seen[key] = line
+
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		famName := name
+		f := fams[famName]
+		// Histogram/summary series belong to the family their suffix
+		// strips to, when that family was declared.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name {
+				if bf, ok := fams[base]; ok && (bf.typ == "histogram" || bf.typ == "summary") {
+					famName, f = base, bf
+					break
+				}
+			}
+		}
+		if f == nil {
+			return fmt.Errorf("obs: line %d: sample %s has no preceding TYPE", line, key)
+		}
+		if f.typ == "" {
+			return fmt.Errorf("obs: line %d: sample %s precedes its TYPE", line, key)
+		}
+		if _, err := enter(famName, line); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		f.sawSample = true
+
+		if f.typ == "histogram" {
+			switch {
+			case strings.HasPrefix(key, famName+"_bucket{"):
+				le, perr := bucketBound(key)
+				if perr != nil {
+					return fmt.Errorf("obs: line %d: %w", line, perr)
+				}
+				if f.buckets == nil {
+					f.buckets = make(map[float64]float64)
+				}
+				if strings.Contains(key, `le="+Inf"`) {
+					f.hasInf, f.infCount = true, val
+				} else {
+					f.buckets[le] = val
+				}
+			case key == famName+"_count":
+				f.count, f.hasCount = val, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: reading exposition: %w", err)
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if f.typ == "" {
+			return fmt.Errorf("obs: family %q has HELP but no TYPE", name)
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		if !f.sawSample {
+			continue
+		}
+		if !f.hasInf {
+			return fmt.Errorf("obs: histogram %q has no +Inf bucket", name)
+		}
+		if !f.hasCount {
+			return fmt.Errorf("obs: histogram %q has no _count", name)
+		}
+		if f.infCount != f.count {
+			return fmt.Errorf("obs: histogram %q +Inf bucket %v != count %v", name, f.infCount, f.count)
+		}
+		bounds := make([]float64, 0, len(f.buckets))
+		for le := range f.buckets {
+			bounds = append(bounds, le)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, le := range bounds {
+			if f.buckets[le] < prev {
+				return fmt.Errorf("obs: histogram %q buckets not cumulative at le=%v (%v < %v)",
+					name, le, f.buckets[le], prev)
+			}
+			prev = f.buckets[le]
+		}
+		if f.infCount < prev {
+			return fmt.Errorf("obs: histogram %q +Inf bucket %v below le=%v bucket %v",
+				name, f.infCount, bounds[len(bounds)-1], prev)
+		}
+	}
+	return nil
+}
+
+// bucketBound extracts the le bound from a _bucket sample key.
+func bucketBound(key string) (float64, error) {
+	i := strings.Index(key, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket sample %s has no le label", key)
+	}
+	rest := key[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("bucket sample %s has malformed le label", key)
+	}
+	bound := rest[:j]
+	if bound == "+Inf" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(bound, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bucket sample %s has non-numeric le %q", key, bound)
+	}
+	return v, nil
+}

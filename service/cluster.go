@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 )
 
 // Node mode: a standalone ftdsed becomes a cluster solver node the
@@ -145,7 +146,7 @@ func (s *Service) startCheckpoints(j *job) (stop func()) {
 			if !ok || seq == pushed || len(imp.Design) == 0 {
 				continue
 			}
-			if s.pushCheckpoint(client, coordinator, node, j.id, j.fingerprint, prob, imp) {
+			if s.pushCheckpoint(client, coordinator, node, j, prob, imp) {
 				pushed = seq
 			}
 		}
@@ -154,39 +155,47 @@ func (s *Service) startCheckpoints(j *job) (stop func()) {
 }
 
 // pushCheckpoint encodes one incumbent as a checkpoint document and
-// posts it to the coordinator, reporting success. Failures only count:
-// the next improvement brings the next push.
-func (s *Service) pushCheckpoint(client *http.Client, coordinator, node, jobID, fp string, prob ftdse.Problem, imp ftdse.Improvement) bool {
-	ck, err := ftdse.NewCheckpoint(prob, fp, imp)
-	if err != nil {
-		s.met.checkpointPushErrors.Add(1)
+// posts it to the coordinator, reporting success. Failures count and
+// log (with the job's trace ID) but never slow the search: the next
+// improvement brings the next push.
+func (s *Service) pushCheckpoint(client *http.Client, coordinator, node string, j *job, prob ftdse.Problem, imp ftdse.Improvement) bool {
+	fail := func(err error) bool {
+		s.met.checkpointPushErrors.Inc()
+		s.log.Warn("checkpoint push failed", obs.TraceIDKey, j.traceID,
+			"job", j.id, "node", node, "error", err.Error())
 		return false
+	}
+	ck, err := ftdse.NewCheckpoint(prob, j.fingerprint, imp)
+	if err != nil {
+		return fail(err)
 	}
 	var doc bytes.Buffer
 	if err := ftdse.WriteCheckpoint(&doc, ck); err != nil {
-		s.met.checkpointPushErrors.Add(1)
-		return false
+		return fail(err)
 	}
 	body, err := json.Marshal(CheckpointPush{
 		Node:        node,
-		JobID:       jobID,
-		Fingerprint: fp,
+		JobID:       j.id,
+		Fingerprint: j.fingerprint,
 		Checkpoint:  json.RawMessage(doc.Bytes()),
 	})
 	if err != nil {
-		s.met.checkpointPushErrors.Add(1)
-		return false
+		return fail(err)
 	}
-	resp, err := client.Post(coordinator+"/cluster/checkpoints", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, coordinator+"/cluster/checkpoints", bytes.NewReader(body))
 	if err != nil {
-		s.met.checkpointPushErrors.Add(1)
-		return false
+		return fail(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, j.traceID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		s.met.checkpointPushErrors.Add(1)
-		return false
+		return fail(fmt.Errorf("coordinator answered %s", resp.Status))
 	}
-	s.met.checkpointsPushed.Add(1)
+	s.met.checkpointsPushed.Inc()
 	return true
 }

@@ -143,8 +143,15 @@ func TestRegisterThenCheckpointsArriveAtCoordinator(t *testing.T) {
 	if _, err := ftdse.CheckpointDesign(prob, ck); err != nil {
 		t.Fatalf("pushed design does not resolve against the problem: %v", err)
 	}
-	if n := metric(t, srv.URL, "checkpoints_pushed"); n < 1 {
-		t.Fatalf("checkpoints_pushed = %v", n)
+	// The node increments only after its push POST returns, while the
+	// fake coordinator records the push before responding — poll briefly
+	// instead of racing that window.
+	for n := metric(t, srv.URL, "ftdse_checkpoints_pushed_total"); n < 1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("checkpoints_pushed = %v", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+		n = metric(t, srv.URL, "ftdse_checkpoints_pushed_total")
 	}
 
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+job.ID, nil)
@@ -198,7 +205,7 @@ func TestWarmStartSubmission(t *testing.T) {
 			jr.TardinessMs, jr.MakespanMs,
 			res.Cost.Tardiness.Milliseconds(), res.Cost.Makespan.Milliseconds())
 	}
-	if n := metric(t, srv.URL, "warm_starts"); n != 1 {
+	if n := metric(t, srv.URL, "ftdse_warm_starts_total"); n != 1 {
 		t.Fatalf("warm_starts = %v, want 1", n)
 	}
 

@@ -3,6 +3,7 @@ package service_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -45,24 +46,15 @@ func TestEngineSelectionOverWire(t *testing.T) {
 			t.Errorf("engine %s: stop cause %v (%v), want completed", name, cause, err)
 		}
 	}
-	if got := metric(t, srv.URL, "solves_total"); got != float64(len(ftdse.Engines())) {
+	if got := metric(t, srv.URL, "ftdse_solves_total"); got != float64(len(ftdse.Engines())) {
 		t.Errorf("solves_total = %v, want %d", got, len(ftdse.Engines()))
 	}
-	// The per-engine breakdown is a nested expvar map.
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var m struct {
-		ByEngine map[string]float64 `json:"solves_by_engine"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Fatalf("decoding metrics: %v", err)
-	}
+	// The per-engine breakdown is a labeled counter family.
+	m := scrapeMetrics(t, srv.URL)
 	for _, name := range ftdse.Engines() {
-		if m.ByEngine[name] != 1 {
-			t.Errorf("solves_by_engine[%s] = %v, want 1", name, m.ByEngine[name])
+		key := fmt.Sprintf("ftdse_solves_by_engine_total{engine=%q}", name)
+		if m[key] != 1 {
+			t.Errorf("%s = %v, want 1", key, m[key])
 		}
 	}
 }

@@ -16,8 +16,12 @@ import (
 type job struct {
 	id          string
 	fingerprint string
-	opts        SolveOptions // normalized
-	problem     ftdse.Problem
+	// traceID is the request identity of the submission that created the
+	// job (immutable — later coalesced submissions share it). It tags
+	// the job's log lines, SSE events, status and result.
+	traceID string
+	opts    SolveOptions // normalized
+	problem ftdse.Problem
 	// warm optionally seeds the solve with a prior incumbent (from a
 	// checkpoint); it rides outside the fingerprint, see
 	// SubmitRequest.WarmStart.
@@ -43,11 +47,12 @@ type job struct {
 	errMsg   string
 }
 
-func newJob(id, fp string, opts SolveOptions, p ftdse.Problem) *job {
+func newJob(id, fp, traceID string, opts SolveOptions, p ftdse.Problem) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
 		id:          id,
 		fingerprint: fp,
+		traceID:     traceID,
 		opts:        opts,
 		problem:     p,
 		submitted:   time.Now(),
@@ -60,8 +65,8 @@ func newJob(id, fp string, opts SolveOptions, p ftdse.Problem) *job {
 }
 
 // newCachedJob creates a job already completed from a cached result.
-func newCachedJob(id, fp string, opts SolveOptions, body []byte) *job {
-	j := newJob(id, fp, opts, ftdse.Problem{})
+func newCachedJob(id, fp, traceID string, opts SolveOptions, body []byte) *job {
+	j := newJob(id, fp, traceID, opts, ftdse.Problem{})
 	j.cancel()
 	now := time.Now()
 	j.mu.Lock()
@@ -124,6 +129,7 @@ func (j *job) publish(imp ftdse.Improvement) {
 		TardinessMs: imp.Cost.Tardiness.Milliseconds(),
 		Schedulable: imp.Schedulable,
 		ElapsedMs:   float64(imp.Elapsed) / float64(time.Millisecond),
+		TraceID:     j.traceID,
 	}
 	j.mu.Lock()
 	j.events = append(j.events, ev)
@@ -203,6 +209,7 @@ func (j *job) status() JobStatus {
 		ID:           j.id,
 		State:        j.state,
 		Fingerprint:  j.fingerprint,
+		TraceID:      j.traceID,
 		Cached:       j.cached,
 		Improvements: len(j.events),
 		SubmittedAt:  j.submitted,

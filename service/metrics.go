@@ -2,90 +2,126 @@ package service
 
 import (
 	"expvar"
-	"math"
-	"sort"
-	"sync"
+	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 )
 
-// metrics aggregates the service's operational counters. Each Service
-// owns its own set (nothing is registered in the process-global expvar
-// namespace, so tests can build many services), exposed as an
-// expvar.Map: GET /metrics serves its JSON rendering, and a daemon may
-// additionally expvar.Publish the map under /debug/vars.
+// metrics aggregates the service's operational counters on an
+// obs.Registry. Each Service owns its own registry (nothing is
+// registered process-globally, so tests can build many services),
+// exposed twice: GET /metrics renders the Prometheus text format, and
+// expvarMap keeps the legacy expvar JSON view for /debug/vars.
+//
+// Solve latency and queue wait are cumulative histograms — every
+// observation since start, replacing the earlier 512-sample sliding
+// window — so scrapers get bucketed distributions and the service's
+// own Retry-After estimate (retryAfterLocked) derives its median from
+// the same data a dashboard would show.
 type metrics struct {
-	solvesTotal    expvar.Int // solves actually executed (cache hits excluded)
-	solvesInFlight expvar.Int
-	cacheHits      expvar.Int
-	cacheMisses    expvar.Int
-	jobsSubmitted  expvar.Int
-	jobsRejected   expvar.Int // backpressure 429s
-	jobsCoalesced  expvar.Int // submissions attached to an identical in-flight solve
-	engines        expvar.Map // solves executed per engine name
+	reg *obs.Registry
+
+	solvesTotal    *obs.Counter
+	engines        *obs.CounterVec
+	solvesInFlight *obs.Gauge
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	jobsSubmitted  *obs.Counter
+	jobsRejected   *obs.Counter // backpressure 429s
+	jobsCoalesced  *obs.Counter // submissions attached to an identical in-flight solve
+	solveLatency   *obs.Histogram
+	queueWait      *obs.Histogram
 
 	// Cluster tier (see cluster.go): solves seeded from a checkpoint,
 	// and incumbent checkpoints pushed to (or dropped on the way to)
 	// the coordinator.
-	warmStarts           expvar.Int
-	checkpointsPushed    expvar.Int
-	checkpointPushErrors expvar.Int
-
-	mu  sync.Mutex
-	lat []float64 // sliding window of solve latencies in ms
-	idx int
+	warmStarts           *obs.Counter
+	checkpointsPushed    *obs.Counter
+	checkpointPushErrors *obs.Counter
 }
 
-// latencyWindow bounds the quantile estimation window.
-const latencyWindow = 512
+// latencyBuckets spans 1ms to ~17min exponentially — solves range from
+// cache-warm milliseconds to budgeted minutes.
+func latencyBuckets() []float64 { return obs.ExponentialBuckets(0.001, 2, 21) }
 
-// observeLatency records one completed solve's wall-clock latency.
-func (m *metrics) observeLatency(ms float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.lat) < latencyWindow {
-		m.lat = append(m.lat, ms)
-		return
+// newMetrics builds the registry. queueDepth and cacheLen are read live
+// at every scrape.
+func newMetrics(queueDepth func() int, queueCap int, cacheLen func() int) *metrics {
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg:            r,
+		solvesTotal:    r.NewCounter("ftdse_solves_total", "Solves actually executed (cache hits excluded)."),
+		engines:        r.NewCounterVec("ftdse_solves_by_engine_total", "Solves executed per search engine.", "engine"),
+		solvesInFlight: r.NewGauge("ftdse_solves_in_flight", "Solves currently running."),
+		cacheHits:      r.NewCounter("ftdse_cache_hits_total", "Submissions answered from the result cache."),
+		cacheMisses:    r.NewCounter("ftdse_cache_misses_total", "Submissions that required a solve."),
+		jobsSubmitted:  r.NewCounter("ftdse_jobs_submitted_total", "Jobs enqueued for solving."),
+		jobsRejected:   r.NewCounter("ftdse_jobs_rejected_total", "Submissions rejected by queue backpressure (429)."),
+		jobsCoalesced:  r.NewCounter("ftdse_jobs_coalesced_total", "Submissions coalesced onto an identical in-flight job."),
+		solveLatency: r.NewHistogram("ftdse_solve_latency_seconds",
+			"Wall-clock latency of completed solves.", latencyBuckets()),
+		queueWait: r.NewHistogram("ftdse_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", latencyBuckets()),
+		warmStarts:           r.NewCounter("ftdse_warm_starts_total", "Solves seeded from a warm-start checkpoint."),
+		checkpointsPushed:    r.NewCounter("ftdse_checkpoints_pushed_total", "Incumbent checkpoints pushed to the coordinator."),
+		checkpointPushErrors: r.NewCounter("ftdse_checkpoint_push_errors_total", "Checkpoint pushes that failed."),
 	}
-	m.lat[m.idx] = ms
-	m.idx = (m.idx + 1) % latencyWindow
+	r.NewGaugeFunc("ftdse_queue_depth", "Jobs waiting for a worker.",
+		func() float64 { return float64(queueDepth()) })
+	r.NewGaugeFunc("ftdse_queue_capacity", "Queue slots before submissions are rejected.",
+		func() float64 { return float64(queueCap) })
+	r.NewGaugeFunc("ftdse_cache_len", "Entries in the LRU result cache.",
+		func() float64 { return float64(cacheLen()) })
+	// The solver's move-evaluation hot path: scheduling passes, memo
+	// cache traffic, and scratch-arena allocs vs. reuses. Process-wide
+	// (the evaluator is per-run, the counters are global), so services
+	// sharing a process see combined numbers.
+	evals := []struct {
+		name, help string
+		read       func(ftdse.EvaluatorMetrics) int64
+	}{
+		{"ftdse_evaluator_scheduling_passes_total", "Scheduling passes run by the move evaluator.",
+			func(e ftdse.EvaluatorMetrics) int64 { return e.SchedulingPasses }},
+		{"ftdse_evaluator_cache_hits_total", "Move evaluations answered from the memo cache.",
+			func(e ftdse.EvaluatorMetrics) int64 { return e.CacheHits }},
+		{"ftdse_evaluator_cache_misses_total", "Move evaluations that required a scheduling pass.",
+			func(e ftdse.EvaluatorMetrics) int64 { return e.CacheMisses }},
+		{"ftdse_evaluator_scratch_allocs_total", "Evaluation scratch arenas allocated.",
+			func(e ftdse.EvaluatorMetrics) int64 { return e.ScratchAllocs }},
+		{"ftdse_evaluator_scratch_reuses_total", "Evaluation scratch arenas reused from the pool.",
+			func(e ftdse.EvaluatorMetrics) int64 { return e.ScratchReuses }},
+	}
+	for _, ev := range evals {
+		read := ev.read
+		r.NewCounterFunc(ev.name, ev.help,
+			func() float64 { return float64(read(ftdse.ReadEvaluatorMetrics())) })
+	}
+	return m
 }
 
-// quantile returns the nearest-rank q-quantile (0..1) of the latency
-// window in ms, 0 when empty. Nearest-rank (ceiling) keeps upper
-// quantiles honest on small windows: the p99 of two samples is the
-// larger one, not the minimum a floored index would select.
-func (m *metrics) quantile(q float64) float64 {
-	m.mu.Lock()
-	window := append([]float64(nil), m.lat...)
-	m.mu.Unlock()
-	if len(window) == 0 {
-		return 0
-	}
-	sort.Float64s(window)
-	i := int(math.Ceil(q*float64(len(window)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(window) {
-		i = len(window) - 1
-	}
-	return window[i]
-}
+// observeSolve records one completed solve's wall-clock latency.
+func (m *metrics) observeSolve(d time.Duration) { m.solveLatency.Observe(d.Seconds()) }
 
-// expvarMap builds the exported view. queueDepth, cacheLen and
-// clusterNode are read live on every render.
+// observeQueueWait records how long one job waited for a worker.
+func (m *metrics) observeQueueWait(d time.Duration) { m.queueWait.Observe(d.Seconds()) }
+
+// expvarMap builds the legacy exported view with the historical key
+// names, rendering from the same registry state. queueDepth, cacheLen
+// and clusterNode are read live on every render.
 func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func() int, clusterNode func() string) *expvar.Map {
 	out := new(expvar.Map).Init()
-	m.engines.Init()
-	out.Set("solves_total", &m.solvesTotal)
-	out.Set("solves_by_engine", &m.engines)
-	out.Set("solves_in_flight", &m.solvesInFlight)
-	out.Set("cache_hits", &m.cacheHits)
-	out.Set("cache_misses", &m.cacheMisses)
-	out.Set("jobs_submitted", &m.jobsSubmitted)
-	out.Set("jobs_rejected", &m.jobsRejected)
-	out.Set("jobs_coalesced", &m.jobsCoalesced)
+	intVar := func(name string, read func() int64) {
+		out.Set(name, expvar.Func(func() any { return read() }))
+	}
+	intVar("solves_total", m.solvesTotal.Value)
+	out.Set("solves_by_engine", expvar.Func(func() any { return m.engines.Values() }))
+	intVar("solves_in_flight", m.solvesInFlight.Value)
+	intVar("cache_hits", m.cacheHits.Value)
+	intVar("cache_misses", m.cacheMisses.Value)
+	intVar("jobs_submitted", m.jobsSubmitted.Value)
+	intVar("jobs_rejected", m.jobsRejected.Value)
+	intVar("jobs_coalesced", m.jobsCoalesced.Value)
 	out.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
 	out.Set("queue_capacity", expvar.Func(func() any { return queueCap }))
 	out.Set("cache_len", expvar.Func(func() any { return cacheLen() }))
@@ -96,16 +132,12 @@ func (m *metrics) expvarMap(queueDepth func() int, queueCap int, cacheLen func()
 		}
 		return float64(h) / float64(h+miss)
 	}))
-	out.Set("solve_latency_p50_ms", expvar.Func(func() any { return m.quantile(0.50) }))
-	out.Set("solve_latency_p99_ms", expvar.Func(func() any { return m.quantile(0.99) }))
-	out.Set("warm_starts", &m.warmStarts)
-	out.Set("checkpoints_pushed", &m.checkpointsPushed)
-	out.Set("checkpoint_push_errors", &m.checkpointPushErrors)
+	out.Set("solve_latency_p50_ms", expvar.Func(func() any { return 1000 * m.solveLatency.Quantile(0.50) }))
+	out.Set("solve_latency_p99_ms", expvar.Func(func() any { return 1000 * m.solveLatency.Quantile(0.99) }))
+	intVar("warm_starts", m.warmStarts.Value)
+	intVar("checkpoints_pushed", m.checkpointsPushed.Value)
+	intVar("checkpoint_push_errors", m.checkpointPushErrors.Value)
 	out.Set("cluster_node", expvar.Func(func() any { return clusterNode() }))
-	// The solver's move-evaluation hot path: scheduling passes, memo
-	// cache traffic, and scratch-arena allocs vs. reuses. Process-wide
-	// (the evaluator is per-run, the counters are global), so services
-	// sharing a process see combined numbers.
 	out.Set("evaluator", expvar.Func(func() any { return ftdse.ReadEvaluatorMetrics() }))
 	return out
 }

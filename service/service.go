@@ -26,8 +26,11 @@
 //	GET    /jobs/{id}/events SSE stream: one "improvement" event per
 //	                         incumbent solution, then a closing "done"
 //	                         event carrying the final JobStatus.
-//	GET    /metrics          the service's expvar map (queue depth,
-//	                         cache hit rate, solve latency quantiles…).
+//	GET    /metrics          Prometheus text exposition (queue depth,
+//	                         cache hit rate, solve latency and queue
+//	                         wait histograms…); the legacy expvar JSON
+//	                         view stays available through Vars() (the
+//	                         daemon publishes it at /debug/vars).
 //	GET    /healthz          liveness ("ok", or 503 while draining).
 //	GET    /readyz           readiness: 200 when the queue has room and
 //	                         the service is not draining, 503 otherwise;
@@ -52,6 +55,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -59,6 +63,7 @@ import (
 	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 )
 
 // Config tunes a Service. The zero value selects sensible defaults.
@@ -79,6 +84,10 @@ type Config struct {
 	// MaxTimeLimit, when positive, caps the per-request time limit so a
 	// client cannot occupy a worker forever (0 = uncapped).
 	MaxTimeLimit time.Duration
+	// Logger receives the service's structured log records (job
+	// lifecycle, backpressure rejections, checkpoint push failures),
+	// each tagged with the job's trace ID. nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +114,7 @@ type Service struct {
 	cache   *resultCache
 	met     *metrics
 	vars    *expvar.Map
+	log     *slog.Logger
 	cluster clusterState // node-mode identity (set by registration)
 
 	mu       sync.Mutex // guards pending, jobs, inflight, retired, closed
@@ -128,11 +138,15 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		solver:   ftdse.NewSolver(),
 		cache:    newResultCache(cfg.CacheSize),
-		met:      &metrics{},
+		log:      cfg.Logger,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 	}
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
 	s.workCond = sync.NewCond(&s.mu)
+	s.met = newMetrics(s.queueDepth, cfg.QueueSize, s.cache.len)
 	s.vars = s.met.expvarMap(s.queueDepth, cfg.QueueSize, s.cache.len, s.clusterNode)
 	s.wg.Add(cfg.PoolWorkers)
 	for i := 0; i < cfg.PoolWorkers; i++ {
@@ -222,31 +236,46 @@ func (s *Service) runJob(j *job) {
 		return
 	}
 
+	queueWait := time.Since(j.submitted)
+	s.met.observeQueueWait(queueWait)
 	s.met.solvesInFlight.Add(1)
-	s.met.solvesTotal.Add(1)
-	s.met.engines.Add(j.opts.Engine, 1)
+	s.met.solvesTotal.Inc()
+	s.met.engines.With(j.opts.Engine).Inc()
+	s.log.Info("solve started", obs.TraceIDKey, j.traceID, "job", j.id,
+		"fingerprint", j.fingerprint, "engine", j.opts.Engine,
+		"queue_wait_ms", durMs(queueWait))
 	opts := append(j.opts.solverOptions(), ftdse.WithProgress(j.publish))
 	if len(j.warm) > 0 {
 		opts = append(opts, ftdse.WithWarmStart(j.warm))
-		s.met.warmStarts.Add(1)
+		s.met.warmStarts.Inc()
 	}
 	stopCk := s.startCheckpoints(j)
 	start := time.Now()
 	solver := s.solver.With(opts...)
 	res, err := solver.Solve(j.ctx, j.problem)
 	stopCk()
+	solveDur := time.Since(start)
 	s.met.solvesInFlight.Add(-1)
-	s.met.observeLatency(float64(time.Since(start)) / float64(time.Millisecond))
+	s.met.observeSolve(solveDur)
 
 	if err != nil {
+		s.log.Warn("solve failed", obs.TraceIDKey, j.traceID, "job", j.id, "error", err.Error())
 		s.conclude(j, StateFailed, nil, err.Error())
 		return
 	}
-	body, encErr := encodeResult(res)
+	node := s.clusterNode()
+	spans := []obs.Span{
+		{Name: "queue_wait", StartMs: 0, DurationMs: durMs(queueWait), Node: node},
+		{Name: "solve", StartMs: durMs(queueWait), DurationMs: durMs(solveDur), Node: node},
+	}
+	body, encErr := encodeResult(res, j.traceID, spans)
 	if encErr != nil {
 		s.conclude(j, StateFailed, nil, encErr.Error())
 		return
 	}
+	s.log.Info("solve finished", obs.TraceIDKey, j.traceID, "job", j.id,
+		"stopped", res.Stopped.String(), "schedulable", res.Schedulable(),
+		"solve_ms", durMs(solveDur))
 	if res.Stopped == ftdse.StopCanceled {
 		// Anytime contract: a canceled job still carries its
 		// best-so-far design, but a truncated search must not poison
@@ -278,8 +307,13 @@ func (s *Service) conclude(j *job, state string, result []byte, errMsg string) {
 	s.mu.Unlock()
 }
 
-// encodeResult renders a solver result as the wire JobResult document.
-func encodeResult(res *ftdse.Result) ([]byte, error) {
+// durMs renders a duration in float milliseconds (the wire convention).
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// encodeResult renders a solver result as the wire JobResult document,
+// carrying the executing request's trace identity and server-side spans
+// (and the flight-recorder trace when the job asked for one).
+func encodeResult(res *ftdse.Result, traceID string, spans []obs.Span) ([]byte, error) {
 	var sched bytes.Buffer
 	if err := ftdse.WriteSchedule(&sched, res.Schedule); err != nil {
 		return nil, fmt.Errorf("service: encoding schedule: %w", err)
@@ -288,7 +322,7 @@ func encodeResult(res *ftdse.Result) ([]byte, error) {
 	if err := json.Compact(&compact, sched.Bytes()); err != nil {
 		return nil, fmt.Errorf("service: compacting schedule: %w", err)
 	}
-	return json.Marshal(JobResult{
+	jr := JobResult{
 		Strategy:    res.Strategy.String(),
 		Engine:      res.Engine,
 		Schedulable: res.Schedulable(),
@@ -297,8 +331,18 @@ func encodeResult(res *ftdse.Result) ([]byte, error) {
 		Iterations:  res.Iterations,
 		ElapsedMs:   float64(res.Elapsed) / float64(time.Millisecond),
 		Stopped:     res.Stopped.String(),
+		TraceID:     traceID,
+		Spans:       spans,
 		Schedule:    json.RawMessage(compact.Bytes()),
-	})
+	}
+	if res.Trace != nil {
+		var tr bytes.Buffer
+		if err := ftdse.WriteTrace(&tr, res.Trace); err != nil {
+			return nil, fmt.Errorf("service: encoding trace: %w", err)
+		}
+		jr.TraceJSONL = tr.String()
+	}
+	return json.Marshal(jr)
 }
 
 // Submission errors surfaced to the HTTP layer.
@@ -307,20 +351,33 @@ var (
 	errDraining  = errors.New("service draining")
 )
 
-// submitErr wraps a submission failure with its HTTP classification.
+// submitErr wraps a submission failure with its HTTP classification;
+// queue-full rejections additionally carry the fingerprint that needed
+// the unavailable slot and the backlog at rejection time.
 type submitErr struct {
-	code       int
-	retryAfter time.Duration
-	err        error
+	code        int
+	retryAfter  time.Duration
+	fingerprint string
+	queueDepth  int
+	err         error
 }
 
 func (e *submitErr) Error() string { return e.err.Error() }
 
-// prepare validates one request and computes its fingerprint.
+// prepare validates one request and computes its fingerprint. The
+// request's trace ID is validated (or minted when absent), so every
+// admitted submission is traceable.
 func (s *Service) prepare(req SubmitRequest) (prepared, error) {
 	opts, err := req.Options.normalized()
 	if err != nil {
 		return prepared{}, err
+	}
+	traceID := req.TraceID
+	switch {
+	case traceID == "":
+		traceID = obs.NewTraceID()
+	case !obs.ValidTraceID(traceID):
+		return prepared{}, fmt.Errorf("invalid trace id %q", traceID)
 	}
 	if s.cfg.MaxTimeLimit > 0 && (opts.timeLimit() <= 0 || opts.timeLimit() > s.cfg.MaxTimeLimit) {
 		opts.TimeLimitMs = float64(s.cfg.MaxTimeLimit) / float64(time.Millisecond)
@@ -336,7 +393,7 @@ func (s *Service) prepare(req SubmitRequest) (prepared, error) {
 	if err != nil {
 		return prepared{}, err
 	}
-	p := prepared{opts: opts, problem: prob, fp: fp}
+	p := prepared{opts: opts, problem: prob, fp: fp, traceID: traceID}
 	if len(req.WarmStart) > 0 {
 		// A malformed checkpoint is a client bug (reject); one that
 		// parses but does not fit this problem is a stale best-effort
@@ -370,6 +427,7 @@ type prepared struct {
 	opts    SolveOptions
 	problem ftdse.Problem
 	fp      string
+	traceID string       // request identity (minted when the client sent none)
 	warm    ftdse.Design // optional warm start (outside the fingerprint)
 }
 
@@ -393,6 +451,7 @@ func (s *Service) enqueue(reqs []prepared) ([]*job, error) {
 	shared := make([]*job, len(reqs))
 	fresh := make(map[string]struct{})
 	need := 0
+	firstFresh := ""
 	for i, r := range reqs {
 		if body, ok := s.cache.get(r.fp); ok {
 			bodies[i] = body
@@ -409,16 +468,23 @@ func (s *Service) enqueue(reqs []prepared) ([]*job, error) {
 			continue // coalesces onto its batch-mate in pass 2
 		}
 		fresh[r.fp] = struct{}{}
+		if firstFresh == "" {
+			firstFresh = r.fp
+		}
 		need++
 	}
 	if need > s.cfg.QueueSize-len(s.pending) {
 		// Only the jobs that needed queue space count as rejected: the
 		// batch's cache hits and coalesced submissions were answerable.
 		s.met.jobsRejected.Add(int64(need))
+		s.log.Warn("job queue full", "fingerprint", firstFresh,
+			"queue_depth", len(s.pending), "rejected", need)
 		return nil, &submitErr{
-			code:       http.StatusTooManyRequests,
-			retryAfter: s.retryAfterLocked(),
-			err:        errQueueFull,
+			code:        http.StatusTooManyRequests,
+			retryAfter:  s.retryAfterLocked(),
+			fingerprint: firstFresh,
+			queueDepth:  len(s.pending),
+			err:         errQueueFull,
 		}
 	}
 	// Pass 2: count, register and enqueue — all under the same lock as
@@ -427,22 +493,22 @@ func (s *Service) enqueue(reqs []prepared) ([]*job, error) {
 	for i, r := range reqs {
 		switch {
 		case bodies[i] != nil:
-			s.met.cacheHits.Add(1)
-			j := newCachedJob(s.newIDLocked(), r.fp, r.opts, bodies[i])
+			s.met.cacheHits.Inc()
+			j := newCachedJob(s.newIDLocked(), r.fp, r.traceID, r.opts, bodies[i])
 			jobs[i] = j
 			s.jobs[j.id] = j
 			s.retireLocked(j)
 			continue
 		case shared[i] != nil:
-			s.met.jobsCoalesced.Add(1)
+			s.met.jobsCoalesced.Inc()
 			jobs[i] = shared[i]
 		case s.inflight[r.fp] != nil: // batch-mate created below
-			s.met.jobsCoalesced.Add(1)
+			s.met.jobsCoalesced.Inc()
 			jobs[i] = s.inflight[r.fp]
 		default:
-			s.met.cacheMisses.Add(1)
-			s.met.jobsSubmitted.Add(1)
-			j := newJob(s.newIDLocked(), r.fp, r.opts, r.problem)
+			s.met.cacheMisses.Inc()
+			s.met.jobsSubmitted.Inc()
+			j := newJob(s.newIDLocked(), r.fp, r.traceID, r.opts, r.problem)
 			// When identical submissions coalesce, the first one's warm
 			// start wins: later hints could only steer the same
 			// deterministic search from a different (never worse for the
@@ -475,11 +541,11 @@ func (s *Service) newIDLocked() string {
 }
 
 // retryAfterLocked estimates when queue space should free up: the
-// median recent solve latency times the jobs ahead per worker, clamped
-// to [1s, 60s].
+// median solve latency (from the latency histogram) times the jobs
+// ahead per worker, clamped to [1s, 60s].
 func (s *Service) retryAfterLocked() time.Duration {
-	p50 := s.met.quantile(0.50)
-	est := time.Duration(p50*float64(len(s.pending))/float64(s.cfg.PoolWorkers)) * time.Millisecond
+	p50 := s.met.solveLatency.Quantile(0.50)
+	est := time.Duration(p50 * float64(len(s.pending)) / float64(s.cfg.PoolWorkers) * float64(time.Second))
 	if est < time.Second {
 		est = time.Second
 	}
@@ -528,6 +594,8 @@ func writeError(w http.ResponseWriter, err error) {
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
 			resp.RetryAfterS = secs
+			resp.Fingerprint = se.fingerprint
+			resp.QueueDepth = se.queueDepth
 		}
 		writeJSON(w, se.code, resp)
 		return
@@ -541,11 +609,19 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	// The Ftdse-Trace-Id header is the out-of-band carrier of the same
+	// identity; an explicit body field wins.
+	if req.TraceID == "" {
+		req.TraceID = r.Header.Get(obs.TraceHeader)
+	}
 	j, err := s.submit(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// Echo the solve's trace identity so callers that let the server
+	// mint it can pick it up without parsing the body.
+	w.Header().Set(obs.TraceHeader, j.traceID)
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait && !j.terminal() {
 		select {
 		case <-j.done:
@@ -709,9 +785,12 @@ func writeSSE(w http.ResponseWriter, event string, v any) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
+// handleMetrics serves the Prometheus text exposition. The legacy
+// expvar JSON view remains available through Vars() — cmd/ftdsed
+// publishes it at /debug/vars.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.vars.String())
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.met.reg.WriteText(w)
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

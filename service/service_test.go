@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 	"repro/ftdse/service"
 )
 
@@ -110,23 +111,35 @@ func waitState(t *testing.T, url, id string, timeout time.Duration, ok func(serv
 	}
 }
 
-// metric reads one value from GET /metrics.
+// metric reads one sample from the Prometheus text exposition at
+// GET /metrics. Labeled samples key as name{label="value"}.
 func metric(t *testing.T, url, name string) float64 {
+	t.Helper()
+	m := scrapeMetrics(t, url)
+	f, ok := m[name]
+	if !ok {
+		t.Fatalf("metric %q absent from /metrics", name)
+	}
+	return f
+}
+
+// scrapeMetrics fetches and parses the full exposition, validating the
+// text format on every scrape.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
 	t.Helper()
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatalf("GET /metrics: %v", err)
 	}
 	defer resp.Body.Close()
-	var m map[string]json.RawMessage
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("GET /metrics Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
 		t.Fatalf("decoding metrics: %v", err)
 	}
-	var f float64
-	if err := json.Unmarshal(m[name], &f); err != nil {
-		t.Fatalf("metric %q: %v (raw %s)", name, err, m[name])
-	}
-	return f
+	return m
 }
 
 // slowOpts keeps a solve running until canceled: a generous iteration
@@ -163,7 +176,7 @@ func TestBackpressureQueueFull(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.RetryAfterS < 1 {
 		t.Errorf("429 body = %+v, %v; want retry_after_s >= 1", er, err)
 	}
-	if got := metric(t, srv.URL, "jobs_rejected"); got < 1 {
+	if got := metric(t, srv.URL, "ftdse_jobs_rejected_total"); got < 1 {
 		t.Errorf("jobs_rejected = %v, want >= 1", got)
 	}
 
@@ -306,7 +319,7 @@ func TestCacheHitServesIdenticalResultWithoutResolving(t *testing.T) {
 	if first.State != service.StateDone || first.Cached {
 		t.Fatalf("first solve: state %q cached %v", first.State, first.Cached)
 	}
-	solves := metric(t, srv.URL, "solves_total")
+	solves := metric(t, srv.URL, "ftdse_solves_total")
 	if solves != 1 {
 		t.Fatalf("solves_total = %v after one solve", solves)
 	}
@@ -318,10 +331,10 @@ func TestCacheHitServesIdenticalResultWithoutResolving(t *testing.T) {
 	if !bytes.Equal(first.Result, second.Result) {
 		t.Errorf("cached result is not byte-identical:\nfirst:  %.200s\nsecond: %.200s", first.Result, second.Result)
 	}
-	if got := metric(t, srv.URL, "solves_total"); got != solves {
+	if got := metric(t, srv.URL, "ftdse_solves_total"); got != solves {
 		t.Errorf("cache hit re-solved: solves_total %v -> %v", solves, got)
 	}
-	if hits := metric(t, srv.URL, "cache_hits"); hits != 1 {
+	if hits := metric(t, srv.URL, "ftdse_cache_hits_total"); hits != 1 {
 		t.Errorf("cache_hits = %v, want 1", hits)
 	}
 
@@ -491,22 +504,24 @@ func TestSustains100ConcurrentSubmissions(t *testing.T) {
 			t.Errorf("client %d: state %q, want done", i, states[i])
 		}
 	}
-	solves := metric(t, srv.URL, "solves_total")
+	solves := metric(t, srv.URL, "ftdse_solves_total")
 	if solves < distinct || solves > clients {
 		t.Errorf("solves_total = %v, want within [%d, %d]", solves, distinct, clients)
 	}
 	// Once every result is cached, an identical resubmission must not
 	// solve again.
-	before := metric(t, srv.URL, "solves_total")
+	before := metric(t, srv.URL, "ftdse_solves_total")
 	st := postSolve(t, srv.URL, probs[0], http.StatusOK)
 	if !st.Cached {
 		t.Error("post-storm resubmission missed the cache")
 	}
-	if after := metric(t, srv.URL, "solves_total"); after != before {
+	if after := metric(t, srv.URL, "ftdse_solves_total"); after != before {
 		t.Errorf("resubmission re-solved: %v -> %v", before, after)
 	}
+	hits := metric(t, srv.URL, "ftdse_cache_hits_total")
+	misses := metric(t, srv.URL, "ftdse_cache_misses_total")
 	t.Logf("100 concurrent submissions: %v solves, cache hit rate %.2f",
-		solves, metric(t, srv.URL, "cache_hit_rate"))
+		solves, hits/(hits+misses))
 }
 
 // TestCoalescesIdenticalInFlightSubmissions pins the singleflight
@@ -526,7 +541,7 @@ func TestCoalescesIdenticalInFlightSubmissions(t *testing.T) {
 	if b.ID != a.ID {
 		t.Fatalf("identical in-flight submission got a fresh job %s, want %s", b.ID, a.ID)
 	}
-	if got := metric(t, srv.URL, "jobs_coalesced"); got != 1 {
+	if got := metric(t, srv.URL, "ftdse_jobs_coalesced_total"); got != 1 {
 		t.Errorf("jobs_coalesced = %v, want 1", got)
 	}
 
@@ -585,7 +600,7 @@ func TestSharedJobSurvivesOneWaiterDisconnect(t *testing.T) {
 		}
 	}()
 	deadline := time.Now().Add(10 * time.Second)
-	for metric(t, srv.URL, "jobs_coalesced") < 1 {
+	for metric(t, srv.URL, "ftdse_jobs_coalesced_total") < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("waiter never coalesced onto the running job")
 		}

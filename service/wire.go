@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/ftdse"
+	"repro/ftdse/obs"
 )
 
 // This file defines the wire format of the ftdsed HTTP API. The types
@@ -55,6 +56,12 @@ type SolveOptions struct {
 	SlackSharing *bool `json:"slack_sharing,omitempty"`
 	// TabuTenure sets the tabu tenure; <= 0 selects the default.
 	TabuTenure int `json:"tabu_tenure,omitempty"`
+	// FlightRecorder enables the search flight recorder: the JobResult
+	// then carries the run's trace as a JSONL document (render with
+	// fttrace). Part of the fingerprint — a traced job never coalesces
+	// with (or answers from the cache of) an untraced one, because their
+	// result documents differ.
+	FlightRecorder bool `json:"flight_recorder,omitempty"`
 }
 
 // normalized returns the options with defaults applied and negative
@@ -118,7 +125,7 @@ func (o SolveOptions) timeLimit() time.Duration {
 func (o SolveOptions) solverOptions() []ftdse.Option {
 	strat, _ := ftdse.ParseStrategy(o.Strategy)
 	eng, _ := ftdse.ParseEngine(o.Engine)
-	return []ftdse.Option{
+	out := []ftdse.Option{
 		ftdse.WithStrategy(strat),
 		ftdse.WithEngine(eng),
 		ftdse.WithSeed(o.Seed),
@@ -132,6 +139,10 @@ func (o SolveOptions) solverOptions() []ftdse.Option {
 		ftdse.WithSlackSharing(*o.SlackSharing),
 		ftdse.WithTabuTenure(o.TabuTenure),
 	}
+	if o.FlightRecorder {
+		out = append(out, ftdse.WithFlightRecorder(ftdse.DefaultFlightRecorderEvents))
+	}
+	return out
 }
 
 // stochasticEngine reports whether the (normalized) engine name draws
@@ -159,10 +170,10 @@ func (o SolveOptions) canonical() string {
 	// TimeLimitMs is still a real (immediately truncating) budget and
 	// must never collide with the untimed request's key.
 	return fmt.Sprintf(
-		"strategy=%s;engine=%s;seed=%d;iters=%d;limit_ns=%d;workers=%d;bus=%t;ckpt=%t;maxckpt=%d;stopsched=%t;slack=%t;tenure=%d",
+		"strategy=%s;engine=%s;seed=%d;iters=%d;limit_ns=%d;workers=%d;bus=%t;ckpt=%t;maxckpt=%d;stopsched=%t;slack=%t;tenure=%d;flight=%t",
 		o.Strategy, o.Engine, o.Seed, o.MaxIterations, o.timeLimit().Nanoseconds(), w,
 		o.BusOptimization, o.Checkpointing, o.MaxCheckpoints,
-		o.StopWhenSchedulable, *o.SlackSharing, o.TabuTenure)
+		o.StopWhenSchedulable, *o.SlackSharing, o.TabuTenure, o.FlightRecorder)
 }
 
 // SubmitRequest is the body of POST /solve: the problem document (the
@@ -170,6 +181,13 @@ func (o SolveOptions) canonical() string {
 type SubmitRequest struct {
 	Problem json.RawMessage `json:"problem"`
 	Options SolveOptions    `json:"options"`
+	// TraceID propagates a caller-minted request identity end to end:
+	// it appears in the service's logs, the job's SSE events and status,
+	// and (through the coordinator) the cluster journal. Empty means the
+	// server mints one; the Ftdse-Trace-Id header is an equivalent
+	// carrier for single submissions. When identical submissions
+	// coalesce, the first one's trace ID identifies the shared solve.
+	TraceID string `json:"trace_id,omitempty"`
 	// WarmStart optionally carries a checkpoint document (the
 	// ftdse.WriteCheckpoint JSON format) whose design seeds the solve:
 	// the result never costs more than a warm start that fits the
@@ -216,6 +234,8 @@ type JobStatus struct {
 	ID          string `json:"id"`
 	State       string `json:"state"`
 	Fingerprint string `json:"fingerprint"`
+	// TraceID is the job's request identity (see SubmitRequest.TraceID).
+	TraceID string `json:"trace_id,omitempty"`
 	// Cached marks a submission answered from the result cache without
 	// re-solving.
 	Cached bool `json:"cached,omitempty"`
@@ -245,6 +265,18 @@ type JobResult struct {
 	// Stopped records why the solve ended: "completed", "time limit" or
 	// "canceled". Use StopCause for the typed view.
 	Stopped string `json:"stopped"`
+	// TraceID names the request that executed this solve. A cached
+	// result keeps the original solve's trace ID (the document is stored
+	// byte-for-byte); the per-submission identity is JobStatus.TraceID.
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans are the solve's server-side timings (queue_wait, solve; the
+	// coordinator prepends submit and dispatch spans), with StartMs
+	// relative to the submission the span set was recorded under.
+	Spans []obs.Span `json:"spans,omitempty"`
+	// TraceJSONL carries the flight-recorder trace document (the
+	// ftdse.WriteTrace JSONL form) when the job ran with
+	// SolveOptions.FlightRecorder; render it with fttrace.
+	TraceJSONL string `json:"trace_jsonl,omitempty"`
 	// Schedule is the deployment artifact (the ftdse.WriteSchedule JSON
 	// format, compacted).
 	Schedule json.RawMessage `json:"schedule"`
@@ -266,6 +298,9 @@ type ProgressEvent struct {
 	TardinessMs float64 `json:"tardiness_ms"`
 	Schedulable bool    `json:"schedulable"`
 	ElapsedMs   float64 `json:"elapsed_ms"`
+	// TraceID identifies the job the incumbent belongs to, so a client
+	// multiplexing several streams can attribute events.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -273,6 +308,11 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 	// RetryAfterS mirrors the Retry-After header on 429 answers.
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// Fingerprint and QueueDepth detail queue-full rejections: the
+	// fingerprint of the submission that needed the unavailable slot and
+	// the backlog at rejection time, mirrored into the server's log line.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	QueueDepth  int    `json:"queue_depth,omitempty"`
 }
 
 // ReadyStatus is the body of GET /readyz: whether the node is able to

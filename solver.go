@@ -182,6 +182,7 @@ func (s *Solver) Solve(ctx context.Context, p Problem) (*Result, error) {
 		Iterations: res.Iterations,
 		Elapsed:    res.Elapsed,
 		Stopped:    res.Stopped,
+		Trace:      res.Trace,
 	}, nil
 }
 
@@ -207,6 +208,9 @@ type Result struct {
 	// Stopped records why the run ended (completed, time limit, or
 	// canceled).
 	Stopped StopCause
+	// Trace is the flight-recorder capture of the run; nil unless
+	// WithFlightRecorder enabled it.
+	Trace *Trace
 }
 
 // Schedulable reports whether the synthesized design meets all

@@ -25,10 +25,15 @@
 //
 // Wall-clock and global randomness in the deterministic core. In
 // packages under internal/, time.Now/Since/Until are flagged (search
-// decisions must not observe wall time; sanctioned timing wrappers
-// carry //ftlint:allow determinism directives). Package-level math/rand
-// functions (the process-global source) are flagged module-wide:
-// randomized engines thread an explicitly seeded *rand.Rand.
+// decisions must not observe wall time). A function whose doc comment
+// carries a //ftdse:clock annotation is a sanctioned clock wrapper:
+// every clock read inside its body is exempt, so observability call
+// sites (flight-recorder event stamps, Elapsed fields) route through
+// one audited wrapper instead of sprinkling //ftlint:allow directives
+// over hot paths. Line-level //ftlint:allow determinism still works for
+// one-off cases. Package-level math/rand functions (the process-global
+// source) are flagged module-wide: randomized engines thread an
+// explicitly seeded *rand.Rand.
 package determinism
 
 import (
@@ -49,7 +54,8 @@ the service cache is keyed by a canonical fingerprint. Both die quietly
 when map iteration order, time.Now, or the global math/rand source
 leaks into an output. Sanctioned patterns (collect-then-sort, keyed map
 writes, commutative accumulation, per-element operations) are not
-flagged; sanctioned wall-clock wrappers carry //ftlint:allow.`,
+flagged; sanctioned wall-clock wrappers carry a //ftdse:clock func
+annotation (or, for one-off lines, //ftlint:allow).`,
 	Run: run,
 }
 
@@ -75,6 +81,7 @@ func run(pass *analysis.Pass) (any, error) {
 			continue
 		}
 		parents := buildParents(f)
+		clocks := clockFuncRanges(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
@@ -84,12 +91,47 @@ func run(pass *analysis.Pass) (any, error) {
 					}
 				}
 			case *ast.CallExpr:
-				checkClockAndRand(pass, n, inInternal)
+				checkClockAndRand(pass, n, inInternal && !clocks.contains(n.Pos()))
 			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// posRanges is a set of source spans (sanctioned clock-wrapper bodies).
+type posRanges [][2]token.Pos
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, span := range r {
+		if p >= span[0] && p <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// clockFuncRanges collects the body spans of functions annotated with
+// //ftdse:clock in their doc comment — the sanctioned clock wrappers.
+// The annotation line is "//ftdse:clock" optionally followed by a
+// reason; it exempts clock reads inside the function body only, so the
+// wrapper stays the single audited place wall time enters the core.
+func clockFuncRanges(f *ast.File) posRanges {
+	var out posRanges
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		for _, cm := range fd.Doc.List {
+			text := strings.TrimPrefix(cm.Text, "//")
+			if text == "ftdse:clock" || strings.HasPrefix(text, "ftdse:clock ") {
+				out = append(out, [2]token.Pos{fd.Body.Lbrace, fd.Body.Rbrace})
+				break
+			}
+		}
+	}
+	return out
 }
 
 // checkClockAndRand flags wall-clock reads in internal packages and
@@ -109,7 +151,7 @@ func checkClockAndRand(pass *analysis.Pass, call *ast.CallExpr, inInternal bool)
 	switch fn.Pkg().Path() {
 	case "time":
 		if inInternal && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
-			pass.Reportf(call.Pos(), "time.%s in the deterministic core: search results must not observe wall time; route timing through a sanctioned wrapper (//ftlint:allow determinism <reason>)", fn.Name())
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core: search results must not observe wall time; route timing through a sanctioned wrapper (//ftdse:clock func annotation)", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
 		if globalRandFuncs[fn.Name()] {

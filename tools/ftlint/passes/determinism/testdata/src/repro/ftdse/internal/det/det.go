@@ -22,6 +22,23 @@ func AllowedClock() time.Time {
 	return time.Now() //ftlint:allow determinism fixture: sanctioned wrapper
 }
 
+// AnnotatedClock is a sanctioned wrapper: the doc annotation exempts
+// every clock read in its body.
+//
+//ftdse:clock fixture: event stamps are reporting only
+func AnnotatedClock(start time.Time) time.Duration {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return time.Since(start)
+}
+
+// notAnnotated has no //ftdse:clock line, so its clock reads are still
+// flagged — the annotation must not leak past the annotated body.
+func notAnnotated() time.Time {
+	return time.Now() // want `time\.Now in the deterministic core`
+}
+
 func GlobalRand() int {
 	return rand.Intn(10) // want `global rand\.Intn uses the shared process source`
 }
