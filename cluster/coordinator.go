@@ -294,6 +294,8 @@ func (c *Coordinator) Start(selfURL string) error {
 // Close stops the loops and closes the journal. Jobs in flight on the
 // nodes keep running there; a restarted coordinator re-adopts them via
 // the journal.
+//
+//ftdse:shutdown
 func (c *Coordinator) Close(ctx context.Context) error {
 	c.mu.Lock()
 	if !c.closed {

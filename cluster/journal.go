@@ -20,6 +20,8 @@ import (
 // action was never acknowledged.
 
 // Journal record types.
+//
+//ftdse:wire journal-records
 const (
 	recSubmit     = "submit"     // a job was admitted
 	recDone       = "done"       // a job reached a terminal state
@@ -27,6 +29,8 @@ const (
 )
 
 // journalRecord is one WAL line.
+//
+//ftdse:wire
 type journalRecord struct {
 	Type string `json:"type"`
 	// ID is the coordinator-side job id (submit, done).

@@ -19,6 +19,8 @@ import (
 // Event kinds recorded by the flight recorder. The set is closed:
 // sysio.ReadTrace rejects documents with unknown kinds, which is what
 // keeps the JSONL export strict enough to round-trip canonically.
+//
+//ftdse:wire event-kinds
 const (
 	// EventRunStart opens a trace: strategy and engine of the run.
 	EventRunStart = "run_start"
@@ -55,6 +57,8 @@ func ValidEventKind(kind string) bool {
 // remaining fields depend on Kind and stay zero otherwise. Cost fields
 // are integral microseconds (the model's time base), so every field
 // except ElapsedMs is bit-deterministic run to run.
+//
+//ftdse:wire
 type SearchEvent struct {
 	Seq       int     `json:"seq"`
 	ElapsedMs float64 `json:"elapsed_ms"`

@@ -33,6 +33,8 @@ const CheckpointVersion = 1
 // document portable across re-parses of the same problem document and
 // across *similar* problems that keep the structure but perturb WCETs —
 // the warm-start use case.
+//
+//ftdse:wire
 type CheckpointDoc struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint,omitempty"`

@@ -22,6 +22,8 @@ import (
 // WriteScheduleDoc reproduces the input bytes exactly (the document
 // format is canonical — fixed key order, two-space indent, trailing
 // newline).
+//
+//ftdse:wire
 type ScheduleDoc struct {
 	Schedulable bool          `json:"schedulable"`
 	MakespanMs  float64       `json:"makespan_ms"`

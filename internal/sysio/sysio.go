@@ -18,6 +18,8 @@ import (
 	"repro/ftdse/internal/model"
 )
 
+//
+//ftdse:wire
 type problemJSON struct {
 	Application      json.RawMessage               `json:"application"`
 	Architecture     []string                      `json:"architecture"`
@@ -28,6 +30,8 @@ type problemJSON struct {
 	ForceReplication []string                      `json:"force_replication,omitempty"`
 }
 
+//
+//ftdse:wire
 type faultJSON struct {
 	K    int     `json:"k"`
 	MuMs float64 `json:"mu_ms"`

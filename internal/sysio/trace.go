@@ -27,6 +27,8 @@ const TraceVersion = 1
 // traceHeader is the first line of a trace document. Dropped is always
 // serialized (not omitempty) so the header is self-describing and the
 // canonical form of every trace has the same shape.
+//
+//ftdse:wire
 type traceHeader struct {
 	Version int `json:"version"`
 	Dropped int `json:"dropped"`

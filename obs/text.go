@@ -85,16 +85,12 @@ func parseSampleLine(text string) (string, float64, error) {
 	key := name
 	rest = strings.TrimLeft(rest, " \t")
 	if strings.HasPrefix(rest, "{") {
-		end := strings.Index(rest, "}")
-		if end < 0 {
-			return "", 0, fmt.Errorf("unterminated label block in %q", text)
-		}
-		labels, err := normalizeLabels(rest[1:end])
+		labels, remainder, err := scanLabelBlock(rest)
 		if err != nil {
 			return "", 0, fmt.Errorf("%w in %q", err, text)
 		}
 		key += "{" + labels + "}"
-		rest = strings.TrimLeft(rest[end+1:], " \t")
+		rest = strings.TrimLeft(remainder, " \t")
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
@@ -120,35 +116,43 @@ func splitName(text string) (name, rest string) {
 	return text, ""
 }
 
-// normalizeLabels validates a label block body (without braces) and
-// re-renders it without inter-pair whitespace, so parsed keys match the
-// compact form WriteText emits.
-func normalizeLabels(body string) (string, error) {
+// scanLabelBlock consumes a {...} label block, scanning quote-aware so
+// values containing '}' or escaped quotes parse per the Prometheus text
+// format, and re-renders it without inter-pair whitespace (values
+// re-escaped), so parsed keys match the compact form WriteText emits.
+// Returns the normalized body and the input after the closing brace.
+func scanLabelBlock(s string) (labels, rest string, err error) {
 	var pairs []string
-	rest := strings.TrimSpace(body)
-	for rest != "" {
-		eq := strings.Index(rest, "=")
+	r := strings.TrimLeft(s[1:], " \t")
+	for {
+		if r == "" {
+			return "", "", fmt.Errorf("unterminated label block")
+		}
+		if r[0] == '}' {
+			return strings.Join(pairs, ","), r[1:], nil
+		}
+		eq := strings.Index(r, "=")
 		if eq < 0 {
-			return "", fmt.Errorf("label pair without '='")
+			return "", "", fmt.Errorf("label pair without '='")
 		}
-		name := strings.TrimSpace(rest[:eq])
+		name := strings.TrimSpace(r[:eq])
 		if !validLabelName(name) {
-			return "", fmt.Errorf("invalid label name %q", name)
+			return "", "", fmt.Errorf("invalid label name %q", name)
 		}
-		rest = strings.TrimLeft(rest[eq+1:], " \t")
-		if !strings.HasPrefix(rest, `"`) {
-			return "", fmt.Errorf("unquoted value of label %q", name)
+		r = strings.TrimLeft(r[eq+1:], " \t")
+		if !strings.HasPrefix(r, `"`) {
+			return "", "", fmt.Errorf("unquoted value of label %q", name)
 		}
-		value, remainder, err := scanQuoted(rest)
+		value, remainder, err := scanQuoted(r)
 		if err != nil {
-			return "", err
+			return "", "", err
 		}
 		pairs = append(pairs, name+`="`+escapeLabelValue(value)+`"`)
-		rest = strings.TrimLeft(remainder, " \t")
-		rest = strings.TrimPrefix(rest, ",")
-		rest = strings.TrimLeft(rest, " \t")
+		r = strings.TrimLeft(remainder, " \t")
+		if strings.HasPrefix(r, ",") {
+			r = strings.TrimLeft(r[1:], " \t")
+		}
 	}
-	return strings.Join(pairs, ","), nil
 }
 
 // scanQuoted consumes a double-quoted, backslash-escaped label value

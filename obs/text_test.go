@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestParseTextEscapedLabels pins the Prometheus text-format escaping
+// rules on the parse side: values containing backslashes, escaped
+// quotes, newlines and — the historical bug — a literal '}' must parse,
+// and the normalized key must re-render with the same escaping
+// WriteText uses.
+func TestParseTextEscapedLabels(t *testing.T) {
+	cases := []struct {
+		line string
+		key  string
+		val  float64
+	}{
+		{`m_total{l="plain"} 1`, `m_total{l="plain"}`, 1},
+		{`m_total{l="back\\slash"} 2`, `m_total{l="back\\slash"}`, 2},
+		{`m_total{l="say \"hi\""} 3`, `m_total{l="say \"hi\""}`, 3},
+		{`m_total{l="line\nbreak"} 4`, `m_total{l="line\nbreak"}`, 4},
+		{`m_total{l="brace}inside"} 5`, `m_total{l="brace}inside"}`, 5},
+		{`m_total{ l = "spaced" , } 6`, `m_total{l="spaced"}`, 6},
+		{`m_total{a="x",b="y}z"} 7`, `m_total{a="x",b="y}z"}`, 7},
+	}
+	for _, c := range cases {
+		got, err := ParseText(strings.NewReader(c.line))
+		if err != nil {
+			t.Errorf("ParseText(%q): %v", c.line, err)
+			continue
+		}
+		v, ok := got[c.key]
+		if !ok {
+			t.Errorf("ParseText(%q): key %q missing, got %v", c.line, c.key, got)
+			continue
+		}
+		if v != c.val {
+			t.Errorf("ParseText(%q)[%q] = %v, want %v", c.line, c.key, v, c.val)
+		}
+	}
+	for _, bad := range []string{
+		`m_total{l="unterminated} 1`,
+		`m_total{l="bad \escape"} 1`,
+		`m_total{l=unquoted} 1`,
+		`m_total{l="v"`,
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted a malformed line", bad)
+		}
+	}
+}
+
+// TestExpositionRoundTripGnarlyLabels drives the registry's own
+// exposition through ParseText with label values that exercise every
+// escape (this is the pair ftpromlint relies on agreeing).
+func TestExpositionRoundTripGnarlyLabels(t *testing.T) {
+	r := NewRegistry()
+	vec := r.NewCounterVec("ftdse_gnarly_total", "escaping torture", "engine")
+	values := []string{
+		`plain`,
+		`back\slash`,
+		`quote"inside`,
+		"line\nbreak",
+		`brace}inside`,
+		`all\of"it}` + "\n",
+	}
+	for i, v := range values {
+		vec.With(v).Add(int64(i + 1))
+	}
+
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("registry's own exposition fails validation: %v", err)
+	}
+	parsed, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("registry's own exposition fails ParseText: %v", err)
+	}
+	for i, v := range values {
+		key := `ftdse_gnarly_total{engine="` + escapeLabelValue(v) + `"}`
+		got, ok := parsed[key]
+		if !ok {
+			t.Errorf("parsed exposition lacks %q; keys: %v", key, keysOf(parsed))
+			continue
+		}
+		if want := float64(i + 1); got != want {
+			t.Errorf("parsed[%q] = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderSamples re-renders a parsed sample map the way WriteText spells
+// sample lines (keys are already normalized), giving the fuzz target
+// its fixed-point form.
+func renderSamples(m map[string]float64) string {
+	var b strings.Builder
+	for _, k := range keysOf(m) {
+		b.WriteString(k)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(m[k]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FuzzParseText asserts parse→render→parse is a fixed point: whatever
+// exposition ParseText accepts, its normalized form must parse to the
+// same samples — and nothing may panic along the way.
+func FuzzParseText(f *testing.F) {
+	f.Add("ftdse_solves_total 42\n")
+	f.Add(`ftdse_gnarly_total{engine="brace}inside"} 2` + "\n")
+	f.Add(`m_total{a="x\\y",b="say \"hi\""} 3.5 1700000000` + "\n")
+	f.Add("# HELP m m\n# TYPE m counter\nm_bucket{le=\"+Inf\"} 1\n")
+	f.Add(`m{l="line\nbreak"} NaN` + "\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		first, err := ParseText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		rendered := renderSamples(first)
+		second, err := ParseText(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("normalized exposition failed to re-parse: %v\ninput: %q\nrendered: %q", err, data, rendered)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("round trip changed sample count: %d -> %d\ninput: %q\nrendered: %q", len(first), len(second), data, rendered)
+		}
+		for k, v := range first {
+			v2, ok := second[k]
+			if !ok {
+				t.Fatalf("round trip lost key %q\ninput: %q\nrendered: %q", k, data, rendered)
+			}
+			if v != v2 && !(math.IsNaN(v) && math.IsNaN(v2)) {
+				t.Fatalf("round trip changed %q: %v -> %v", k, v, v2)
+			}
+		}
+	})
+}

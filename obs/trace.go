@@ -52,6 +52,8 @@ func ValidTraceID(s string) bool {
 // no clock agreement with any other: StartMs is measured from the
 // owning process's first sight of the job, and durations come from the
 // monotonic clock.
+//
+//ftdse:wire
 type Span struct {
 	// Name identifies the step: "queue_wait", "solve", "dispatch",
 	// "redispatch", "checkpoint_push", ...

@@ -94,6 +94,7 @@ func newMetrics(queueDepth func() int, queueCap int, cacheLen func() int) *metri
 	}
 	for _, ev := range evals {
 		read := ev.read
+		//ftlint:allow metrics the names are string literals in the evals table just above; the loop only threads them through
 		r.NewCounterFunc(ev.name, ev.help,
 			func() float64 { return float64(read(ftdse.ReadEvaluatorMetrics())) })
 	}

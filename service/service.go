@@ -170,6 +170,8 @@ func (s *Service) Vars() *expvar.Map { return s.vars }
 // pass and keeps its best-so-far design as its result — queued jobs
 // that never started are marked canceled, and Close returns when every
 // worker has exited or ctx fires.
+//
+//ftdse:shutdown
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
 	var never []*job

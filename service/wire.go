@@ -19,6 +19,8 @@ import (
 // selects the solver defaults (MXR, size-dependent budget, slack
 // sharing on). All durations are given in milliseconds, matching the
 // problem document's convention.
+//
+//ftdse:wire
 type SolveOptions struct {
 	// Strategy names the optimization strategy ("mxr", "mx", "mr",
 	// "sfx", "nft", case-insensitive); empty selects "mxr".
@@ -178,6 +180,8 @@ func (o SolveOptions) canonical() string {
 
 // SubmitRequest is the body of POST /solve: the problem document (the
 // ftdse.WriteProblem JSON format) plus the solver configuration.
+//
+//ftdse:wire
 type SubmitRequest struct {
 	Problem json.RawMessage `json:"problem"`
 	Options SolveOptions    `json:"options"`
@@ -203,18 +207,24 @@ type SubmitRequest struct {
 }
 
 // BatchRequest is the body of POST /solve/batch.
+//
+//ftdse:wire
 type BatchRequest struct {
 	Jobs []SubmitRequest `json:"jobs"`
 }
 
 // BatchResponse answers a batch submission; Jobs aligns 1:1 with the
 // request.
+//
+//ftdse:wire
 type BatchResponse struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
 // Job states reported in JobStatus.State. Done, failed and canceled are
 // terminal.
+//
+//ftdse:wire job-states
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
@@ -230,6 +240,8 @@ func TerminalState(state string) bool {
 
 // JobStatus is the public view of a job, returned by submissions,
 // GET /jobs/{id}, DELETE /jobs/{id} and the closing SSE event.
+//
+//ftdse:wire
 type JobStatus struct {
 	ID          string `json:"id"`
 	State       string `json:"state"`
@@ -253,6 +265,8 @@ type JobStatus struct {
 
 // JobResult is the outcome document of a solved job. Cache hits return
 // the stored document byte-for-byte.
+//
+//ftdse:wire
 type JobResult struct {
 	Strategy string `json:"strategy"`
 	// Engine names the search engine that produced the design.
@@ -291,6 +305,8 @@ func (r JobResult) StopCause() (ftdse.StopCause, error) {
 
 // ProgressEvent is one incumbent solution streamed on
 // GET /jobs/{id}/events as an SSE "improvement" event.
+//
+//ftdse:wire
 type ProgressEvent struct {
 	Phase       string  `json:"phase"`
 	Iteration   int     `json:"iteration"`
@@ -304,6 +320,8 @@ type ProgressEvent struct {
 }
 
 // ErrorResponse is the body of every non-2xx answer.
+//
+//ftdse:wire
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// RetryAfterS mirrors the Retry-After header on 429 answers.
@@ -320,6 +338,8 @@ type ErrorResponse struct {
 // draining). The coordinator's health checker polls it; the Node field
 // doubles as the re-registration signal — a node that restarted comes
 // back with an empty Node and is re-registered by the next health pass.
+//
+//ftdse:wire
 type ReadyStatus struct {
 	Ready    bool `json:"ready"`
 	Draining bool `json:"draining,omitempty"`
@@ -342,6 +362,8 @@ type ReadyStatus struct {
 // process dies. Re-registration (a later request) replaces the previous
 // identity, so a coordinator restart heals itself on its first health
 // pass.
+//
+//ftdse:wire
 type RegisterRequest struct {
 	// Node is the coordinator's name for this solver node.
 	Node string `json:"node"`
@@ -352,6 +374,8 @@ type RegisterRequest struct {
 }
 
 // RegisterResponse acknowledges a registration.
+//
+//ftdse:wire
 type RegisterResponse struct {
 	Node string `json:"node"`
 }
@@ -361,6 +385,8 @@ type RegisterResponse struct {
 // runs it. The checkpoint document embeds the fingerprint, but it is
 // repeated here so the coordinator can index without parsing the
 // document.
+//
+//ftdse:wire
 type CheckpointPush struct {
 	Node        string          `json:"node"`
 	JobID       string          `json:"job_id"`

@@ -34,6 +34,13 @@ type Analyzer struct {
 	// pass.Report. The returned value is unused by ftlint (kept for
 	// x/tools signature compatibility).
 	Run func(*Pass) (any, error)
+
+	// FactTypes declares the fact shapes the pass exports (values whose
+	// types document the summaries; the driver only checks the list is
+	// non-empty). A pass with facts runs on dependency-only (VetxOnly)
+	// units too, so its summaries reach importing packages; fact-free
+	// passes are skipped there.
+	FactTypes []any
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -51,6 +58,33 @@ type Pass struct {
 	// Report delivers one finding. Suppression (//ftlint:allow) is
 	// applied by the driver, not by passes.
 	Report func(Diagnostic)
+
+	// Facts is the cross-package summary store (see facts.go). The
+	// driver populates it from the vetx files of the unit's imports and
+	// persists whatever the unit's passes export. Nil when the driver
+	// runs without fact plumbing (legacy callers); the accessors below
+	// degrade to no-ops then.
+	Facts *FactStore
+}
+
+// ExportObjectFact records a pass-private summary about obj (which must
+// belong to the analyzed package) for downstream units to import.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	p.Facts.export(p.Analyzer.Name, normPkgPath(obj.Pkg().Path()), ObjectKey(obj), fact)
+}
+
+// ImportObjectFact decodes the summary a dependency unit exported about
+// obj into out, reporting whether one exists. Facts exported by the
+// current unit are visible too, so intra-package lookups need no
+// special case.
+func (p *Pass) ImportObjectFact(obj types.Object, out any) bool {
+	if p.Facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.Facts.lookup(p.Analyzer.Name, normPkgPath(obj.Pkg().Path()), ObjectKey(obj), out)
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,261 @@
+// Package dataflow is the shared interprocedural core of the ftlint
+// passes: a lightweight package-local call graph plus small dataflow
+// helpers (local taint propagation, summary fixed points). It stays
+// deliberately syntactic — built from the type-checked AST, no SSA —
+// because the repo's invariants are about call structure (who joins
+// this goroutine, where does this string flow) rather than value
+// numerics, and because the tools module must remain stdlib-only.
+//
+// The intended shape for an interprocedural pass is:
+//
+//  1. build the Graph for the package,
+//  2. compute a per-function summary bottom-up with Fixpoint, consulting
+//     pass.ImportObjectFact for callees outside the package,
+//  3. export the summaries of this package's functions with
+//     pass.ExportObjectFact so dependent units see them,
+//  4. report findings using the solved summaries.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/ftdse/tools/ftlint/analysis"
+)
+
+// A Graph is the package-local call graph: one Node per function or
+// method declared in the package, with edges to the statically resolved
+// callees (direct calls through identifiers, selectors and method
+// values; calls through interfaces or function values have no static
+// callee and produce no edge).
+type Graph struct {
+	pass  *analysis.Pass
+	nodes map[*types.Func]*Node
+}
+
+// A Node is one declared function with its syntax and callees.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Calls lists the statically resolved callees, package-local and
+	// foreign, in source order with duplicates preserved.
+	Calls []*Call
+}
+
+// A Call is one resolved call site within a node.
+type Call struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+}
+
+// New builds the call graph of the pass's package. Function literals
+// are attributed to their enclosing declaration: a call made inside a
+// closure is an edge from the declaring function, which matches how
+// lifecycle and governance questions are asked.
+func New(pass *analysis.Pass) *Graph {
+	g := &Graph{pass: pass, nodes: make(map[*types.Func]*Node)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &Node{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := Callee(pass.TypesInfo, call); callee != nil {
+					node.Calls = append(node.Calls, &Call{Site: call, Callee: callee})
+				}
+				return true
+			})
+			g.nodes[fn] = node
+		}
+	}
+	return g
+}
+
+// Node returns the graph node of fn, nil when fn is not declared in
+// this package (or has no body here).
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Nodes returns every node sorted by source position, so iteration
+// order — and therefore any diagnostic order derived from it — is
+// deterministic.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// Callee statically resolves the function or method a call invokes:
+// `f(...)`, `pkg.F(...)`, `recv.M(...)` and method expressions resolve;
+// calls of function-typed values, interface methods and built-ins do
+// not (nil). Conversions are not calls and resolve to nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info.Types[call.Fun].IsType() {
+		return nil
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface method calls have no body anywhere; resolving
+				// them would claim knowledge the analysis lacks.
+				if !isInterfaceRecv(fn) {
+					return fn
+				}
+			}
+			return nil
+		}
+		// Qualified identifier pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func isInterfaceRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// Fixpoint solves a boolean summary over the package-local call graph:
+// seed marks the functions where the property holds directly, and
+// propagate decides whether a node acquires the property from one of
+// its calls to a holding callee (the callee may be foreign — propagate
+// receives the call so it can consult imported facts). Iterates to a
+// fixed point; monotone by construction since holding is never unset.
+func (g *Graph) Fixpoint(seed func(*Node) bool, propagate func(n *Node, c *Call, calleeHolds func(*types.Func) bool) bool) map[*types.Func]bool {
+	holds := make(map[*types.Func]bool, len(g.nodes))
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		if seed(n) {
+			holds[n.Fn] = true
+		}
+	}
+	calleeHolds := func(fn *types.Func) bool { return holds[fn] }
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if holds[n.Fn] {
+				continue
+			}
+			for _, c := range n.Calls {
+				if propagate(n, c, calleeHolds) {
+					holds[n.Fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return holds
+}
+
+// Taint computes the set of local variables of fn into which a seeded
+// expression flows through assignments, short declarations, and range
+// statements — a flow-insensitive fixed point, deliberately
+// over-approximate (a variable once tainted stays tainted). seed
+// reports whether an expression is a taint source by itself; the
+// returned predicate additionally reports uses of tainted locals.
+func Taint(info *types.Info, fn *ast.FuncDecl, seed func(ast.Expr) bool) func(ast.Expr) bool {
+	tainted := make(map[*types.Var]bool)
+
+	// isTainted: source expressions, tainted locals, and compositions
+	// that pass string/slice taint through (concat, index, call args are
+	// NOT traced — callee behaviour is the passes' job).
+	var isTainted func(e ast.Expr) bool
+	isTainted = func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		e = ast.Unparen(e)
+		if seed(e) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return tainted[v]
+			}
+		case *ast.BinaryExpr:
+			return isTainted(e.X) || isTainted(e.Y)
+		case *ast.IndexExpr:
+			return isTainted(e.X)
+		case *ast.SliceExpr:
+			return isTainted(e.X)
+		case *ast.StarExpr:
+			return isTainted(e.X)
+		case *ast.SelectorExpr:
+			return isTainted(e.X)
+		}
+		return false
+	}
+
+	mark := func(lhs ast.Expr) bool {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				v, ok = info.Uses[id].(*types.Var)
+			}
+			if ok && v != nil && !tainted[v] {
+				tainted[v] = true
+				return true
+			}
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !isTainted(rhs) {
+						continue
+					}
+					// 1:1 assignments taint their own target; a multi-value
+					// rhs (call, map read) taints every target.
+					if len(n.Rhs) == len(n.Lhs) {
+						changed = mark(n.Lhs[i]) || changed
+					} else {
+						for _, lhs := range n.Lhs {
+							changed = mark(lhs) || changed
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if isTainted(n.X) {
+					if n.Key != nil {
+						changed = mark(n.Key) || changed
+					}
+					if n.Value != nil {
+						changed = mark(n.Value) || changed
+					}
+				}
+			}
+			return true
+		})
+	}
+	return isTainted
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Facts are the cross-package channel of ftlint: a pass analyzing one
+// compilation unit records a small JSON-serializable summary about an
+// object (a function's concurrency behaviour, say), and passes
+// analyzing dependent units read it back. The driver persists facts in
+// the unit's vetx output file — the artifact the `go vet` build system
+// already threads from each package to its importers — so analysis
+// crosses package boundaries with no side files and full build-cache
+// correctness.
+//
+// The model is deliberately smaller than x/tools': facts attach to
+// objects only (keyed by a stable object path within the package), they
+// are plain JSON documents rather than gob-registered types, and a pass
+// reads its own facts only. That is exactly enough for summary-style
+// interprocedural analysis (callee behaviour lookup) without the
+// machinery of arbitrary fact kinds.
+
+// A FactStore holds the facts visible to one analysis run: everything
+// imported from dependency units plus whatever the current unit's
+// passes export. The zero value is unusable; use NewFactStore.
+type FactStore struct {
+	// m: analyzer name → package path → object key → fact document.
+	m map[string]map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]map[string]json.RawMessage)}
+}
+
+// ObjectKey names obj stably across compilations of its package:
+// "Func" for package functions, "Type.Method" for methods (pointer
+// receivers included), "Type" for type names, "Var" for package
+// variables. Objects without a package (builtins) have no key.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// export records a fact. Marshalling failures are programmer errors
+// (facts are small value structs) and drop the fact silently rather
+// than corrupting the store.
+func (s *FactStore) export(analyzer, pkgPath, objKey string, fact any) {
+	if objKey == "" {
+		return
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return
+	}
+	byPkg := s.m[analyzer]
+	if byPkg == nil {
+		byPkg = make(map[string]map[string]json.RawMessage)
+		s.m[analyzer] = byPkg
+	}
+	byObj := byPkg[pkgPath]
+	if byObj == nil {
+		byObj = make(map[string]json.RawMessage)
+		byPkg[pkgPath] = byObj
+	}
+	byObj[objKey] = data
+}
+
+// lookup decodes a fact into out, reporting whether one was found.
+func (s *FactStore) lookup(analyzer, pkgPath, objKey string, out any) bool {
+	data, ok := s.m[analyzer][pkgPath][objKey]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// EncodeFacts serializes the whole store (imported facts included, so
+// transitive dependencies flow through intermediate units the way the
+// unitchecker protocol expects) in a deterministic key order.
+func (s *FactStore) EncodeFacts() []byte {
+	data, err := json.Marshal(s.m) // map keys sort deterministically
+	if err != nil {
+		return []byte("{}")
+	}
+	return data
+}
+
+// DecodeFacts merges a serialized store into s. Unparseable input is
+// ignored: a vetx file written by a fact-free tool version is not an
+// error, it just carries nothing.
+func DecodeFacts(s *FactStore, data []byte) {
+	var in map[string]map[string]map[string]json.RawMessage
+	if json.Unmarshal(data, &in) != nil {
+		return
+	}
+	for analyzer, byPkg := range in {
+		for pkgPath, byObj := range byPkg {
+			for objKey, fact := range byObj {
+				if _, dup := s.m[analyzer][pkgPath][objKey]; !dup {
+					s.export(analyzer, pkgPath, objKey, json.RawMessage(fact))
+				}
+			}
+		}
+	}
+}
+
+// AllObjectFacts returns the keys of every fact the analyzer holds for
+// pkgPath, sorted. Passes use it to enumerate a dependency's summaries.
+func (s *FactStore) AllObjectFacts(analyzer, pkgPath string) []string {
+	byObj := s.m[analyzer][pkgPath]
+	keys := make([]string, 0, len(byObj))
+	for k := range byObj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// normPkgPath strips the build system's test-variant decorations
+// ("path [path.test]", "path_test") so facts index by the package's
+// source identity.
+func normPkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}

@@ -1,28 +1,82 @@
 // Command ftlint is the multichecker binary bundling the repository's
 // invariant passes. It speaks the "go vet -vettool" protocol and is
-// not meant to be invoked directly:
+// normally driven by the build system:
 //
 //	go build -o /tmp/ftlint repro/ftdse/tools/ftlint/cmd/ftlint
-//	go vet -vettool=/tmp/ftlint ./...              # all passes
-//	go vet -vettool=/tmp/ftlint -boundary ./...    # one pass
+//	go vet -vettool=/tmp/ftlint ./...                  # all passes
+//	go vet -vettool=/tmp/ftlint -boundary ./...        # one pass
+//	go vet -vettool=/tmp/ftlint -staleallows ./...     # + rot check
 //
-// See DESIGN.md §12 for the invariant catalog, the //ftdse:hotpath
-// annotation, and the //ftlint:allow suppression convention.
+// One mode runs standalone, outside the vet protocol:
+//
+//	ftlint -wirelock [-root dir]          # regenerate wire.lock
+//	ftlint -wirelock -check [-root dir]   # exit 1 on any drift
+//
+// See DESIGN.md §12 for the invariant catalog, the //ftdse:hotpath,
+// //ftdse:shutdown and //ftdse:wire annotations, and the
+// //ftlint:allow suppression convention.
 package main
 
 import (
+	"flag"
+	"fmt"
+	"os"
+
 	"repro/ftdse/tools/ftlint/passes/boundary"
+	"repro/ftdse/tools/ftlint/passes/concurrency"
 	"repro/ftdse/tools/ftlint/passes/determinism"
 	"repro/ftdse/tools/ftlint/passes/hotpath"
+	"repro/ftdse/tools/ftlint/passes/metrics"
 	"repro/ftdse/tools/ftlint/passes/stdlibonly"
+	"repro/ftdse/tools/ftlint/passes/wirecompat"
 	"repro/ftdse/tools/ftlint/vetdriver"
+	"repro/ftdse/tools/ftlint/wirelock"
 )
 
 func main() {
+	// -wirelock is a standalone generator, not a vet pass: it needs the
+	// whole module in one process. Dispatch before the vet protocol's
+	// flag handling.
+	if len(os.Args) > 1 && os.Args[1] == "-wirelock" {
+		os.Exit(wirelockMain(os.Args[2:]))
+	}
 	vetdriver.Main(
 		boundary.Analyzer,
+		concurrency.Analyzer,
 		determinism.Analyzer,
 		hotpath.Analyzer,
+		metrics.Analyzer,
 		stdlibonly.Analyzer,
+		wirecompat.Analyzer,
 	)
+}
+
+func wirelockMain(args []string) int {
+	fs := flag.NewFlagSet("ftlint -wirelock", flag.ExitOnError)
+	check := fs.Bool("check", false, "verify wire.lock instead of rewriting it; exit 1 on drift")
+	root := fs.String("root", ".", "module root (the directory holding go.mod and wire.lock)")
+	fs.Parse(args)
+
+	if *check {
+		breaking, stale, err := wirelock.Check(*root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ftlint -wirelock:", err)
+			return 2
+		}
+		for _, b := range breaking {
+			fmt.Fprintln(os.Stderr, "breaking:", b)
+		}
+		for _, s := range stale {
+			fmt.Fprintln(os.Stderr, "stale:", s)
+		}
+		if len(breaking) > 0 || len(stale) > 0 {
+			return 1
+		}
+		return 0
+	}
+	if err := wirelock.Write(*root); err != nil {
+		fmt.Fprintln(os.Stderr, "ftlint -wirelock:", err)
+		return 2
+	}
+	return 0
 }

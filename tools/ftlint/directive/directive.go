@@ -24,8 +24,10 @@ import (
 )
 
 const (
-	allowPrefix   = "//ftlint:allow"
-	hotpathMarker = "//ftdse:hotpath"
+	allowPrefix    = "//ftlint:allow"
+	hotpathMarker  = "//ftdse:hotpath"
+	shutdownMarker = "//ftdse:shutdown"
+	wireMarker     = "//ftdse:wire"
 )
 
 // Allow is one parsed //ftlint:allow directive.
@@ -33,12 +35,15 @@ type Allow struct {
 	Analyzer string
 	Reason   string
 	Pos      token.Pos
+	// used records whether the directive suppressed at least one
+	// finding in this run; Stale reports the ones that never fired.
+	used bool
 }
 
 // Sheet indexes the directives of one package's files.
 type Sheet struct {
 	// allows maps file name → line → directives on that line.
-	allows map[string]map[int][]Allow
+	allows map[string]map[int][]*Allow
 	// malformed directives (missing analyzer or reason) are findings in
 	// their own right; the driver reports them unconditionally.
 	malformed []analysis.Diagnostic
@@ -46,7 +51,7 @@ type Sheet struct {
 
 // ParseSheet scans every comment of every file for ftlint directives.
 func ParseSheet(fset *token.FileSet, files []*ast.File) *Sheet {
-	s := &Sheet{allows: make(map[string]map[int][]Allow)}
+	s := &Sheet{allows: make(map[string]map[int][]*Allow)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -86,10 +91,10 @@ func (s *Sheet) parseComment(fset *token.FileSet, c *ast.Comment) {
 	pos := fset.Position(c.Pos())
 	byLine := s.allows[pos.Filename]
 	if byLine == nil {
-		byLine = make(map[int][]Allow)
+		byLine = make(map[int][]*Allow)
 		s.allows[pos.Filename] = byLine
 	}
-	byLine[pos.Line] = append(byLine[pos.Line], Allow{Analyzer: name, Reason: reason, Pos: c.Pos()})
+	byLine[pos.Line] = append(byLine[pos.Line], &Allow{Analyzer: name, Reason: reason, Pos: c.Pos()})
 }
 
 // Suppressed reports whether a diagnostic of the named analyzer at pos
@@ -104,6 +109,7 @@ func (s *Sheet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) 
 	for _, line := range [2]int{p.Line, p.Line - 1} {
 		for _, a := range byLine[line] {
 			if a.Analyzer == analyzer {
+				a.used = true
 				return true
 			}
 		}
@@ -115,15 +121,70 @@ func (s *Sheet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) 
 // or state no reason.
 func (s *Sheet) Malformed() []analysis.Diagnostic { return s.malformed }
 
+// Stale returns one finding per //ftlint:allow directive that
+// suppressed nothing during the run, restricted to directives naming an
+// analyzer in ran (an allow for a deselected pass is not stale, it was
+// simply not tested). Call after every analyzer has reported.
+func (s *Sheet) Stale(ran map[string]bool) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, byLine := range s.allows {
+		for _, allows := range byLine {
+			for _, a := range allows {
+				if !a.used && ran[a.Analyzer] {
+					out = append(out, analysis.Diagnostic{
+						Pos: a.Pos,
+						Message: "stale //ftlint:allow " + a.Analyzer +
+							": the directive suppresses no finding; delete it",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
 // IsHotpath reports whether fn's doc comment carries the
 // //ftdse:hotpath annotation.
 func IsHotpath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
+	return docHasMarker(fn.Doc, hotpathMarker)
+}
+
+// IsShutdown reports whether fn's doc comment carries the
+// //ftdse:shutdown annotation: the function is a drain/close path, and
+// the concurrency pass requires every channel send in it to have a
+// ctx/default escape so shutdown can never hang on a full channel.
+func IsShutdown(fn *ast.FuncDecl) bool {
+	return docHasMarker(fn.Doc, shutdownMarker)
+}
+
+// WireLabel reports whether doc carries the //ftdse:wire annotation
+// marking a persisted/wire-format declaration, and returns the optional
+// label argument (`//ftdse:wire <label>`) used to name const groups in
+// wire.lock.
+func WireLabel(doc *ast.CommentGroup) (label string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := c.Text
+		if text == wireMarker {
+			return "", true
+		}
+		if strings.HasPrefix(text, wireMarker+" ") {
+			return strings.TrimSpace(strings.TrimPrefix(text, wireMarker+" ")), true
+		}
+	}
+	return "", false
+}
+
+// docHasMarker reports whether the comment group contains the marker
+// comment, bare or with trailing arguments.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
 		return false
 	}
-	for _, c := range fn.Doc.List {
-		text := c.Text
-		if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
 			return true
 		}
 	}

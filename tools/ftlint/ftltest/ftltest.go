@@ -70,7 +70,22 @@ func Check(testdata, modulePath, importPath string, analyzers ...*analysis.Analy
 	if err != nil {
 		return nil, err
 	}
-	findings := vetdriver.RunAnalyzers(l.fset, files, pkg, info, &analysis.Module{Path: modulePath}, analyzers)
+	// Mirror the vet driver's fact flow: every sibling fixture package the
+	// main fixture (transitively) imports gets a facts-only run first, in
+	// dependency order — the loader records packages as their loads
+	// complete, so dependencies precede importers — and the accumulated
+	// store is handed to the main run.
+	module := &analysis.Module{Path: modulePath}
+	facts := analysis.NewFactStore()
+	for _, dep := range l.loaded {
+		if dep.pkg == pkg {
+			continue
+		}
+		vetdriver.RunAnalyzersOpts(l.fset, dep.files, dep.pkg, dep.info, module, analyzers,
+			vetdriver.Options{Facts: facts, FactsOnly: true})
+	}
+	findings := vetdriver.RunAnalyzersOpts(l.fset, files, pkg, info, module, analyzers,
+		vetdriver.Options{Facts: facts})
 
 	expects, err := parseExpectations(l.fset, files)
 	if err != nil {
@@ -203,6 +218,16 @@ type loader struct {
 	src    string
 	pkgs   map[string]*types.Package
 	stdlib types.Importer
+	// loaded records every fixture package in completion order (a
+	// package's imports finish loading before it does), giving Check the
+	// dependency-ordered list it runs fact exports over.
+	loaded []loadedPkg
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
 }
 
 func newLoader(src string) *loader {
@@ -258,5 +283,6 @@ func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, er
 		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
 	l.pkgs[path] = pkg
+	l.loaded = append(l.loaded, loadedPkg{pkg, files, info})
 	return pkg, files, info, nil
 }

@@ -1,0 +1,527 @@
+// Package concurrency enforces the repo's goroutine-lifecycle
+// invariants in the long-running tiers (service/, cluster/, obs/):
+//
+//   - Every `go` statement must be lifecycle-bound: the goroutine joins
+//     a sync.WaitGroup (Done on a dominant path), is governed by a
+//     context (observes ctx.Done/ctx.Err itself or hands its context to
+//     a governed callee), watches a quit channel, or is the waiter
+//     idiom (closes a channel the spawner then receives from).
+//     Fire-and-forget goroutines outlive Close and turn shutdown into a
+//     race; the engines are single-threaded by design (DESIGN.md §2),
+//     so the only sanctioned concurrency is the supervised kind.
+//
+//   - In functions annotated //ftdse:shutdown, every channel send must
+//     sit in a select with a default or a cancellation escape. A bare
+//     send on a full channel during drain deadlocks Close forever.
+//
+//   - A method that locks its receiver's mutex must not return a
+//     guarded map or slice field itself — that aliases the protected
+//     structure past the critical section. Returning an element or a
+//     copy is fine.
+//
+// Whether a named callee is governed is decided interprocedurally: the
+// pass computes a per-function summary (package-locally via the
+// dataflow call graph, cross-package via exported facts riding the vetx
+// files), so `go dep.Loop(ctx)` is recognized as bound when dep.Loop
+// selects on ctx.Done three packages away.
+package concurrency
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/analysis/dataflow"
+	"repro/ftdse/tools/ftlint/directive"
+)
+
+// Summary is the exported per-function concurrency fact.
+type Summary struct {
+	// CtxGoverned: the function observes cancellation of a context it
+	// receives — directly (<-ctx.Done(), ctx.Err()) or by passing its
+	// context to a governed callee.
+	CtxGoverned bool `json:",omitempty"`
+	// SignalsDone: the function calls Done on a sync.WaitGroup, so a
+	// spawner pairing it with Add+Wait joins it.
+	SignalsDone bool `json:",omitempty"`
+	// SelectsQuit: the function receives on a struct{} channel it does
+	// not own (a field or captured variable) — a quit/stop channel.
+	SelectsQuit bool `json:",omitempty"`
+}
+
+func (s Summary) bound() bool { return s.CtxGoverned || s.SignalsDone || s.SelectsQuit }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "concurrency",
+	Doc:       "goroutines in service/, cluster/ and obs/ must be lifecycle-bound\n\nEvery go statement needs a WaitGroup join, context governance, or a quit channel; shutdown-annotated functions may not block on bare sends; locked methods may not leak guarded maps/slices.",
+	Run:       run,
+	FactTypes: []any{(*Summary)(nil)},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g := dataflow.New(pass)
+	summaries := computeSummaries(pass, g)
+
+	// Publish every non-trivial summary for importing units.
+	for _, n := range g.Nodes() {
+		if s := summaries[n.Fn]; s.bound() {
+			pass.ExportObjectFact(n.Fn, s)
+		}
+	}
+
+	if !inReportScope(pass) {
+		return nil, nil
+	}
+
+	summaryOf := func(fn *types.Func) Summary {
+		if _, local := summaries[fn]; local || g.Node(fn) != nil {
+			return summaries[fn]
+		}
+		var s Summary
+		pass.ImportObjectFact(fn, &s)
+		return s
+	}
+
+	for _, n := range g.Nodes() {
+		if pass.IsTestFile(n.Decl.Pos()) {
+			continue
+		}
+		checkGoStmts(pass, n, summaryOf)
+		if directive.IsShutdown(n.Decl) {
+			checkShutdownSends(pass, n.Decl)
+		}
+		checkLockedFieldEscape(pass, n.Decl)
+	}
+	return nil, nil
+}
+
+// inReportScope limits findings to the long-running tiers. Summaries
+// are still computed and exported everywhere so governance established
+// in internal/ packages is visible from the tiers that spawn.
+func inReportScope(pass *analysis.Pass) bool {
+	if pass.Module == nil || pass.Module.Path == "" {
+		return false
+	}
+	rel, ok := strings.CutPrefix(normPath(pass.Pkg.Path()), pass.Module.Path+"/")
+	if !ok {
+		return false
+	}
+	seg, _, _ := strings.Cut(rel, "/")
+	return seg == "service" || seg == "cluster" || seg == "obs"
+}
+
+func normPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// computeSummaries derives each declared function's Summary: the direct
+// properties by scanning its body, then context governance closed over
+// the call graph (a function that hands its context to a governed
+// callee — local or imported — is governed too).
+func computeSummaries(pass *analysis.Pass, g *dataflow.Graph) map[*types.Func]Summary {
+	info := pass.TypesInfo
+	direct := make(map[*types.Func]Summary, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		var s Summary
+		body := n.Decl.Body
+		ast.Inspect(body, func(nd ast.Node) bool {
+			switch nd := nd.(type) {
+			case *ast.CallExpr:
+				if isWaitGroupDone(info, nd) {
+					s.SignalsDone = true
+				}
+				if isCtxObservation(info, nd) {
+					s.CtxGoverned = true
+				}
+			case *ast.UnaryExpr:
+				if isQuitRecv(info, nd, body) {
+					s.SelectsQuit = true
+				}
+			}
+			return true
+		})
+		direct[n.Fn] = s
+	}
+
+	governed := g.Fixpoint(
+		func(n *dataflow.Node) bool { return direct[n.Fn].CtxGoverned },
+		func(n *dataflow.Node, c *dataflow.Call, calleeHolds func(*types.Func) bool) bool {
+			if !callPassesContext(info, c.Site) {
+				return false
+			}
+			if g.Node(c.Callee) != nil {
+				return calleeHolds(c.Callee)
+			}
+			var s Summary
+			return pass.ImportObjectFact(c.Callee, &s) && s.CtxGoverned
+		},
+	)
+
+	out := make(map[*types.Func]Summary, len(direct))
+	for fn, s := range direct {
+		s.CtxGoverned = s.CtxGoverned || governed[fn]
+		out[fn] = s
+	}
+	return out
+}
+
+// checkGoStmts flags `go` statements whose goroutine no lifecycle
+// mechanism binds.
+func checkGoStmts(pass *analysis.Pass, n *dataflow.Node, summaryOf func(*types.Func) Summary) {
+	info := pass.TypesInfo
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		gs, ok := nd.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goStmtBound(info, n.Decl, gs, summaryOf) {
+			return true
+		}
+		pass.Reportf(gs.Pos(), "goroutine is not lifecycle-bound: join it with a WaitGroup, govern it with a context, or give it a quit channel")
+		return true
+	})
+}
+
+func goStmtBound(info *types.Info, enclosing *ast.FuncDecl, gs *ast.GoStmt, summaryOf func(*types.Func) Summary) bool {
+	// Named callee: its summary decides. Context governance only counts
+	// when this spawn actually hands it a context.
+	if fn := dataflow.Callee(info, gs.Call); fn != nil {
+		s := summaryOf(fn)
+		if s.SignalsDone || s.SelectsQuit {
+			return true
+		}
+		return s.CtxGoverned && callPassesContext(info, gs.Call)
+	}
+	lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// A dynamic callee (function value, interface method): nothing is
+		// known, treat as unbound and let //ftlint:allow arbitrate.
+		return false
+	}
+	body := lit.Body
+	bound := false
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if bound {
+			return false
+		}
+		switch nd := nd.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, nd) || isCtxObservation(info, nd) {
+				bound = true
+				return false
+			}
+			if fn := dataflow.Callee(info, nd); fn != nil {
+				s := summaryOf(fn)
+				if s.SignalsDone || s.SelectsQuit || (s.CtxGoverned && callPassesContext(info, nd)) {
+					bound = true
+					return false
+				}
+			}
+			// Waiter idiom: the goroutine closes a channel declared in the
+			// spawning function, which in turn waits on that channel.
+			if v := closedChan(info, nd); v != nil && spawnerWaitsOn(info, enclosing, lit, v) {
+				bound = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if isQuitRecv(info, nd, body) {
+				bound = true
+				return false
+			}
+		}
+		return true
+	})
+	return bound
+}
+
+// checkShutdownSends requires every channel send inside a
+// //ftdse:shutdown function to carry an escape: be a select case in a
+// select that also has a default or a cancellation receive.
+func checkShutdownSends(pass *analysis.Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	covered := make(map[*ast.SendStmt]bool)
+	ast.Inspect(decl.Body, func(nd ast.Node) bool {
+		sel, ok := nd.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil || isEscapeRecvStmt(info, cc.Comm) {
+				escape = true
+			}
+		}
+		if !escape {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if send, ok := clause.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+				covered[send] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(decl.Body, func(nd ast.Node) bool {
+		send, ok := nd.(*ast.SendStmt)
+		if !ok || covered[send] {
+			return true
+		}
+		pass.Reportf(send.Pos(), "channel send in shutdown path can block forever: select with a default or cancellation case")
+		return true
+	})
+}
+
+// isEscapeRecvStmt reports whether a select comm statement receives
+// from a cancellation source (ctx.Done() or a quit-shaped channel).
+func isEscapeRecvStmt(info *types.Info, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch comm := comm.(type) {
+	case *ast.ExprStmt:
+		expr = comm.X
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			expr = comm.Rhs[0]
+		}
+	}
+	ue, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || ue.Op.String() != "<-" {
+		return false
+	}
+	if call, ok := ast.Unparen(ue.X).(*ast.CallExpr); ok && isCtxDoneCall(info, call) {
+		return true
+	}
+	return isStructChan(info.Types[ue.X].Type)
+}
+
+// checkLockedFieldEscape flags methods that lock the receiver's mutex
+// yet return a guarded map or slice field directly.
+func checkLockedFieldEscape(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	recv := receiverVar(info, decl)
+	if recv == nil || !methodLocksReceiver(info, decl, recv) {
+		return
+	}
+	ast.Inspect(decl.Body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			sel, ok := ast.Unparen(res).(*ast.SelectorExpr)
+			if !ok || !isReceiverExpr(info, sel.X, recv) {
+				continue
+			}
+			switch info.Types[res].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(res.Pos(), "method locks the receiver's mutex but returns the guarded map %s itself, aliasing it past the lock: return a copy or an element", sel.Sel.Name)
+			case *types.Slice:
+				pass.Reportf(res.Pos(), "method locks the receiver's mutex but returns the guarded slice %s itself, aliasing it past the lock: return a copy or an element", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func receiverVar(info *types.Info, decl *ast.FuncDecl) *types.Var {
+	names := decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// methodLocksReceiver reports whether the body calls Lock or RLock on a
+// mutex reached through the receiver (r.mu.Lock(), or r.Lock() via an
+// embedded mutex).
+func methodLocksReceiver(info *types.Info, decl *ast.FuncDecl, recv *types.Var) bool {
+	locks := false
+	ast.Inspect(decl.Body, func(nd ast.Node) bool {
+		if locks {
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if !isSyncLocker(info.Types[sel.X].Type) {
+			return true
+		}
+		// Chase the selector chain to its base: r.mu → r.
+		base := sel.X
+		for {
+			if inner, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+				base = inner.X
+				continue
+			}
+			break
+		}
+		if isReceiverExpr(info, base, recv) {
+			locks = true
+		}
+		return !locks
+	})
+	return locks
+}
+
+func isReceiverExpr(info *types.Info, e ast.Expr, recv *types.Var) bool {
+	e = ast.Unparen(e)
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(star.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && info.Uses[id] == recv
+}
+
+func isSyncLocker(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// --- shared type/AST predicates ---
+
+// isWaitGroupDone matches wg.Done() for a sync.WaitGroup-typed wg.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.String() == "sync.WaitGroup"
+}
+
+// isCtxObservation matches the direct cancellation observations
+// ctx.Done() and ctx.Err() on a context.Context value.
+func isCtxObservation(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Err") {
+		return false
+	}
+	return isContextType(info.Types[sel.X].Type)
+}
+
+func isCtxDoneCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(info.Types[sel.X].Type)
+}
+
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// callPassesContext reports whether any argument of the call has type
+// context.Context.
+func callPassesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextType(info.Types[arg].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isQuitRecv matches `<-ch` where ch is a struct{} channel the body
+// does not own — a field, or a variable declared outside body. Ticker
+// and data channels have non-struct{} elements and never match.
+func isQuitRecv(info *types.Info, ue *ast.UnaryExpr, body *ast.BlockStmt) bool {
+	if ue.Op.String() != "<-" {
+		return false
+	}
+	x := ast.Unparen(ue.X)
+	if call, ok := x.(*ast.CallExpr); ok {
+		return isCtxDoneCall(info, call)
+	}
+	if !isStructChan(info.Types[x].Type) {
+		return false
+	}
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		return true // field or captured struct's channel
+	case *ast.Ident:
+		obj := info.Uses[x]
+		return obj != nil && (obj.Pos() < body.Pos() || obj.Pos() > body.End())
+	}
+	return false
+}
+
+// isStructChan reports whether t is a channel of empty structs (the
+// quit-channel shape, which ctx.Done shares).
+func isStructChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// closedChan returns the channel variable a `close(ch)` call closes,
+// nil for any other call.
+func closedChan(info *types.Info, call *ast.CallExpr) *types.Var {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[arg].(*types.Var)
+	return v
+}
+
+// spawnerWaitsOn reports whether the enclosing function, outside the
+// goroutine literal, receives from v — completing the waiter idiom.
+func spawnerWaitsOn(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit, v *types.Var) bool {
+	waits := false
+	ast.Inspect(enclosing.Body, func(nd ast.Node) bool {
+		if nd == lit || waits {
+			return false
+		}
+		ue, ok := nd.(*ast.UnaryExpr)
+		if !ok || ue.Op.String() != "<-" {
+			return true
+		}
+		if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok && info.Uses[id] == v {
+			waits = true
+		}
+		return !waits
+	})
+	return waits
+}

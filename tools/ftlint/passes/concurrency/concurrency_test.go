@@ -1,0 +1,24 @@
+package concurrency_test
+
+import (
+	"testing"
+
+	"repro/ftdse/tools/ftlint/ftltest"
+	"repro/ftdse/tools/ftlint/passes/concurrency"
+)
+
+func TestConcurrency(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse/service/spawn", concurrency.Analyzer)
+}
+
+// TestDetection fails if the fixture stops depending on the analyzer:
+// without the pass, its expectations must go unmatched.
+func TestDetection(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "repro/ftdse/service/spawn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("fixture passes without the concurrency analyzer; it no longer tests detection")
+	}
+}

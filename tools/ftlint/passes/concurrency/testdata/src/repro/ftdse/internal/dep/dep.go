@@ -1,0 +1,27 @@
+// Package dep exercises cross-package facts: the spawn fixture imports
+// it, and the concurrency pass must learn from exported summaries —
+// not local syntax — that Loop is ctx-governed and Leak is not.
+package dep
+
+import "context"
+
+// Loop observes cancellation; its summary is exported as a fact.
+func Loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Indirect is governed only transitively, through Loop.
+func Indirect(ctx context.Context) {
+	Loop(ctx)
+}
+
+// Leak ignores its arguments and never terminates on its own.
+func Leak() {
+	for {
+	}
+}

@@ -1,0 +1,199 @@
+// Package spawn is the concurrency fixture: one case per goroutine
+// lifecycle-binding rule, positive and negative.
+package spawn
+
+import (
+	"context"
+	"sync"
+
+	"repro/ftdse/internal/dep"
+)
+
+type job struct{}
+
+type server struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	jobs  chan job
+	peers map[string]int
+	order []string
+}
+
+// --- go statements ---
+
+func fireAndForget() {
+	go func() { // want `goroutine is not lifecycle-bound`
+		println("leaked")
+	}()
+}
+
+func namedLeak() {
+	go idle() // want `goroutine is not lifecycle-bound`
+}
+
+func crossPkgLeak() {
+	go dep.Leak() // want `goroutine is not lifecycle-bound`
+}
+
+func dynamicLeak(f func()) {
+	go f() // want `goroutine is not lifecycle-bound`
+}
+
+func idle() {}
+
+func wgBound(s *server) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		println("working")
+	}()
+}
+
+func namedWgBound(s *server) {
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *server) worker() {
+	defer s.wg.Done()
+	for range s.jobs {
+	}
+}
+
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func ctxCalleeBound(ctx context.Context) {
+	go governed(ctx)
+}
+
+func governed(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// crossPkgBound relies on the fact exported by the dep package: Loop's
+// governance is invisible syntactically from here.
+func crossPkgBound(ctx context.Context) {
+	go dep.Loop(ctx)
+}
+
+// transitiveBound stacks both hops: Indirect is governed only because
+// it forwards its context to Loop.
+func transitiveBound(ctx context.Context) {
+	go dep.Indirect(ctx)
+}
+
+// ungovernedCtxCall passes a context to a callee that ignores
+// cancellation entirely; the context alone does not bind the goroutine.
+func ungovernedCtxCall(ctx context.Context) {
+	go deaf(ctx) // want `goroutine is not lifecycle-bound`
+}
+
+func deaf(ctx context.Context) {
+	_ = ctx.Value("k")
+	for {
+	}
+}
+
+func quitBound(s *server) {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func waiterBound(ctx context.Context, wg *sync.WaitGroup) {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// closerLeak closes a channel nobody waits on; that is not the waiter
+// idiom, just a leak with extra steps.
+func closerLeak() {
+	done := make(chan struct{})
+	go func() { // want `goroutine is not lifecycle-bound`
+		close(done)
+	}()
+}
+
+func sanctioned() {
+	go idle() //ftlint:allow concurrency fixture-sanctioned leak
+}
+
+// --- shutdown sends ---
+
+//ftdse:shutdown
+func (s *server) Close(ctx context.Context) {
+	s.jobs <- job{} // want `channel send in shutdown path can block forever`
+	select {
+	case s.jobs <- job{}:
+	default:
+	}
+	select {
+	case s.jobs <- job{}:
+	case <-ctx.Done():
+	}
+}
+
+// drain has no annotation: bare sends are its own business.
+func (s *server) drain() {
+	s.jobs <- job{}
+}
+
+// --- locked-field escape ---
+
+func (s *server) snapshotLeak() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers // want `returns the guarded map peers itself`
+}
+
+func (s *server) orderLeak() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order // want `returns the guarded slice order itself`
+}
+
+func (s *server) lookup(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers[k]
+}
+
+func (s *server) snapshotCopy() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.peers))
+	for k, v := range s.peers {
+		out[k] = v
+	}
+	return out
+}
+
+// unguarded never locks, so returning the map is not this pass's
+// concern.
+func (s *server) unguarded() map[string]int {
+	return s.peers
+}

@@ -1,0 +1,24 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"repro/ftdse/tools/ftlint/ftltest"
+	"repro/ftdse/tools/ftlint/passes/metrics"
+)
+
+func TestMetrics(t *testing.T) {
+	ftltest.Run(t, ftltest.TestData(), "repro/ftdse", "repro/ftdse/service/met", metrics.Analyzer)
+}
+
+// TestDetection fails if the fixture stops depending on the analyzer:
+// without the pass, its expectations must go unmatched.
+func TestDetection(t *testing.T) {
+	mismatches, err := ftltest.Check(ftltest.TestData(), "repro/ftdse", "repro/ftdse/service/met")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) == 0 {
+		t.Fatal("fixture passes without the metrics analyzer; it no longer tests detection")
+	}
+}

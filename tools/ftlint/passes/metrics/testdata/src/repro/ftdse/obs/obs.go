@@ -1,0 +1,32 @@
+// Package obs is a stub of the real repro/ftdse/obs registry API: the
+// metrics pass matches registration sites by type identity
+// (repro/ftdse/obs.Registry), so the fixture only needs the shapes.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (v *CounterVec) With(value string) *Counter { return &Counter{} }
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec { return &CounterVec{} }
+
+func (r *Registry) NewGauge(name, help string) *Gauge { return &Gauge{} }
+
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {}
+
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {}
+
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram { return &Histogram{} }
+
+func ExponentialBuckets(start, factor float64, n int) []float64 { return nil }

@@ -1,0 +1,61 @@
+// Package met is the metrics fixture: one case per naming, label and
+// bucket rule.
+package met
+
+import "repro/ftdse/obs"
+
+type event struct {
+	TraceID string
+	Engine  string
+}
+
+type job struct {
+	Fingerprint string
+}
+
+func register(r *obs.Registry, dynamic string) {
+	// Clean registrations.
+	r.NewCounter("ftdse_solves_total", "Solves executed.")
+	r.NewCounterVec("ftcluster_dispatches_by_node_total", "Dispatches per node.", "node")
+	r.NewGauge("ftdse_queue_depth", "Jobs waiting.")
+	r.NewHistogram("ftdse_solve_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
+	_ = obs.ExponentialBuckets(0.001, 2, 21)
+
+	// Naming violations.
+	r.NewCounter(dynamic, "Computed name.")                                                  // want `metric name passed to NewCounter must be a compile-time constant`
+	r.NewCounter("http_requests_total", "Foreign prefix.")                                   // want `lacks the ftdse_ or ftcluster_ namespace prefix`
+	r.NewCounter("ftdse_solves", "Counter without _total.")                                  // want `counter "ftdse_solves" must end in _total`
+	r.NewGauge("ftdse_workers_total", "Gauge posing.")                                       // want `gauge "ftdse_workers_total" must not end in _total`
+	r.NewCounter("ftdse_Solves_total", "Upper-case.")                                        // want `not a valid prometheus name`
+	r.NewHistogram("ftdse_latency", "No unit.", nil)                                         // want `histogram "ftdse_latency" must end in a unit suffix`
+	r.NewCounterFunc("ftdse_evals", "Func counter, no suffix.", func() float64 { return 0 }) // want `counter "ftdse_evals" must end in _total`
+
+	// Label cardinality.
+	r.NewCounterVec("ftdse_spans_total", "Per-trace counter.", "trace_id") // want `label "trace_id" has unbounded cardinality`
+	r.NewCounterVec("ftdse_errs_total", "Per-error counter.", "error")     // want `label "error" has unbounded cardinality`
+	r.NewCounterVec("ftdse_dyn_total", "Dynamic label.", dynamic)          // want `label name must be a compile-time constant`
+
+	// Buckets.
+	r.NewHistogram("ftdse_wait_seconds", "Bad buckets.", []float64{0.1, 0.05, 1}) // want `histogram buckets must be strictly increasing`
+	_ = obs.ExponentialBuckets(0, 2, 5)                                           // want `ExponentialBuckets start must be > 0`
+	_ = obs.ExponentialBuckets(0.1, 1, 5)                                         // want `ExponentialBuckets factor must be > 1`
+	_ = obs.ExponentialBuckets(0.1, 2, 0)                                         // want `ExponentialBuckets needs at least one bucket`
+}
+
+func observe(vec *obs.CounterVec, ev event, j job) {
+	vec.With(ev.Engine).Inc() // bounded: engine names are a fixed set
+
+	vec.With(ev.TraceID).Inc() // want `label value derives from a per-request identity`
+
+	fp := j.Fingerprint
+	vec.With(fp).Inc() // want `label value derives from a per-request identity`
+
+	name := ev.Engine
+	vec.With(name).Inc()
+}
+
+func sanctioned(r *obs.Registry, names []string) {
+	for _, n := range names {
+		r.NewCounterFunc(n, "table-driven registration", func() float64 { return 0 }) //ftlint:allow metrics fixture-sanctioned dynamic name
+	}
+}

@@ -1,0 +1,68 @@
+// Package wire is the wirecompat fixture: its wire.lock was "generated"
+// from an older revision, and each declaration either grew additively
+// (fine) or broke the format (finding).
+package wire
+
+// Good grew a field since the lock was written: additive, accepted.
+//
+//ftdse:wire
+type Good struct {
+	ID       string `json:"id"`
+	Attempts int    `json:"attempts,omitempty"`
+	Note     string `json:"note"`
+}
+
+// Renamed changed a json tag the lock pinned down.
+//
+//ftdse:wire
+type Renamed struct { // want `breaking wire change in repro/ftdse/wire.Renamed: field 0 renamed or reordered on the wire: json "id" became "ident"`
+	ID string `json:"ident"`
+}
+
+// Retyped changed a field's type in place.
+//
+//ftdse:wire
+type Retyped struct { // want `breaking wire change in repro/ftdse/wire.Retyped: field Count changed type: int became string`
+	Count string `json:"count"`
+}
+
+// Shrunk dropped a field the lock still records.
+//
+//ftdse:wire
+type Shrunk struct { // want `breaking wire change in repro/ftdse/wire.Shrunk: field B \(json "b"\) removed`
+	A string `json:"a"`
+}
+
+// Nested is clean itself, but recursion reaches Inner, whose locked
+// field type changed; the finding anchors here, at the annotated root.
+//
+//ftdse:wire
+type Nested struct { // want `breaking wire change in repro/ftdse/wire.Inner: field X changed type: string became int`
+	Inner Inner `json:"inner"`
+}
+
+// Inner is unannotated: it enters the schema through Nested.
+type Inner struct {
+	X int `json:"x"`
+}
+
+// hidden is unexported and unannotated; nothing reaches it.
+type hidden struct {
+	Secret []byte `json:"secret"`
+}
+
+// The record registry reordered a value the lock pinned.
+//
+//ftdse:wire records
+const ( // want `breaking wire change in repro/ftdse/wire#records: value 1 changed or reordered: "c" became "b"`
+	recA = "a"
+	recB = "b"
+)
+
+// The kind registry only appended: additive, accepted.
+//
+//ftdse:wire kinds
+const (
+	kindX = "x"
+	kindY = "y"
+)

@@ -1,0 +1,91 @@
+// Package wirecompat enforces the wire-evolution policy at vet time:
+// every //ftdse:wire-annotated struct and const group in the analyzed
+// package is re-derived from type information and diffed against the
+// checked-in wire.lock (found by walking up from the package
+// directory). Non-additive drift — a removed, renamed, retyped or
+// reordered field; a disturbed enum registry — is a finding on the
+// declaration. Additive growth is accepted here and caught as
+// staleness by `ftlint -wirelock -check` in CI.
+//
+// Deleting an annotated declaration outright leaves nothing for this
+// pass to anchor a diagnostic to; the -wirelock -check run covers that
+// case with its whole-module view.
+package wirecompat
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/ftdse/tools/ftlint/analysis"
+	"repro/ftdse/tools/ftlint/wirelock"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wirecompat",
+	Doc:  "wire and persistence formats may only grow\n\nDiffs //ftdse:wire-annotated structs and const registries against wire.lock and reports non-additive changes: field removal, json renames, type changes, reordering, enum registry disturbance.",
+	Run:  run,
+}
+
+// LockName is the lock file's name, shared with the generator.
+const LockName = wirelock.LockName
+
+func run(pass *analysis.Pass) (any, error) {
+	cur := wirelock.NewLock()
+	entries := wirelock.Collect(pass.Files, pass.TypesInfo, pass.Pkg, cur)
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	locked, ok := findLock(pass)
+	if !ok {
+		return nil, nil // no lock checked in: nothing to hold the line against
+	}
+
+	// Diff each collected entry that the lock knows. Entries are keyed
+	// uniquely, but recursion can reach one struct from two roots; diff
+	// each key once, anchored at its first (source-order) entry.
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if seen[e.Key] {
+			continue
+		}
+		seen[e.Key] = true
+		var diffs []string
+		if ls, ok := locked.Structs[e.Key]; ok {
+			diffs = wirelock.DiffStruct(ls, cur.Structs[e.Key])
+		} else if lv, ok := locked.Enums[e.Key]; ok {
+			diffs = wirelock.DiffEnum(lv, cur.Enums[e.Key])
+		}
+		sort.Strings(diffs)
+		for _, d := range diffs {
+			pass.Reportf(e.Pos, "breaking wire change in %s: %s (see wire.lock; the format may only grow)", e.Key, d)
+		}
+	}
+	return nil, nil
+}
+
+// findLock walks up from the package directory to the nearest
+// wire.lock. A malformed lock reports once and then stands aside.
+func findLock(pass *analysis.Pass) (*wirelock.Lock, bool) {
+	if len(pass.Files) == 0 {
+		return nil, false
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	for i := 0; i < 16; i++ {
+		data, err := os.ReadFile(filepath.Join(dir, LockName))
+		if err == nil {
+			lock, err := wirelock.Decode(data)
+			if err != nil {
+				pass.Reportf(pass.Files[0].Package, "unreadable %s in %s: %v", LockName, dir, err)
+				return nil, false
+			}
+			return lock, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return nil, false
+}

@@ -1,0 +1,203 @@
+// Package srcload type-checks every package of a Go module directly
+// from source, with no build system and no export data — the loader
+// behind `ftlint -wirelock`, which must see the whole module's
+// annotated declarations in one process. Imports within the module
+// resolve to the corresponding directories; everything else resolves to
+// the standard library, type-checked from GOROOT source. _test.go
+// files, testdata trees and nested modules are skipped: the wire
+// schema lives in shipped code.
+package srcload
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Pkg   *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// A Module is a loaded module: its path, its file set, and its
+// packages sorted by import path.
+type Module struct {
+	Path     string
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+var moduleRx = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// Load type-checks the module rooted at dir (the directory holding
+// go.mod).
+func Load(dir string) (*Module, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("srcload: %v", err)
+	}
+	m := moduleRx.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("srcload: no module directive in %s/go.mod", dir)
+	}
+	modPath := string(m[1])
+
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &loader{
+		root:    dir,
+		module:  modPath,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.stdlib = importer.ForCompiler(l.fset, "source", nil)
+
+	mod := &Module{Path: modPath, Fset: l.fset}
+	for _, rel := range dirs {
+		ip := modPath
+		if rel != "." {
+			ip = path.Join(modPath, filepath.ToSlash(rel))
+		}
+		p, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			mod.Packages = append(mod.Packages, p)
+		}
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].Path < mod.Packages[j].Path })
+	return mod, nil
+}
+
+// packageDirs walks the module for directories containing non-test Go
+// files, skipping hidden and underscore directories, testdata, and
+// nested modules.
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				out = append(out, rel)
+				break
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+type loader struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	loading map[string]bool
+	stdlib  types.Importer
+}
+
+// Import implements types.Importer: module paths map to directories,
+// the rest is standard library.
+func (l *loader) Import(ip string) (*types.Package, error) {
+	if ip == l.module || strings.HasPrefix(ip, l.module+"/") {
+		p, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("srcload: no Go files for %s", ip)
+		}
+		return p.Pkg, nil
+	}
+	return l.stdlib.Import(ip)
+}
+
+// load type-checks one module package (nil if the directory has no
+// shipped Go files, e.g. a main package excluded elsewhere).
+func (l *loader) load(ip string) (*Package, error) {
+	if p, ok := l.pkgs[ip]; ok {
+		return p, nil
+	}
+	if l.loading[ip] {
+		return nil, fmt.Errorf("srcload: import cycle through %s", ip)
+	}
+	l.loading[ip] = true
+	defer delete(l.loading, ip)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(ip, l.module), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[ip] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(ip, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("srcload: type-checking %s: %v", ip, err)
+	}
+	p := &Package{Path: ip, Pkg: pkg, Files: files, Info: info}
+	l.pkgs[ip] = p
+	return p, nil
+}

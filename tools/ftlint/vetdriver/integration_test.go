@@ -1,0 +1,100 @@
+package vetdriver_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCrossPackageFactsViaGoVet proves the vetx fact plumbing end to
+// end with a stock `go vet -vettool` run, not the ftltest harness: it
+// builds the real ftlint binary, lays out a temp module whose service
+// package spawns goroutines running functions from a *different*
+// package, and asserts that the one governed by its context escapes a
+// finding while the leak is flagged. The governed case only passes if
+// dep's concurrency summary crossed the package boundary through the
+// vetx file go vet hands back to the driver.
+func TestCrossPackageFactsViaGoVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds ftlint and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "ftlint")
+	build := exec.Command(goTool, "build", "-o", bin, "./cmd/ftlint")
+	build.Dir = ".." // module root of repro/ftdse/tools/ftlint
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ftlint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The module must be named repro/ftdse so the service/ tree is in
+	// the concurrency pass's report scope.
+	write("go.mod", "module repro/ftdse\n\ngo 1.22\n")
+	write("internal/dep/dep.go", `package dep
+
+import "context"
+
+// Loop is context-governed: spawning it with a live context is fine.
+func Loop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// Leak ignores every lifecycle signal.
+func Leak() {
+	for {
+	}
+}
+`)
+	write("service/spawn/spawn.go", `package spawn
+
+import (
+	"context"
+
+	"repro/ftdse/internal/dep"
+)
+
+func Spawn(ctx context.Context) {
+	go dep.Loop(ctx)
+	go dep.Leak()
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+bin, "-concurrency", "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0; expected the dep.Leak goroutine to be flagged\noutput:\n%s", out)
+	}
+	text := string(out)
+	const msg = "goroutine is not lifecycle-bound"
+	if n := strings.Count(text, msg); n != 1 {
+		t.Fatalf("want exactly 1 %q finding, got %d:\n%s", msg, n, text)
+	}
+	// The finding must be the Leak spawn (spawn.go line 11), proving
+	// the governed dep.Loop summary was imported, not just absent.
+	if !strings.Contains(text, "spawn.go:11") {
+		t.Fatalf("finding not anchored at the go dep.Leak() statement:\n%s", text)
+	}
+}

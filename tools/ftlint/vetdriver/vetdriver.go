@@ -12,12 +12,21 @@
 //	                  against the export data the build system already
 //	                  produced, run the passes, print diagnostics as
 //	                  "file:line:col: message" on stderr, exit non-zero
-//	                  on findings, and write the (empty — ftlint has no
-//	                  cross-package facts) VetxOutput file
+//	                  on findings, and write the VetxOutput file
+//	                  carrying the passes' cross-package facts
+//
+// Facts (analysis.FactStore) ride the vetx files: before analyzing a
+// unit the driver merges the vetx documents of every import listed in
+// PackageVetx, and afterwards it persists the union of imported and
+// newly exported facts to VetxOutput. Dependency-only units (VetxOnly)
+// run the passes with diagnostics disabled purely to compute their
+// facts, mirroring x/tools' unitchecker.
 //
 // Selection flags named after each pass (-determinism, -boundary, ...)
 // restrict the run, mirroring multichecker semantics: any flag set true
-// runs only those passes; flags set false run all but those.
+// runs only those passes; flags set false run all but those. The extra
+// -staleallows flag additionally reports every //ftlint:allow directive
+// that suppressed nothing, so sanctioned-violation lists cannot rot.
 package vetdriver
 
 import (
@@ -72,6 +81,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, for the build system)")
 	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (for the build system)")
+	staleallows := flag.Bool("staleallows", false, "also report //ftlint:allow directives that suppress no finding")
 	enabled := make(map[*analysis.Analyzer]*bool)
 	for _, a := range analyzers {
 		enabled[a] = flag.Bool(a.Name, false, "enable "+a.Name+" analysis")
@@ -119,31 +129,83 @@ Passes:
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	os.Exit(Run(args[0], analyzers))
+	os.Exit(RunOpts(args[0], analyzers, Options{StaleAllows: *staleallows}))
+}
+
+// Options tunes one driver run beyond pass selection.
+type Options struct {
+	// StaleAllows also reports //ftlint:allow directives that suppressed
+	// nothing, restricted to the analyzers that actually ran.
+	StaleAllows bool
+	// Facts seeds the run with pre-merged facts and receives the
+	// exported ones; nil lets the driver build a store from the unit's
+	// PackageVetx files.
+	Facts *analysis.FactStore
+	// FactsOnly runs the passes purely for their fact exports,
+	// discarding diagnostics (dependency units).
+	FactsOnly bool
 }
 
 // Run analyzes the unit described by cfgFile and returns the process
 // exit code.
 func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
+	return RunOpts(cfgFile, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(cfgFile string, analyzers []*analysis.Analyzer, opts Options) int {
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// ftlint exports no facts, but the build system caches the vetx
-	// output file as this action's artifact; write it unconditionally.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("ftlint has no facts\n"), 0o666); err != nil {
+	// Merge the facts of every import whose vetx the build system
+	// provided. Files from fact-free tool versions decode to nothing.
+	facts := opts.Facts
+	if facts == nil {
+		facts = analysis.NewFactStore()
+	}
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing vetx for an unanalyzed dep: no facts there
+		}
+		analysis.DecodeFacts(facts, data)
+	}
+	opts.Facts = facts
+	opts.FactsOnly = opts.FactsOnly || cfg.VetxOnly
+
+	// Dependency-only units exist purely to surface facts. Restrict them
+	// to the fact-exporting passes, and skip analysis entirely outside
+	// the analyzed module (standard library and external dependencies
+	// carry no ftlint facts) — their vetx is just the pass-through union
+	// of their own imports' facts.
+	var diags []string
+	if opts.FactsOnly {
+		var factful []*analysis.Analyzer
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				factful = append(factful, a)
+			}
+		}
+		analyzers = factful
+	}
+	if !opts.FactsOnly || (len(analyzers) > 0 && cfg.ModulePath != "" && !cfg.Standard[cfg.ImportPath]) {
+		diags, err = analyze(cfg, analyzers, opts)
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency unit: facts only, and we have none
-	}
 
-	diags, err := analyze(cfg, analyzers)
-	if err != nil {
-		log.Fatal(err)
+	// Persist the fact union as this action's cacheable artifact. The
+	// build system demands the file exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, facts.EncodeFacts(), 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if opts.FactsOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -156,7 +218,7 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) int {
 
 // analyze parses, type-checks and runs the passes over one unit,
 // returning rendered diagnostics.
-func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+func analyze(cfg *Config, analyzers []*analysis.Analyzer, opts Options) ([]string, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -209,7 +271,7 @@ func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
 	}
 
 	module := &analysis.Module{Path: cfg.ModulePath}
-	return RunAnalyzers(fset, files, pkg, info, module, analyzers), nil
+	return RunAnalyzersOpts(fset, files, pkg, info, module, analyzers, opts), nil
 }
 
 // RunAnalyzers executes the passes over one type-checked package,
@@ -218,6 +280,12 @@ func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
 // by the vet protocol and by in-process callers (the fixture harness
 // and the repo's boundary test).
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module *analysis.Module, analyzers []*analysis.Analyzer) []string {
+	return RunAnalyzersOpts(fset, files, pkg, info, module, analyzers, Options{})
+}
+
+// RunAnalyzersOpts is RunAnalyzers with fact plumbing, facts-only mode
+// and stale-allow reporting.
+func RunAnalyzersOpts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module *analysis.Module, analyzers []*analysis.Analyzer, opts Options) []string {
 	sheet := directive.ParseSheet(fset, files)
 
 	type located struct {
@@ -228,7 +296,9 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 	report := func(name string, d analysis.Diagnostic) {
 		out = append(out, located{fset.Position(d.Pos), fmt.Sprintf("%s [ftlint:%s]", d.Message, name)})
 	}
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -236,6 +306,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Pkg:       pkg,
 			TypesInfo: info,
 			Module:    module,
+			Facts:     opts.Facts,
 			Report: func(d analysis.Diagnostic) {
 				if !sheet.Suppressed(fset, a.Name, d.Pos) {
 					report(a.Name, d)
@@ -246,8 +317,16 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			report(a.Name, analysis.Diagnostic{Pos: token.NoPos, Message: "analyzer failed: " + err.Error()})
 		}
 	}
+	if opts.FactsOnly {
+		return nil
+	}
 	for _, d := range sheet.Malformed() {
 		report("directive", d)
+	}
+	if opts.StaleAllows {
+		for _, d := range sheet.Stale(ran) {
+			report("staleallows", d)
+		}
 	}
 
 	sort.Slice(out, func(i, j int) bool {

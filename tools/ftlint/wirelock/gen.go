@@ -1,0 +1,88 @@
+package wirelock
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/ftdse/tools/ftlint/srcload"
+)
+
+// LockName is the lock file's name at the module root.
+const LockName = "wire.lock"
+
+// Generate derives the current wire schema of the module rooted at
+// root by type-checking it from source and collecting every annotated
+// declaration.
+func Generate(root string) (*Lock, error) {
+	mod, err := srcload.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	lock := NewLock()
+	for _, p := range mod.Packages {
+		Collect(p.Files, p.Info, p.Pkg, lock)
+	}
+	return lock, nil
+}
+
+// Write regenerates root's wire.lock in place.
+func Write(root string) error {
+	lock, err := Generate(root)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(root, LockName), lock.Encode(), 0o644)
+}
+
+// Check compares root's checked-in wire.lock against the schema the
+// source currently defines. breaking lists policy violations (the
+// format shrank or mutated — including entries deleted outright, which
+// the vet-time pass cannot see); stale lists additive drift that a
+// `ftlint -wirelock` run would absorb. A missing lock file is reported
+// as stale ("everything is new").
+func Check(root string) (breaking, stale []string, err error) {
+	cur, err := Generate(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, LockName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, []string{LockName + " does not exist; run `ftlint -wirelock`"}, nil
+		}
+		return nil, nil, err
+	}
+	locked, err := Decode(data)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, key := range locked.Keys() {
+		if ls, ok := locked.Structs[key]; ok {
+			cs, exists := cur.Structs[key]
+			if !exists {
+				breaking = append(breaking, fmt.Sprintf("%s: wire struct deleted; persisted documents still carry it", key))
+				continue
+			}
+			for _, d := range DiffStruct(ls, cs) {
+				breaking = append(breaking, key+": "+d)
+			}
+			continue
+		}
+		lv := locked.Enums[key]
+		cv, exists := cur.Enums[key]
+		if !exists {
+			breaking = append(breaking, fmt.Sprintf("%s: enum registry deleted; persisted documents still carry its values", key))
+			continue
+		}
+		for _, d := range DiffEnum(lv, cv) {
+			breaking = append(breaking, key+": "+d)
+		}
+	}
+	if len(breaking) == 0 && !bytes.Equal(data, cur.Encode()) {
+		stale = append(stale, LockName+" is stale (additive drift); run `ftlint -wirelock` and commit the result")
+	}
+	return breaking, stale, nil
+}

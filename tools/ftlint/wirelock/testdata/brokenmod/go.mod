@@ -1,0 +1,3 @@
+module example/wiremod
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package wiremod is a frozen fixture: relative to its wire.lock, the
+// Record struct dropped the Seq field, the record-kind registry lost a
+// value, and the Legacy struct was deleted outright — three distinct
+// breaking edits for wirelock.Check to catch.
+package wiremod
+
+// Record is one durable journal entry.
+//
+//ftdse:wire
+type Record struct {
+	Kind string `json:"kind"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// The record-kind registry: order is the format.
+//
+//ftdse:wire record-kinds
+const (
+	recSubmit = "submit"
+	recDone   = "done"
+)

@@ -1,0 +1,156 @@
+package wirelock_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/ftdse/tools/ftlint/wirelock"
+)
+
+// TestBreakingEdits checks the static fixture module, whose lock
+// records a richer format than the source now defines: a dropped
+// field, a removed enum value, and a deleted struct must all surface
+// as breaking.
+func TestBreakingEdits(t *testing.T) {
+	breaking, _, err := wirelock.Check(filepath.Join("testdata", "brokenmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFragments := []string{
+		"example/wiremod.Record: field 1 renamed or reordered",
+		"example/wiremod#record-kinds: value 1 changed or reordered",
+		"example/wiremod.Legacy: wire struct deleted",
+	}
+	for _, frag := range wantFragments {
+		found := false
+		for _, b := range breaking {
+			if strings.Contains(b, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("breaking diffs %q lack expected %q", breaking, frag)
+		}
+	}
+}
+
+const goodSource = `package wiremod
+
+// Record is one durable journal entry.
+//
+//ftdse:wire
+type Record struct {
+	Kind string ` + "`json:\"kind\"`" + `
+	Seq  uint64 ` + "`json:\"seq\"`" + `
+	Data []byte ` + "`json:\"data,omitempty\"`" + `
+}
+
+//ftdse:wire record-kinds
+const (
+	recSubmit = "submit"
+	recDone   = "done"
+)
+`
+
+// editedSource drops the Seq field: the canonical "deliberate breaking
+// edit to a journal wire struct" from the acceptance criteria.
+const editedSource = `package wiremod
+
+//ftdse:wire
+type Record struct {
+	Kind string ` + "`json:\"kind\"`" + `
+	Data []byte ` + "`json:\"data,omitempty\"`" + `
+}
+
+//ftdse:wire record-kinds
+const (
+	recSubmit = "submit"
+	recDone   = "done"
+)
+`
+
+// TestGenerateEditCheck drives the full life cycle in a scratch
+// module: generate a lock, verify the module checks clean, make a
+// breaking edit, and verify the check turns red.
+func TestGenerateEditCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example/wiremod\n\ngo 1.22\n")
+	write("journal.go", goodSource)
+
+	if err := wirelock.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	breaking, stale, err := wirelock.Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaking) != 0 || len(stale) != 0 {
+		t.Fatalf("freshly generated lock should check clean, got breaking=%q stale=%q", breaking, stale)
+	}
+
+	write("journal.go", editedSource)
+	breaking, _, err = wirelock.Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaking) == 0 {
+		t.Fatal("dropping a locked field must be a breaking diff")
+	}
+}
+
+// TestAdditiveIsStaleNotBreaking: appending a field is sanctioned
+// evolution — the lock is merely stale.
+func TestAdditiveIsStaleNotBreaking(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example/wiremod\n\ngo 1.22\n")
+	write("journal.go", editedSource)
+	if err := wirelock.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	// goodSource inserts Seq *between* the locked fields: breaking.
+	write("journal.go", goodSource)
+	breaking, _, err := wirelock.Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaking) == 0 {
+		t.Fatal("inserting a field mid-struct reorders the suffix and must be breaking")
+	}
+
+	// A true append keeps the locked prefix intact: stale only.
+	appended := strings.Replace(editedSource, "Data []byte `json:\"data,omitempty\"`\n}",
+		"Data []byte `json:\"data,omitempty\"`\n\tNode string `json:\"node\"`\n}", 1)
+	if appended == editedSource {
+		t.Fatal("test bug: append replacement did not apply")
+	}
+	write("journal.go", editedSource)
+	if err := wirelock.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	write("journal.go", appended)
+	breaking, stale, err := wirelock.Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breaking) != 0 {
+		t.Fatalf("appending a field must not be breaking, got %q", breaking)
+	}
+	if len(stale) == 0 {
+		t.Fatal("appending a field must leave the lock stale")
+	}
+}
